@@ -1,0 +1,155 @@
+//! An Agarwal-style contention model of wormhole k-ary n-cubes.
+//!
+//! Assumptions (all standard in the analytic literature the paper
+//! pushes back against):
+//!
+//! * uniform traffic, perfectly balanced over the torus channels (true
+//!   for dimension-balanced routing with a fair half-ring tie-break);
+//! * Poisson worm arrivals at every channel, independence between
+//!   channels (Kleinrock's independence approximation);
+//! * a channel serves a whole worm in `L` cycles (deterministic
+//!   service → M/D/1 waiting);
+//! * no virtual-channel multiplexing, no head-of-line blocking, no
+//!   credit stalls.
+//!
+//! The router pipeline constants mirror the simulator (and Section 5 of
+//! the paper, with every stage equalized to one cycle): a header pays
+//! routing + crossbar + link per router, a worm streams at one flit per
+//! cycle behind it.
+
+use topology::KAryNCube;
+
+/// Closed-form model of a wormhole k-ary n-cube under uniform traffic.
+///
+/// ```
+/// use analytic::CubeModel;
+///
+/// let model = CubeModel::new(16, 2, 16);
+/// assert_eq!(model.mean_distance(), 8.0);
+/// // The simplistic prediction: saturation at 100% of capacity.
+/// assert!((model.saturation_fraction() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CubeModel {
+    cube: KAryNCube,
+    flits_per_packet: usize,
+}
+
+/// Pipeline stages a header pays per router (routing, crossbar, link).
+const HEAD_STAGES_PER_ROUTER: f64 = 3.0;
+
+impl CubeModel {
+    /// Model a `k`-ary `n`-cube carrying `flits_per_packet`-flit worms.
+    pub fn new(k: usize, n: usize, flits_per_packet: usize) -> Self {
+        assert!(flits_per_packet >= 1);
+        CubeModel { cube: KAryNCube::new(k, n), flits_per_packet }
+    }
+
+    /// The modelled topology.
+    pub fn cube(&self) -> &KAryNCube {
+        &self.cube
+    }
+
+    /// Mean router-to-router hop distance under uniform traffic
+    /// (self-pairs included): `n k / 4` for even `k`.
+    pub fn mean_distance(&self) -> f64 {
+        self.cube.mean_hop_distance()
+    }
+
+    /// Zero-load network latency in cycles for a packet travelling `d`
+    /// router-to-router hops: one injection-link cycle, three pipeline
+    /// stages in each of the `d + 1` routers traversed, and `L - 1`
+    /// serialization cycles for the tail.
+    pub fn zero_load_latency_for_distance(&self, d: usize) -> f64 {
+        1.0 + HEAD_STAGES_PER_ROUTER * (d as f64 + 1.0) + (self.flits_per_packet as f64 - 1.0)
+    }
+
+    /// Mean zero-load latency under uniform traffic.
+    pub fn zero_load_latency(&self) -> f64 {
+        self.zero_load_latency_for_distance(0) + HEAD_STAGES_PER_ROUTER * self.mean_distance()
+    }
+
+    /// Utilization of a (perfectly balanced) torus channel at the given
+    /// fraction of the paper's capacity (`8/k` flits/node/cycle).
+    ///
+    /// Flit conservation: `N * lambda * mean_distance` flit-hops per
+    /// cycle spread over `2 n N` unidirectional channels. For `n = 2`
+    /// this reaches 1.0 exactly at the bisection-derived capacity —
+    /// the two bounds coincide, which is why the paper's footnote works.
+    pub fn channel_utilization(&self, fraction_of_capacity: f64) -> f64 {
+        let lambda = fraction_of_capacity * self.cube.uniform_capacity_flits_per_cycle();
+        lambda * self.mean_distance() / (2.0 * self.cube.n() as f64)
+    }
+
+    /// Predicted mean network latency in cycles at the given load:
+    /// zero-load latency plus an M/D/1 waiting time (service = one worm)
+    /// at each of the `mean_distance + 1` routers. Diverges at the
+    /// load where channel utilization reaches 1 — i.e. this model
+    /// predicts saturation at ~100% of capacity, which the flit-level
+    /// simulation (and the paper) show to be wildly optimistic.
+    pub fn predicted_latency(&self, fraction_of_capacity: f64) -> f64 {
+        let rho = self.channel_utilization(fraction_of_capacity);
+        let per_hop = crate::queueing::md1_wait(rho, self.flits_per_packet as f64);
+        self.zero_load_latency() + (self.mean_distance() + 1.0) * per_hop
+    }
+
+    /// The load fraction at which this model predicts saturation
+    /// (channel utilization = 1).
+    pub fn saturation_fraction(&self) -> f64 {
+        // rho = f * cap * D / (2n) = 1
+        let cap = self.cube.uniform_capacity_flits_per_cycle();
+        (2.0 * self.cube.n() as f64) / (cap * self.mean_distance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> CubeModel {
+        CubeModel::new(16, 2, 16)
+    }
+
+    #[test]
+    fn mean_distance_paper_cube() {
+        assert!((paper().mean_distance() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_engine_pipeline() {
+        // The engine's hand-checked single-packet latencies: a 2-ary
+        // 1-cube packet 0 -> 1 (one router hop) takes F + 6 cycles.
+        let m = CubeModel::new(2, 1, 4);
+        assert!((m.zero_load_latency_for_distance(1) - 10.0).abs() < 1e-12);
+        // Paper cube: ~45 cycles at the mean distance with 16 flits.
+        let z = paper().zero_load_latency();
+        assert!((z - 43.0).abs() < 1.0, "{z}");
+    }
+
+    #[test]
+    fn utilization_reaches_one_at_capacity() {
+        let m = paper();
+        assert!((m.channel_utilization(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.channel_utilization(0.5) - 0.5).abs() < 1e-12);
+        assert!((m.saturation_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_grows_monotonically_and_diverges() {
+        let m = paper();
+        let l1 = m.predicted_latency(0.2);
+        let l2 = m.predicted_latency(0.6);
+        let l3 = m.predicted_latency(0.95);
+        assert!(l1 < l2 && l2 < l3);
+        assert!(m.predicted_latency(1.0).is_infinite());
+        // At 20% load the contention penalty is mild (< 50% over zero load).
+        assert!(l1 < 1.5 * m.zero_load_latency());
+    }
+
+    #[test]
+    fn odd_radix_distance() {
+        let m = CubeModel::new(5, 3, 16);
+        // Per-dimension mean min(d, 5-d) over d in 0..5 = (0+1+2+2+1)/5.
+        assert!((m.mean_distance() - 3.0 * 6.0 / 5.0).abs() < 1e-12);
+    }
+}

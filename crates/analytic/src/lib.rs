@@ -1,0 +1,31 @@
+//! Closed-form performance models for the two network families.
+//!
+//! The paper's motivation (Section 1) is that "theoretical models of
+//! the interconnection network often prove overly simplistic and are
+//! not able to capture important performance aspects" — citing the
+//! comparison literature (\[16\], \[17\]) and building its own Section 5
+//! normalization on Agarwal's physical-constraint analysis (\[18\],
+//! *Limits on Interconnection Network Performance*). To reproduce that
+//! argument, and to provide a sanity baseline for the simulator, this
+//! crate implements the standard open-network queueing models:
+//!
+//! * [`queueing`] — M/M/1 and M/D/1 waiting-time formulas;
+//! * [`cube::CubeModel`] — an Agarwal-style contention model of
+//!   wormhole k-ary n-cubes under uniform traffic;
+//! * [`tree::TreeModel`] — the analogous model for k-ary n-trees.
+//!
+//! The models predict zero-load latency almost exactly, track the
+//! simulator at low and moderate loads, and — exactly as the paper
+//! claims — fail near saturation, where flow control, virtual-channel
+//! multiplexing and head-of-line blocking dominate. The
+//! `model_vs_simulation` example and the `analytic_baselines`
+//! integration test quantify both the agreement and the breakdown.
+
+#![warn(missing_docs)]
+pub mod cube;
+pub mod queueing;
+pub mod tree;
+
+pub use cube::CubeModel;
+pub use queueing::{md1_wait, mm1_wait};
+pub use tree::TreeModel;

@@ -1,0 +1,65 @@
+//! Elementary queueing formulas used by the network models.
+//!
+//! Channels are modelled as single servers fed by (approximately)
+//! Poisson flit arrivals. A wormhole channel transmits a fixed-length
+//! worm, so deterministic service (M/D/1) is the natural first-order
+//! model; M/M/1 is provided for comparison (it overestimates waiting by
+//! up to 2x at high utilization and brackets the truth from above).
+
+/// Mean waiting time in an M/M/1 queue with utilization `rho` and mean
+/// service time `service`. Returns `f64::INFINITY` at or beyond
+/// saturation.
+///
+/// `W = rho * S / (1 - rho)`
+pub fn mm1_wait(rho: f64, service: f64) -> f64 {
+    assert!(rho >= 0.0 && service >= 0.0);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho * service / (1.0 - rho)
+}
+
+/// Mean waiting time in an M/D/1 queue (deterministic service) with
+/// utilization `rho` and service time `service` — the
+/// Pollaczek–Khinchine formula with zero service variance:
+///
+/// `W = rho * S / (2 (1 - rho))`
+pub fn md1_wait(rho: f64, service: f64) -> f64 {
+    assert!(rho >= 0.0 && service >= 0.0);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho * service / (2.0 * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md1_is_half_of_mm1() {
+        for rho in [0.1, 0.5, 0.9] {
+            let (d, m) = (md1_wait(rho, 8.0), mm1_wait(rho, 8.0));
+            assert!((d * 2.0 - m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_load_means_zero_wait() {
+        assert_eq!(md1_wait(0.0, 16.0), 0.0);
+        assert_eq!(mm1_wait(0.0, 16.0), 0.0);
+    }
+
+    #[test]
+    fn saturation_diverges() {
+        assert!(md1_wait(1.0, 1.0).is_infinite());
+        assert!(mm1_wait(1.2, 1.0).is_infinite());
+        // Approaching saturation grows without bound.
+        assert!(md1_wait(0.999, 1.0) > md1_wait(0.99, 1.0) * 5.0);
+    }
+
+    #[test]
+    fn wait_scales_linearly_with_service() {
+        assert!((md1_wait(0.5, 32.0) - 2.0 * md1_wait(0.5, 16.0)).abs() < 1e-12);
+    }
+}

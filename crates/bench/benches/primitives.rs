@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks of the building blocks underneath the
+//! simulator: routing-function evaluation, destination generation, the
+//! PRNG, topology queries and channel-dependency-graph construction.
+//! These are the per-cycle hot paths; their cost bounds simulator
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routing::{build_cdg, CandidateSet, CubeDeterministic, CubeDuato, RoutingAlgorithm, TreeAdaptive};
+use std::hint::black_box;
+use topology::{KAryNCube, KAryNTree, NodeId, RouterId};
+use traffic::{Pattern, Rng64, TrafficGen};
+
+fn routing_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_call");
+    let cube = KAryNCube::new(16, 2);
+    let algos: Vec<Box<dyn RoutingAlgorithm>> = vec![
+        Box::new(CubeDeterministic::new(cube.clone())),
+        Box::new(CubeDuato::new(cube)),
+        Box::new(TreeAdaptive::new(KAryNTree::new(4, 4), 4)),
+    ];
+    for algo in &algos {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            let n = algo.topology().num_nodes() as u32;
+            let mut cand = CandidateSet::default();
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 97) % (n * n);
+                let (r, d) = (i / n, i % n);
+                algo.route(RouterId(r % algo.topology().num_routers() as u32), None, NodeId(d), &mut cand);
+                black_box(cand.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn destination_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_dest");
+    for p in [Pattern::Uniform, Pattern::Complement, Pattern::BitReversal, Pattern::Transpose] {
+        group.bench_function(BenchmarkId::from_parameter(p.name()), |b| {
+            let g = TrafficGen::new(p, 256);
+            let mut rng = Rng64::seed_from(1);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % 256;
+                black_box(g.dest(NodeId(i), &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn rng_throughput(c: &mut Criterion) {
+    c.bench_function("rng_next_u64", |b| {
+        let mut rng = Rng64::seed_from(7);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    c.bench_function("rng_below_10", |b| {
+        let mut rng = Rng64::seed_from(7);
+        b.iter(|| black_box(rng.below(10)));
+    });
+}
+
+fn topology_queries(c: &mut Criterion) {
+    let cube = KAryNCube::new(16, 2);
+    let tree = KAryNTree::new(4, 4);
+    c.bench_function("cube_min_offset", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(37) % 65536;
+            black_box(cube.min_offset(NodeId(i / 256), NodeId(i % 256), 1))
+        });
+    });
+    c.bench_function("tree_nca_level", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(37) % 65536;
+            black_box(tree.nca_level(NodeId(i / 256), NodeId(i % 256)))
+        });
+    });
+}
+
+fn cdg_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdg_build");
+    group.sample_size(10);
+    group.bench_function("dor_6ary_2cube", |b| {
+        let algo = CubeDeterministic::new(KAryNCube::new(6, 2));
+        b.iter(|| black_box(build_cdg(&algo, |_| true).num_edges()));
+    });
+    group.bench_function("tree_3ary_2tree", |b| {
+        let algo = TreeAdaptive::new(KAryNTree::new(3, 2), 2);
+        b.iter(|| black_box(build_cdg(&algo, |_| true).num_edges()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    routing_functions,
+    destination_generation,
+    rng_throughput,
+    topology_queries,
+    cdg_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Ablation studies beyond the paper: how sensitive are the headline
+//! results to the modelling choices DESIGN.md calls out?
+//!
+//! * **Buffer depth** — the paper fixes 4-flit lanes; we sweep 2..=8.
+//! * **Injection throttle** — the limited-injection threshold that keeps
+//!   cube throughput stable above saturation (paper reference \[28\]).
+//! * **Virtual channels on the tree** — extends Figure 5's 1/2/4 sweep
+//!   with 3, 6 and 8 VCs to expose the diminishing returns predicted in
+//!   Section 11 (with the matching Chien clock for each).
+//!
+//! Each ablation drives the paper network at a fixed stress load and
+//! reports sustained accepted bandwidth.
+
+use bench::{write_csv, Options};
+use costmodel::chien::tree_adaptive_timing;
+use netsim::experiment::{CubeParams, ExperimentSpec, TreeParams};
+use netsim::sim::run_simulation;
+use netstats::Table;
+use traffic::Pattern;
+
+fn main() {
+    let opts = Options::from_args();
+    let len = opts.run_length();
+
+    // Buffer depth ablation (both networks, uniform, moderately above
+    // each network's saturation).
+    let mut t = Table::with_columns(["configuration", "buffer_depth", "accepted_fraction"]);
+    for (spec, load) in [
+        (ExperimentSpec::cube_duato(CubeParams::paper()), 0.9),
+        (ExperimentSpec::tree_adaptive(TreeParams::paper(), 2), 0.9),
+    ] {
+        for depth in [2usize, 4, 6, 8] {
+            let algo = spec.build_algorithm();
+            let mut cfg = spec.config_at(Pattern::Uniform, load, len);
+            cfg.buffer_depth = depth;
+            let out = run_simulation(algo.as_ref(), &cfg);
+            t.push_row(vec![
+                spec.label().into(),
+                (depth as f64).into(),
+                out.accepted_fraction.into(),
+            ]);
+        }
+    }
+    println!("Ablation: lane depth (paper fixes 4 flits)");
+    println!("{}", t.to_pretty());
+    write_csv(&t, opts.out_dir.join("ablation_buffer_depth.csv")).expect("write csv");
+
+    // Injection-limit ablation on the cube (uniform at full offered
+    // load; the default is 8 of the 16 network lanes).
+    let mut t = Table::with_columns(["algorithm", "limit", "accepted_fraction"]);
+    for spec in [
+        ExperimentSpec::cube_deterministic(CubeParams::paper()),
+        ExperimentSpec::cube_duato(CubeParams::paper()),
+    ] {
+        for limit in [None, Some(4u32), Some(6), Some(8), Some(10), Some(12)] {
+            let algo = spec.build_algorithm();
+            let mut cfg = spec.config_at(Pattern::Uniform, 1.0, len);
+            cfg.injection_limit = limit;
+            let out = run_simulation(algo.as_ref(), &cfg);
+            t.push_row(vec![
+                spec.label().into(),
+                limit.map(|l| l as f64).unwrap_or(f64::NAN).into(),
+                out.accepted_fraction.into(),
+            ]);
+        }
+    }
+    println!("Ablation: limited-injection threshold (offered = 100%)");
+    println!("{}", t.to_pretty());
+    write_csv(&t, opts.out_dir.join("ablation_injection_limit.csv")).expect("write csv");
+
+    // Virtual-channel count on the tree, with the matching clock from
+    // the cost model: diminishing (and eventually negative) returns once
+    // the router becomes routing-limited.
+    let mut t = Table::with_columns([
+        "virtual_channels",
+        "accepted_fraction",
+        "clock_ns",
+        "accepted_bits_ns",
+    ]);
+    for vcs in [1usize, 2, 3, 4, 6, 8] {
+        let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), vcs);
+        let out = netsim::experiment::simulate_load(&spec, Pattern::Uniform, 0.95, len);
+        let timing = tree_adaptive_timing(4, vcs);
+        // Aggregate absolute throughput with this VC count's own clock.
+        let bits_ns = out.accepted_fraction * 256.0 * 1.0 * 16.0 / timing.clock_ns();
+        t.push_row(vec![
+            (vcs as f64).into(),
+            out.accepted_fraction.into(),
+            timing.clock_ns().into(),
+            bits_ns.into(),
+        ]);
+    }
+    println!("Ablation: tree virtual channels at 95% offered load");
+    println!("{}", t.to_pretty());
+    write_csv(&t, opts.out_dir.join("ablation_tree_vcs.csv")).expect("write csv");
+
+    // Torus vs mesh: what do the wrap-around links (and the dateline
+    // machinery they force) actually buy? Same 256-node grid, same
+    // per-node injection rate in flits/cycle, uniform traffic.
+    torus_vs_mesh(&opts, len);
+}
+
+fn torus_vs_mesh(opts: &Options, len: netsim::experiment::RunLength) {
+    use netsim::engine::Engine;
+    use netsim::sim::SimConfig;
+    use routing::{CubeDeterministic, MeshDeterministic, RoutingAlgorithm};
+    use topology::{KAryNCube, KAryNMesh};
+
+    let _ = Engine::new; // (engine is exercised through run_simulation)
+    let mut t = Table::with_columns([
+        "topology",
+        "flits_per_node_cycle",
+        "accepted_flits_per_node_cycle",
+        "latency_cycles",
+    ]);
+    let torus: Box<dyn RoutingAlgorithm> = Box::new(CubeDeterministic::new(KAryNCube::new(16, 2)));
+    let mesh: Box<dyn RoutingAlgorithm> = Box::new(MeshDeterministic::new(KAryNMesh::new(16, 2), 4));
+    for (label, algo, capacity) in [
+        ("16-ary 2-cube (torus)", &torus, 0.5),
+        ("16-ary 2-mesh", &mesh, 0.25),
+    ] {
+        for rate_flits in [0.1, 0.2, 0.3] {
+            let cfg = SimConfig {
+                seed: 99,
+                warmup_cycles: len.warmup,
+                total_cycles: len.total,
+                buffer_depth: 4,
+                flits_per_packet: 16,
+                capacity_flits_per_cycle: capacity,
+                injection: netsim::sim::InjectionSpec::Bernoulli {
+                    packets_per_cycle: rate_flits / 16.0,
+                },
+                pattern: Pattern::Uniform,
+                injection_limit: Some(8),
+                request_reply: false,
+            };
+            let out = netsim::sim::run_simulation(algo.as_ref(), &cfg);
+            t.push_row(vec![
+                label.into(),
+                rate_flits.into(),
+                out.accepted_flits_per_node_cycle.into(),
+                out.mean_latency_cycles().into(),
+            ]);
+        }
+    }
+    println!("Ablation: torus vs mesh (same grid, wrap-around links removed)");
+    println!("{}", t.to_pretty());
+    write_csv(&t, opts.out_dir.join("ablation_torus_vs_mesh.csv")).expect("write csv");
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 1** of the paper: "Delays of the two routing
+//! algorithms for the cube, expressed in nanoseconds".
+//!
+//! The rows are produced by Chien's cost model with the parameters of
+//! Section 5: `V = 4` virtual channels, `P = 17` crossbar ports (four
+//! lanes on each of the four links plus the injection channel), short
+//! wires, and `F = 2` (deterministic) vs `F = 6` (Duato).
+
+use bench::{write_csv, Options};
+use costmodel::chien::{cube_deterministic_timing, cube_duato_timing};
+use netstats::Table;
+
+fn main() {
+    let opts = Options::from_args();
+    let mut t = Table::with_columns([
+        "algorithm",
+        "T_routing",
+        "T_crossbar",
+        "T_link_s",
+        "T_clock",
+        "bottleneck",
+    ]);
+    for (name, timing) in [
+        ("Det.", cube_deterministic_timing()),
+        ("Duato", cube_duato_timing()),
+    ] {
+        t.push_row(vec![
+            name.into(),
+            round2(timing.t_routing_ns).into(),
+            round2(timing.t_crossbar_ns).into(),
+            round2(timing.t_link_ns).into(),
+            round2(timing.clock_ns()).into(),
+            timing.bottleneck().into(),
+        ]);
+    }
+    println!("Table 1: delays of the two routing algorithms for the cube (ns)");
+    println!("{}", t.to_pretty());
+    println!("paper prints: Det. 5.9 / 5.85 / 6.34 / 6.34  —  Duato 7.8 / 5.85 / 6.34 / 7.8");
+    let path = opts.out_dir.join("table1.csv");
+    write_csv(&t, &path).expect("write table1.csv");
+    eprintln!("wrote {}", path.display());
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}

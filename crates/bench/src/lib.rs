@@ -1,0 +1,267 @@
+//! Regenerators for every table and figure of the paper.
+//!
+//! One binary per paper artifact:
+//!
+//! | Binary     | Artifact | Content |
+//! |------------|----------|---------|
+//! | `table1`   | Table 1  | Chien-model delays of the two cube routing algorithms |
+//! | `table2`   | Table 2  | Chien-model delays of the tree algorithm with 1/2/4 VCs |
+//! | `fig5`     | Figure 5 | CNF curves of the 4-ary 4-tree (3 VC variants x 4 patterns) |
+//! | `fig6`     | Figure 6 | CNF curves of the 16-ary 2-cube (2 algorithms x 4 patterns) |
+//! | `fig7`     | Figure 7 | Absolute comparison of all five configurations (bits/ns, ns) |
+//! | `summary`  | §8–11    | Saturation points and headline claims vs the paper's numbers |
+//! | `ablation` | —        | Extensions: buffer depth, injection throttle, VC count sweeps |
+//! | `repro_all`| all      | Runs everything above and writes `results/` |
+//!
+//! Every binary accepts `--quick` (shorter, noisier runs for smoke
+//! testing) and `--out <dir>` (default `results`).
+
+#![warn(missing_docs)]
+
+use netsim::experiment::{
+    default_load_grid, sweep_outcomes, ExperimentSpec, RunLength,
+};
+use netsim::sim::SimOutcome;
+use netstats::{Cell, SweepCurve, Table};
+use traffic::Pattern;
+
+pub use netstats::export::{write_csv, write_json};
+
+/// Command-line options shared by all regenerator binaries.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Use a short run length (smoke testing) instead of the paper's.
+    pub quick: bool,
+    /// Output directory for CSV files.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Options {
+    /// Parse from `std::env::args`. Unknown flags abort with usage help.
+    pub fn from_args() -> Options {
+        let mut opts =
+            Options { quick: false, out_dir: std::path::PathBuf::from("results") };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--out" => {
+                    opts.out_dir = args
+                        .next()
+                        .unwrap_or_else(|| usage("missing directory after --out"))
+                        .into();
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+
+    /// The run length implied by the options.
+    pub fn run_length(&self) -> RunLength {
+        if self.quick {
+            RunLength::quick()
+        } else {
+            RunLength::paper()
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--quick] [--out <dir>]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// The measured curves of one configuration under one pattern.
+pub struct PanelSeries {
+    /// Configuration label (figure legend entry).
+    pub label: String,
+    /// Offered load grid (fraction of capacity).
+    pub offered: Vec<f64>,
+    /// Full outcome at each grid point.
+    pub outcomes: Vec<SimOutcome>,
+}
+
+impl PanelSeries {
+    /// The accepted-bandwidth/latency curve in normalized units
+    /// (fractions of capacity, cycles) — the CNF presentation of
+    /// Figures 5 and 6.
+    pub fn cnf_curve(&self) -> SweepCurve {
+        let mut c = SweepCurve::new(self.label.clone());
+        for (f, o) in self.offered.iter().zip(&self.outcomes) {
+            let lat = o.mean_latency_cycles();
+            c.push(*f, o.accepted_fraction, if lat.is_nan() { 0.0 } else { lat });
+        }
+        c
+    }
+}
+
+/// Run the load sweep of one figure panel: every `spec` under `pattern`
+/// over the default 5%–100% grid.
+pub fn run_panel(
+    specs: &[ExperimentSpec],
+    pattern: Pattern,
+    len: RunLength,
+) -> Vec<PanelSeries> {
+    let grid = default_load_grid();
+    specs
+        .iter()
+        .map(|spec| {
+            eprintln!("  sweeping {} under {} traffic...", spec.label(), pattern.name());
+            let outcomes = sweep_outcomes(spec, pattern, &grid, len);
+            PanelSeries { label: spec.label().to_string(), offered: grid.clone(), outcomes }
+        })
+        .collect()
+}
+
+/// Build the CNF table of one figure panel (both graphs: accepted
+/// bandwidth and latency, one row per offered-load point, one column
+/// pair per configuration).
+pub fn cnf_table(series: &[PanelSeries]) -> Table {
+    let mut cols = vec!["offered".to_string()];
+    for s in series {
+        cols.push(format!("accepted[{}]", s.label));
+        cols.push(format!("latency_cycles[{}]", s.label));
+    }
+    let mut t = Table::with_columns(cols);
+    let grid = &series[0].offered;
+    for (i, &f) in grid.iter().enumerate() {
+        let mut row: Vec<Cell> = vec![f.into()];
+        for s in series {
+            let o = &s.outcomes[i];
+            row.push(o.accepted_fraction.into());
+            let lat = o.mean_latency_cycles();
+            row.push(if lat.is_nan() { 0.0.into() } else { lat.into() });
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Build the absolute-units table of one Figure 7 panel: traffic in
+/// bits/ns and latency in ns, using each configuration's own clock.
+pub fn absolute_table(series: &[PanelSeries], specs: &[ExperimentSpec]) -> Table {
+    assert_eq!(series.len(), specs.len());
+    let mut cols = vec!["offered_fraction".to_string()];
+    for s in series {
+        cols.push(format!("offered_bits_ns[{}]", s.label));
+        cols.push(format!("accepted_bits_ns[{}]", s.label));
+        cols.push(format!("latency_ns[{}]", s.label));
+    }
+    let mut t = Table::with_columns(cols);
+    let grid = &series[0].offered;
+    for (i, &f) in grid.iter().enumerate() {
+        let mut row: Vec<Cell> = vec![f.into()];
+        for (s, spec) in series.iter().zip(specs) {
+            let norm = spec.normalization();
+            let o = &s.outcomes[i];
+            row.push(norm.fraction_to_bits_per_ns(f).into());
+            row.push(norm.fraction_to_bits_per_ns(o.accepted_fraction).into());
+            let lat = o.mean_latency_cycles();
+            row.push(if lat.is_nan() { 0.0.into() } else { norm.cycles_to_ns(lat).into() });
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Saturation analysis of one sweep, measured against the *generated*
+/// load (patterns with silent fixed-point nodes — bit reversal and
+/// transpose silence 16 of 256 — generate ~6% less than the nominal
+/// offered load even at zero congestion, so comparing against the
+/// nominal would flag saturation everywhere).
+pub struct SaturationSummary {
+    /// First offered (nominal) load where accepted < generated, or
+    /// `None` if the sweep never saturates.
+    pub offered: Option<f64>,
+    /// Mean accepted bandwidth at and beyond saturation (or the last
+    /// point if never saturated).
+    pub sustained: f64,
+    /// min/max accepted at and beyond saturation (1.0 = flat).
+    pub stability: f64,
+}
+
+/// Compute the saturation summary of one panel series.
+pub fn saturation_of(s: &PanelSeries, tol: f64) -> SaturationSummary {
+    let idx = s.outcomes.iter().position(|o| o.is_saturated(tol));
+    match idx {
+        None => SaturationSummary {
+            offered: None,
+            sustained: s.outcomes.last().map(|o| o.accepted_fraction).unwrap_or(0.0),
+            stability: 1.0,
+        },
+        Some(i) => {
+            let tail: Vec<f64> = s.outcomes[i..].iter().map(|o| o.accepted_fraction).collect();
+            let sustained = tail.iter().sum::<f64>() / tail.len() as f64;
+            let min = tail.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = tail.iter().copied().fold(0.0f64, f64::max);
+            SaturationSummary {
+                offered: Some(s.offered[i]),
+                sustained,
+                stability: if max > 0.0 { min / max } else { 1.0 },
+            }
+        }
+    }
+}
+
+/// Extract the saturation summary of a set of panels: one row per
+/// configuration with the saturation offered load, the sustained
+/// accepted bandwidth, and the post-saturation stability ratio.
+pub fn saturation_table(series: &[PanelSeries]) -> Table {
+    let mut t = Table::with_columns([
+        "configuration",
+        "saturation_offered",
+        "sustained_accepted",
+        "stability",
+    ]);
+    for s in series {
+        let sat = saturation_of(s, 0.05);
+        t.push_row(vec![
+            s.label.clone().into(),
+            sat.offered.unwrap_or(f64::NAN).into(),
+            sat.sustained.into(),
+            sat.stability.into(),
+        ]);
+    }
+    t
+}
+
+/// The four patterns in the paper's presentation order with the figure
+/// panel letters of Figures 5–7.
+pub fn paper_patterns() -> [(Pattern, &'static str); 4] {
+    [
+        (Pattern::Uniform, "ab"),
+        (Pattern::Complement, "cd"),
+        (Pattern::Transpose, "ef"),
+        (Pattern::BitReversal, "gh"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::experiment::CubeParams;
+
+    #[test]
+    fn cnf_table_shape() {
+        let specs = [ExperimentSpec::cube_duato(CubeParams::tiny())];
+        let grid = [0.3, 0.8];
+        let outcomes = sweep_outcomes(&specs[0], Pattern::Uniform, &grid, RunLength::quick());
+        let series = vec![PanelSeries {
+            label: specs[0].label().to_string(),
+            offered: grid.to_vec(),
+            outcomes,
+        }];
+        let t = cnf_table(&series);
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.rows.len(), 2);
+        let abs = absolute_table(&series, &specs);
+        assert_eq!(abs.columns.len(), 4);
+        let sat = saturation_table(&series);
+        assert_eq!(sat.rows.len(), 1);
+    }
+}

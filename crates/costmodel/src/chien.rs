@@ -1,0 +1,228 @@
+//! Chien's cost and speed model for wormhole routers.
+//!
+//! A. A. Chien, *A Cost and Speed Model for k-ary n-cube Wormhole
+//! Routers*, Hot Interconnects '93 — as instantiated by the paper for a
+//! 0.8 µm CMOS gate-array implementation:
+//!
+//! * routing decision, logarithmic in the degrees of freedom `F`:
+//!   `T_routing = 4.7 + 1.2 log2 F` ns (Equation 1);
+//! * crossbar traversal + flow control + output latch, logarithmic in
+//!   the number of crossbar ports `P`:
+//!   `T_crossbar = 3.4 + 0.6 log2 P` ns (Equation 2);
+//! * link traversal with the virtual-channel controller logarithmic in
+//!   `V`: `T_link = 5.14 + 0.6 log2 V` ns for **short** wires (a cube
+//!   embedded in 3-space with constant-length wires, Equation 3) and
+//!   `T_link = 9.64 + 0.6 log2 V` ns for **medium** wires (a 256-node
+//!   fat-tree, Equation 4).
+//!
+//! The router runs every stage in a single clock whose period is the
+//! maximum of the three delays. Tables 1 and 2 of the paper are
+//! reproduced verbatim by the unit tests below.
+
+/// Wire length class of the physical links (Section 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireClass {
+    /// Constant-length short wires: low-dimensional cubes embedded in
+    /// three-dimensional space.
+    Short,
+    /// Medium-length wires: the 256-node quaternary fat-tree, whose
+    /// embedding necessarily stretches some wires.
+    Medium,
+}
+
+/// The instantiated delay model.
+///
+/// ```
+/// use costmodel::chien::{ChienModel, WireClass};
+///
+/// // Table 1's deterministic row: F = 2, P = 17, V = 4, short wires.
+/// let t = ChienModel::timing(2, 17, 4, WireClass::Short);
+/// assert!((t.t_routing_ns - 5.9).abs() < 0.01);
+/// assert!((t.clock_ns() - 6.34).abs() < 0.01); // link-limited
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ChienModel;
+
+impl ChienModel {
+    /// Equation (1): routing-decision delay in ns for `f` degrees of
+    /// freedom.
+    ///
+    /// # Panics
+    /// Panics if `f == 0`.
+    pub fn routing_delay_ns(f: usize) -> f64 {
+        assert!(f >= 1, "degree of freedom must be positive");
+        4.7 + 1.2 * (f as f64).log2()
+    }
+
+    /// Equation (2): crossbar delay in ns for `p` crossbar ports.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn crossbar_delay_ns(p: usize) -> f64 {
+        assert!(p >= 1, "crossbar needs at least one port");
+        3.4 + 0.6 * (p as f64).log2()
+    }
+
+    /// Equations (3)/(4): link delay in ns for `v` virtual channels on
+    /// wires of the given class.
+    ///
+    /// # Panics
+    /// Panics if `v == 0`.
+    pub fn link_delay_ns(v: usize, wires: WireClass) -> f64 {
+        assert!(v >= 1, "need at least one virtual channel");
+        let base = match wires {
+            WireClass::Short => 5.14,
+            WireClass::Medium => 9.64,
+        };
+        base + 0.6 * (v as f64).log2()
+    }
+
+    /// Full router timing for a configuration.
+    pub fn timing(f: usize, p: usize, v: usize, wires: WireClass) -> RouterTiming {
+        RouterTiming {
+            t_routing_ns: Self::routing_delay_ns(f),
+            t_crossbar_ns: Self::crossbar_delay_ns(p),
+            t_link_ns: Self::link_delay_ns(v, wires),
+        }
+    }
+}
+
+/// The three stage delays of a router and the derived clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouterTiming {
+    /// `T_routing`: address decoding, routing decision, header selection.
+    pub t_routing_ns: f64,
+    /// `T_crossbar`: internal flow control, crossbar, output latch.
+    pub t_crossbar_ns: f64,
+    /// `T_link`: wire plus destination latch plus VC controller.
+    pub t_link_ns: f64,
+}
+
+impl RouterTiming {
+    /// The clock period: "the delays are equalized to a single clock
+    /// cycle, which is set to the maximum of the three delays"
+    /// (Section 5).
+    pub fn clock_ns(&self) -> f64 {
+        self.t_routing_ns.max(self.t_crossbar_ns).max(self.t_link_ns)
+    }
+
+    /// Which stage limits the clock.
+    pub fn bottleneck(&self) -> &'static str {
+        let c = self.clock_ns();
+        if c == self.t_routing_ns {
+            "routing"
+        } else if c == self.t_link_ns {
+            "link"
+        } else {
+            "crossbar"
+        }
+    }
+}
+
+/// Table 1: timing of the deterministic algorithm on the cube
+/// (`F = 2`, `P = 17`, `V = 4`, short wires).
+pub fn cube_deterministic_timing() -> RouterTiming {
+    ChienModel::timing(2, 17, 4, WireClass::Short)
+}
+
+/// Table 1: timing of Duato's adaptive algorithm on the cube
+/// (`F = 6`, `P = 17`, `V = 4`, short wires).
+pub fn cube_duato_timing() -> RouterTiming {
+    ChienModel::timing(6, 17, 4, WireClass::Short)
+}
+
+/// Table 2: timing of the fat-tree adaptive algorithm with `v` virtual
+/// channels on a k-ary n-tree of arity `k`
+/// (`F = (2k-1)·V`, `P = 2k·V`, medium wires).
+pub fn tree_adaptive_timing(k: usize, v: usize) -> RouterTiming {
+    ChienModel::timing((2 * k - 1) * v, 2 * k * v, v, WireClass::Medium)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper prints delays truncated/rounded to 2 decimals; compare
+    /// with a tolerance of one unit in the second decimal place.
+    fn close(actual: f64, paper: f64) {
+        assert!(
+            (actual - paper).abs() < 0.015,
+            "model gives {actual:.4}, paper prints {paper}"
+        );
+    }
+
+    #[test]
+    fn table1_deterministic_row() {
+        let t = cube_deterministic_timing();
+        close(t.t_routing_ns, 5.9);
+        close(t.t_crossbar_ns, 5.85);
+        close(t.t_link_ns, 6.34);
+        close(t.clock_ns(), 6.34);
+        assert_eq!(t.bottleneck(), "link");
+    }
+
+    #[test]
+    fn table1_duato_row() {
+        let t = cube_duato_timing();
+        close(t.t_routing_ns, 7.8);
+        close(t.t_crossbar_ns, 5.85);
+        close(t.t_link_ns, 6.34);
+        close(t.clock_ns(), 7.8);
+        assert_eq!(t.bottleneck(), "routing");
+    }
+
+    #[test]
+    fn table2_tree_rows() {
+        // (V, T_routing, T_crossbar, T_link, T_clock) from Table 2.
+        let rows = [
+            (1usize, 8.06, 5.2, 9.64, 9.64),
+            (2, 9.26, 5.8, 10.24, 10.24),
+            (4, 10.46, 6.4, 10.84, 10.84),
+        ];
+        for (v, tr, tc, tl, clk) in rows {
+            let t = tree_adaptive_timing(4, v);
+            close(t.t_routing_ns, tr);
+            close(t.t_crossbar_ns, tc);
+            close(t.t_link_ns, tl);
+            close(t.clock_ns(), clk);
+            assert_eq!(t.bottleneck(), "link", "trees are wire-limited up to 4 VCs");
+        }
+    }
+
+    #[test]
+    fn tree_becomes_routing_limited_beyond_four_vcs() {
+        // Section 11: "when we use four virtual channels the routing
+        // delay is equalized with the wire delay, so we expect a
+        // diminishing return with more virtual channels".
+        let t8 = tree_adaptive_timing(4, 8);
+        assert_eq!(t8.bottleneck(), "routing");
+    }
+
+    #[test]
+    fn delays_grow_logarithmically() {
+        assert!(
+            ChienModel::routing_delay_ns(4) - ChienModel::routing_delay_ns(2) - 1.2 < 1e-9
+        );
+        assert!(
+            ChienModel::crossbar_delay_ns(32) - ChienModel::crossbar_delay_ns(16) - 0.6 < 1e-9
+        );
+        let d = ChienModel::link_delay_ns(8, WireClass::Short)
+            - ChienModel::link_delay_ns(4, WireClass::Short);
+        assert!((d - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn medium_wires_cost_exactly_4_5_ns() {
+        for v in [1, 2, 4, 8] {
+            let d = ChienModel::link_delay_ns(v, WireClass::Medium)
+                - ChienModel::link_delay_ns(v, WireClass::Short);
+            assert!((d - 4.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_freedom_rejected() {
+        let _ = ChienModel::routing_delay_ns(0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Physical-constraint cost modelling (Section 5 of the paper).
+//!
+//! Two ingredients make the paper's comparison "apples with apples":
+//!
+//! 1. **Chien's router cost model** ([`chien`]) converts the structural
+//!    complexity of a routing algorithm — degrees of freedom `F`,
+//!    crossbar ports `P`, virtual channels `V`, wire length class — into
+//!    gate-level delays for a 0.8 µm CMOS gate array, and from those the
+//!    router clock period.
+//! 2. **Performance normalization** ([`normalize`]) equalizes pin count
+//!    and peak bandwidth between the two networks (2-byte flits on the
+//!    fat-tree vs 4-byte flits on the cube), defines the per-node
+//!    capacity under uniform traffic, and converts simulator outputs
+//!    (flits/cycle, cycles) into the absolute units of Figure 7
+//!    (bits/ns, ns).
+
+#![warn(missing_docs)]
+pub mod chien;
+pub mod normalize;
+
+pub use chien::{ChienModel, RouterTiming, WireClass};
+pub use normalize::{NetworkKind, NetworkNormalization};

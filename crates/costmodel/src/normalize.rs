@@ -1,0 +1,218 @@
+//! The paper's performance normalization (Section 5).
+//!
+//! "In our experiments we normalize the communication performance by
+//! setting the flit and the data path size on the fat-tree at two bytes
+//! and at four bytes on the cube." The quaternary fat-tree switch has
+//! arity 8, the cube routing chip arity 4 (node channel excluded):
+//! doubling the cube's data path equalizes the **pin count** of the two
+//! routing chips and, since the tree has twice as many links, the
+//! overall **peak bandwidth** as well.
+//!
+//! The same normalization gives both networks the same theoretical upper
+//! bound under uniform traffic, expressed per node in flits/cycle:
+//!
+//! * cube: `2B/N` where `B` is the bisection bandwidth (half of uniform
+//!   traffic crosses the bisection), i.e. `8/k` flits/cycle — 0.5 for
+//!   the 16-ary 2-cube;
+//! * tree: not bisection limited; the bound is the unidirectional
+//!   node-to-switch link bandwidth, 1 flit/cycle.
+//!
+//! With 64-byte packets both bounds equal **one packet per node per 32
+//! cycles**, which is what makes the normalized load axes of Figures 5
+//! and 6 directly comparable.
+//!
+//! [`NetworkNormalization`] bundles these constants with a router clock
+//! from [`crate::chien`] and converts between the simulator's natural
+//! units (flits, cycles) and the absolute units of Figure 7 (bits/ns,
+//! ns).
+
+use crate::chien::RouterTiming;
+use topology::{KAryNCube, KAryNTree};
+
+/// Which family a normalization describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetworkKind {
+    /// k-ary n-cube with 4-byte flits.
+    Cube,
+    /// k-ary n-tree with 2-byte flits.
+    Tree,
+}
+
+/// Physical normalization of one network configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkNormalization {
+    kind: NetworkKind,
+    num_nodes: usize,
+    flit_bytes: usize,
+    capacity_flits_per_cycle: f64,
+    timing: RouterTiming,
+}
+
+/// Packet size used throughout the paper, in bytes.
+pub const PACKET_BYTES: usize = 64;
+
+impl NetworkNormalization {
+    /// Normalization for a k-ary n-cube (4-byte flits and data paths).
+    pub fn cube(cube: &KAryNCube, timing: RouterTiming) -> Self {
+        use topology::Topology;
+        NetworkNormalization {
+            kind: NetworkKind::Cube,
+            num_nodes: cube.num_nodes(),
+            flit_bytes: 4,
+            capacity_flits_per_cycle: cube.uniform_capacity_flits_per_cycle(),
+            timing,
+        }
+    }
+
+    /// Normalization for a k-ary n-tree (2-byte flits and data paths).
+    pub fn tree(tree: &KAryNTree, timing: RouterTiming) -> Self {
+        use topology::Topology;
+        NetworkNormalization {
+            kind: NetworkKind::Tree,
+            num_nodes: tree.num_nodes(),
+            flit_bytes: 2,
+            capacity_flits_per_cycle: tree.uniform_capacity_flits_per_cycle(),
+            timing,
+        }
+    }
+
+    /// The network family.
+    pub fn kind(&self) -> NetworkKind {
+        self.kind
+    }
+
+    /// Flit (= data path) width in bytes: 4 on the cube, 2 on the tree.
+    pub fn flit_bytes(&self) -> usize {
+        self.flit_bytes
+    }
+
+    /// Number of flits in one 64-byte packet: 16 on the cube, 32 on the
+    /// tree ("worms of the same size require more flits").
+    pub fn flits_per_packet(&self) -> usize {
+        PACKET_BYTES / self.flit_bytes
+    }
+
+    /// Theoretical per-node capacity under uniform traffic, flits/cycle.
+    pub fn capacity_flits_per_cycle(&self) -> f64 {
+        self.capacity_flits_per_cycle
+    }
+
+    /// The router timing (clock period etc.).
+    pub fn timing(&self) -> RouterTiming {
+        self.timing
+    }
+
+    /// Packets per node per cycle corresponding to an offered load given
+    /// as a fraction of capacity (the x-axis of the CNF plots).
+    pub fn packet_rate(&self, fraction_of_capacity: f64) -> f64 {
+        assert!(fraction_of_capacity >= 0.0);
+        fraction_of_capacity * self.capacity_flits_per_cycle / self.flits_per_packet() as f64
+    }
+
+    /// Inverse of [`Self::packet_rate`].
+    pub fn fraction_of_capacity(&self, packets_per_node_cycle: f64) -> f64 {
+        packets_per_node_cycle * self.flits_per_packet() as f64 / self.capacity_flits_per_cycle
+    }
+
+    /// Convert an accepted/offered bandwidth fraction into the aggregate
+    /// absolute traffic of Figure 7, in bits per nanosecond.
+    pub fn fraction_to_bits_per_ns(&self, fraction_of_capacity: f64) -> f64 {
+        let flits_per_cycle =
+            fraction_of_capacity * self.capacity_flits_per_cycle * self.num_nodes as f64;
+        flits_per_cycle * (self.flit_bytes * 8) as f64 / self.timing.clock_ns()
+    }
+
+    /// Convert a latency in cycles into nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: f64) -> f64 {
+        cycles * self.timing.clock_ns()
+    }
+
+    /// The aggregate capacity in bits/ns (the saturation ceiling of the
+    /// Figure 7 x-axis for this configuration).
+    pub fn capacity_bits_per_ns(&self) -> f64 {
+        self.fraction_to_bits_per_ns(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chien::{cube_deterministic_timing, cube_duato_timing, tree_adaptive_timing};
+
+    fn paper_cube() -> KAryNCube {
+        KAryNCube::new(16, 2)
+    }
+
+    fn paper_tree() -> KAryNTree {
+        KAryNTree::new(4, 4)
+    }
+
+    #[test]
+    fn flit_counts() {
+        let c = NetworkNormalization::cube(&paper_cube(), cube_duato_timing());
+        let t = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 4));
+        assert_eq!(c.flits_per_packet(), 16);
+        assert_eq!(t.flits_per_packet(), 32);
+    }
+
+    #[test]
+    fn capacities_match_one_packet_per_32_cycles() {
+        let c = NetworkNormalization::cube(&paper_cube(), cube_duato_timing());
+        let t = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 1));
+        assert!((c.packet_rate(1.0) - 1.0 / 32.0).abs() < 1e-12);
+        assert!((t.packet_rate(1.0) - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_roundtrip() {
+        let c = NetworkNormalization::cube(&paper_cube(), cube_deterministic_timing());
+        for f in [0.0, 0.1, 0.5, 0.72, 1.0] {
+            let back = c.fraction_of_capacity(c.packet_rate(f));
+            assert!((back - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure7_saturation_scale_checks() {
+        // Section 10 headline numbers are consistent with this
+        // normalization: Duato saturates at ~80% of capacity which in
+        // absolute terms is ~440 bits/ns.
+        let duato = NetworkNormalization::cube(&paper_cube(), cube_duato_timing());
+        let at80 = duato.fraction_to_bits_per_ns(0.80);
+        assert!((at80 - 420.0).abs() < 25.0, "Duato at 80%: {at80:.0} bits/ns");
+
+        let det = NetworkNormalization::cube(&paper_cube(), cube_deterministic_timing());
+        let at60 = det.fraction_to_bits_per_ns(0.60);
+        assert!((at60 - 388.0).abs() < 40.0, "det at 60%: {at60:.0} bits/ns");
+
+        let t4 = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 4));
+        let at72 = t4.fraction_to_bits_per_ns(0.72);
+        assert!((at72 - 272.0).abs() < 20.0, "tree-4vc at 72%: {at72:.0} bits/ns");
+
+        let t1 = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 1));
+        let at36 = t1.fraction_to_bits_per_ns(0.36);
+        assert!((at36 - 153.0).abs() < 15.0, "tree-1vc at 36%: {at36:.0} bits/ns");
+    }
+
+    #[test]
+    fn cube_latency_scale_check() {
+        // "In the cube the latency of both algorithms before saturation
+        // is stable at about half a microsecond": ~70 cycles * ~7 ns.
+        let duato = NetworkNormalization::cube(&paper_cube(), cube_duato_timing());
+        let ns = duato.cycles_to_ns(70.0);
+        assert!((400.0..700.0).contains(&ns), "{ns} ns");
+    }
+
+    #[test]
+    fn capacity_bits_per_ns_ordering() {
+        // The deterministic cube has the shortest clock, hence the
+        // largest absolute capacity; the 4-VC tree the longest clock.
+        let det = NetworkNormalization::cube(&paper_cube(), cube_deterministic_timing());
+        let duato = NetworkNormalization::cube(&paper_cube(), cube_duato_timing());
+        let t1 = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 1));
+        let t4 = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 4));
+        assert!(det.capacity_bits_per_ns() > duato.capacity_bits_per_ns());
+        assert!(duato.capacity_bits_per_ns() > t1.capacity_bits_per_ns());
+        assert!(t1.capacity_bits_per_ns() > t4.capacity_bits_per_ns());
+    }
+}

@@ -1,0 +1,1007 @@
+//! The cycle-driven wormhole engine.
+//!
+//! Each simulated clock executes four phases, in an order chosen so that
+//! a flit advances at most one pipeline stage per cycle (additionally
+//! enforced by the per-flit `moved` stamp):
+//!
+//! 1. **Link** — for every physical channel direction a fair round-robin
+//!    arbiter picks one output lane with a ready flit and a credit and
+//!    moves the flit into the peer's input lane (`T_link`). Ejection
+//!    channels (router → node) work the same way but sink into the node,
+//!    and injection channels (node → router) drain the node-side lanes.
+//! 2. **Crossbar** — every input lane whose head-of-line packet owns a
+//!    crossbar path forwards one flit to its output lane if space allows
+//!    (`T_crossbar`); an acknowledgment immediately restores one credit
+//!    upstream. A tail flit tears the path down.
+//! 3. **Routing** — at most one header per router is routed per cycle
+//!    (`T_routing`): the routing function produces the admissible lanes
+//!    and the selection policy picks the least-loaded link (most free
+//!    virtual channels, fair random tie-break), falling back to the
+//!    escape class only when no preferred lane is allocatable.
+//! 4. **Injection** — each node runs its packet-creation process, starts
+//!    at most one packet at a time into the single injection channel
+//!    (source throttling) and streams one flit per cycle into the chosen
+//!    injection lane.
+//!
+//! A watchdog panics if flits are in flight but nothing has moved for
+//! a long time — with the deadlock-free routing functions of the
+//! `routing` crate this must never fire, and the integration tests rely
+//! on it as a runtime deadlock detector.
+
+use crate::flit::{Flit, PacketRec, HEAD, NEVER, TAIL};
+use crate::queue::FlitQueue;
+use crate::wiring::{Peer, Wiring};
+use routing::{CandidateSet, RoutingAlgorithm};
+use std::collections::VecDeque;
+use topology::{NodeId, RouterId};
+use traffic::{InjectionProcess, Rng64, TrafficGen};
+
+/// Sentinel for "no route assigned".
+const NO_ROUTE: u32 = u32::MAX;
+
+/// How many consecutive all-idle cycles (with flits in flight) before
+/// the watchdog declares a deadlock. Generous: a legal configuration can
+/// stall for at most a few round-trips of credit propagation.
+const WATCHDOG_CYCLES: u32 = 50_000;
+
+struct RouterState {
+    /// Input lanes, indexed `port * vcs + vc`.
+    in_q: Vec<FlitQueue>,
+    /// Assigned output lane per input lane (`NO_ROUTE` if none); applies
+    /// to the packet currently at the head of the lane.
+    in_route: Vec<u32>,
+    /// Output lanes, same indexing.
+    out_q: Vec<FlitQueue>,
+    /// Credits: free buffers in the downstream input lane.
+    out_credits: Vec<u8>,
+    /// Bitmask: whether a crossbar path currently ends at each output
+    /// lane (bit = lane index).
+    out_bound: u64,
+    /// Bitmask of output lanes on ports cabled to another router (used
+    /// by the limited-injection throttle).
+    network_lanes: u64,
+    /// Bitmask of input lanes holding an unrouted header at the front.
+    pending: u64,
+    /// Round-robin cursor for the routing phase.
+    route_rr: u32,
+    /// Round-robin cursor per port for the link arbiter.
+    link_rr: Vec<u8>,
+}
+
+struct NodeState {
+    /// Unbounded source queue of created packets (ids).
+    src_queue: VecDeque<u32>,
+    /// Packet currently streaming into the network: (id, flits left).
+    active: Option<(u32, u16)>,
+    /// Injection lane of the active packet.
+    active_lane: u8,
+    /// Node-side injection lanes (one per VC).
+    lanes: Vec<FlitQueue>,
+    /// Credits towards the router's node-port input lanes.
+    credits: Vec<u8>,
+    /// Round-robin cursor for lane choice and the injection link arbiter.
+    lane_rr: u8,
+    /// Per-node random stream (destinations + injection process).
+    rng: Rng64,
+    /// Packet creation process.
+    proc: Box<dyn InjectionProcess>,
+}
+
+/// Aggregate counters updated as the simulation runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Total flits delivered to nodes.
+    pub delivered_flits: u64,
+    /// Total packets delivered (tail received).
+    pub delivered_packets: u64,
+    /// Total packets created at the sources.
+    pub created_packets: u64,
+    /// Flits currently inside the network (injection lanes included).
+    pub in_flight_flits: u64,
+    /// Total headers routed.
+    pub routed_headers: u64,
+    /// Routing attempts that found no available lane.
+    pub routing_blocked: u64,
+    /// Headers that had to take an escape (fallback) lane.
+    pub escape_routings: u64,
+}
+
+/// The flit-level simulation engine for one network + routing algorithm.
+pub struct Engine<'a> {
+    algo: &'a dyn RoutingAlgorithm,
+    w: Wiring,
+    vcs: usize,
+    lanes_per_router: usize,
+    flits_per_packet: u16,
+    pattern: TrafficGen,
+    routers: Vec<RouterState>,
+    nodes: Vec<NodeState>,
+    packets: Vec<PacketRec>,
+    cycle: u32,
+    idle_cycles: u32,
+    moves_this_cycle: u64,
+    counters: Counters,
+    cand: CandidateSet,
+    rng: Rng64,
+    /// Limited injection (source throttling, after Petrini & Vanneschi's
+    /// Supercomputing'96 scheme referenced by the paper): a node may
+    /// start a new packet only while fewer than this many network output
+    /// lanes of its local router are allocated to packets. `None`
+    /// disables the throttle.
+    injection_limit: Option<u32>,
+    /// Request-reply mode: every delivered request causes the receiving
+    /// node to enqueue a same-size reply to the sender (models the
+    /// shared-memory read traffic of the machines in the paper's
+    /// introduction). Replies are not answered again.
+    request_reply: bool,
+    /// Flits transmitted per directed channel (`router * ports + port`),
+    /// for spatial congestion analysis. Ejection channels included;
+    /// injection channels are tracked per node separately.
+    link_flits: Vec<u64>,
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine.
+    ///
+    /// * `buf` — lane depth in flits (4 in the paper).
+    /// * `flits_per_packet` — 16 (cube) or 32 (tree) for 64-byte packets.
+    /// * `pattern` — destination pattern bound to this network size.
+    /// * `make_proc` — factory for the per-node packet creation process.
+    /// * `seed` — master seed; every node derives an independent stream.
+    pub fn new(
+        algo: &'a dyn RoutingAlgorithm,
+        buf: usize,
+        flits_per_packet: u16,
+        pattern: TrafficGen,
+        make_proc: &dyn Fn(usize) -> Box<dyn InjectionProcess>,
+        seed: u64,
+    ) -> Self {
+        let w = Wiring::from_topology(algo.topology());
+        let vcs = algo.num_vcs();
+        let lanes = w.ports * vcs;
+        assert!(lanes <= 64, "pending bitmask supports at most 64 lanes per router");
+        assert_eq!(pattern.num_nodes(), w.num_nodes, "pattern bound to wrong network size");
+        assert!(flits_per_packet >= 1);
+
+        let master = Rng64::seed_from(seed);
+        let mut routers: Vec<RouterState> = (0..w.num_routers)
+            .map(|_| RouterState {
+                in_q: (0..lanes).map(|_| FlitQueue::new(buf)).collect(),
+                in_route: vec![NO_ROUTE; lanes],
+                out_q: (0..lanes).map(|_| FlitQueue::new(buf)).collect(),
+                out_credits: vec![buf as u8; lanes],
+                out_bound: 0,
+                network_lanes: 0,
+                pending: 0,
+                route_rr: 0,
+                link_rr: vec![0; w.ports],
+            })
+            .collect();
+        for (r, rs) in routers.iter_mut().enumerate() {
+            for p in 0..w.ports {
+                if matches!(w.peer(r, p), Peer::Router { .. }) {
+                    rs.network_lanes |= ((1u64 << vcs) - 1) << (p * vcs);
+                }
+            }
+        }
+        let nodes = (0..w.num_nodes)
+            .map(|n| NodeState {
+                src_queue: VecDeque::new(),
+                active: None,
+                active_lane: 0,
+                lanes: (0..vcs).map(|_| FlitQueue::new(buf)).collect(),
+                credits: vec![buf as u8; vcs],
+                lane_rr: 0,
+                rng: master.derive(n as u64 + 1),
+                proc: make_proc(n),
+            })
+            .collect();
+
+        let num_channels = w.num_routers * w.ports;
+        Engine {
+            algo,
+            w,
+            vcs,
+            lanes_per_router: lanes,
+            flits_per_packet,
+            pattern,
+            routers,
+            nodes,
+            packets: Vec::new(),
+            cycle: 0,
+            idle_cycles: 0,
+            moves_this_cycle: 0,
+            counters: Counters::default(),
+            cand: CandidateSet::default(),
+            rng: master.derive(0),
+            injection_limit: None,
+            request_reply: false,
+            link_flits: vec![0; num_channels],
+        }
+    }
+
+    /// Enable limited injection: a node may start streaming a new packet
+    /// only while fewer than `max_busy_lanes` of its local router's
+    /// network output lanes are allocated. This is the stabilization
+    /// mechanism of the paper's reference \[28\] ("Minimal Adaptive
+    /// Routing with Limited Injection on Toroidal k-ary n-cubes") that
+    /// keeps the accepted bandwidth flat above saturation.
+    pub fn set_injection_limit(&mut self, max_busy_lanes: Option<u32>) {
+        self.injection_limit = max_busy_lanes;
+    }
+
+    /// Enable request-reply mode: each delivered request makes the
+    /// receiving node generate one reply packet of the same size back
+    /// to the requester (through its normal source queue and injection
+    /// channel). Replies are terminal — they do not trigger further
+    /// messages — so the message-dependency chain is bounded and,
+    /// because nodes sink arriving flits unconditionally, no
+    /// protocol-level deadlock can arise.
+    pub fn set_request_reply(&mut self, enabled: bool) {
+        self.request_reply = enabled;
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// The packet table (records for every created packet).
+    pub fn packets(&self) -> &[PacketRec] {
+        &self.packets
+    }
+
+    /// Total packets waiting in all source queues right now.
+    pub fn source_queue_len(&self) -> usize {
+        self.nodes.iter().map(|n| n.src_queue.len()).sum::<usize>()
+            + self.nodes.iter().filter(|n| n.active.is_some()).count()
+    }
+
+    /// Advance the simulation by `cycles` clocks.
+    pub fn run(&mut self, cycles: u32) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Execute one clock cycle.
+    pub fn step(&mut self) {
+        self.moves_this_cycle = 0;
+        self.phase_link();
+        self.phase_crossbar();
+        self.phase_routing();
+        self.phase_injection();
+        if self.moves_this_cycle == 0 && self.counters.in_flight_flits > 0 {
+            self.idle_cycles += 1;
+            if self.idle_cycles >= WATCHDOG_CYCLES {
+                panic!(
+                    "deadlock watchdog: {} flits in flight, nothing moved for {} cycles \
+                     (cycle {}, algorithm {})",
+                    self.counters.in_flight_flits,
+                    self.idle_cycles,
+                    self.cycle,
+                    self.algo.name()
+                );
+            }
+        } else {
+            self.idle_cycles = 0;
+        }
+        self.cycle += 1;
+    }
+
+    /// Phase 1: move flits across physical channels.
+    fn phase_link(&mut self) {
+        let cycle = self.cycle;
+        let vcs = self.vcs;
+        let mut replies: Vec<u32> = Vec::new();
+
+        // Router-side channels (router->router and router->node).
+        for r in 0..self.w.num_routers {
+            for p in 0..self.w.ports {
+                match self.w.peer(r, p) {
+                    Peer::None => {}
+                    Peer::Node(_) => {
+                        // Ejection: the node always sinks (no credits).
+                        let rs = &mut self.routers[r];
+                        let start = rs.link_rr[p] as usize;
+                        for i in 0..vcs {
+                            let v = (start + i) % vcs;
+                            let l = p * vcs + v;
+                            let ready = matches!(rs.out_q[l].front(),
+                                Some(f) if f.moved < cycle);
+                            if ready {
+                                let f = rs.out_q[l].pop().unwrap();
+                                rs.link_rr[p] = ((v + 1) % vcs) as u8;
+                                self.link_flits[r * self.w.ports + p] += 1;
+                                self.counters.delivered_flits += 1;
+                                self.counters.in_flight_flits -= 1;
+                                self.moves_this_cycle += 1;
+                                if f.is_tail() {
+                                    let rec = &mut self.packets[f.packet as usize];
+                                    debug_assert_eq!(rec.delivered, NEVER);
+                                    rec.delivered = cycle;
+                                    let reply = self.request_reply && !rec.is_reply();
+                                    self.counters.delivered_packets += 1;
+                                    if reply {
+                                        replies.push(f.packet);
+                                    }
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    Peer::Router { router: r2, port: p2 } => {
+                        let (r2, p2) = (r2 as usize, p2 as usize);
+                        debug_assert_ne!(r, r2);
+                        let [rs, dst] = self
+                            .routers
+                            .get_disjoint_mut([r, r2])
+                            .expect("distinct routers");
+                        let start = rs.link_rr[p] as usize;
+                        for i in 0..vcs {
+                            let v = (start + i) % vcs;
+                            let l = p * vcs + v;
+                            let ready = rs.out_credits[l] > 0
+                                && matches!(rs.out_q[l].front(), Some(f) if f.moved < cycle);
+                            if ready {
+                                let mut f = rs.out_q[l].pop().unwrap();
+                                rs.out_credits[l] -= 1;
+                                rs.link_rr[p] = ((v + 1) % vcs) as u8;
+                                self.link_flits[r * self.w.ports + p] += 1;
+                                f.moved = cycle;
+                                let dl = p2 * vcs + v;
+                                let was_empty = dst.in_q[dl].is_empty();
+                                dst.in_q[dl].push(f);
+                                if was_empty && f.is_head() {
+                                    debug_assert_eq!(dst.in_route[dl], NO_ROUTE);
+                                    dst.pending |= 1 << dl;
+                                }
+                                self.moves_this_cycle += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Node-side injection channels (node -> router).
+        for n in 0..self.w.num_nodes {
+            let (r, p) = self.w.node_ports[n];
+            let (r, p) = (r as usize, p as usize);
+            let ns = &mut self.nodes[n];
+            let rs = &mut self.routers[r];
+            let start = ns.lane_rr as usize;
+            for i in 0..vcs {
+                let v = (start + i) % vcs;
+                let ready = ns.credits[v] > 0
+                    && matches!(ns.lanes[v].front(), Some(f) if f.moved < cycle);
+                if ready {
+                    let mut f = ns.lanes[v].pop().unwrap();
+                    ns.credits[v] -= 1;
+                    ns.lane_rr = ((v + 1) % vcs) as u8;
+                    f.moved = cycle;
+                    let dl = p * vcs + v;
+                    let was_empty = rs.in_q[dl].is_empty();
+                    rs.in_q[dl].push(f);
+                    if was_empty && f.is_head() {
+                        rs.pending |= 1 << dl;
+                    }
+                    self.moves_this_cycle += 1;
+                    break;
+                }
+            }
+        }
+
+        // Request-reply mode: delivered requests spawn replies at the
+        // receiving node (entering its normal source queue, so they
+        // share the single injection channel with that node's own
+        // traffic).
+        for req in replies {
+            let rec = self.packets[req as usize];
+            let id = self.packets.len() as u32;
+            self.packets.push(PacketRec {
+                src: rec.dest,
+                dest: rec.src,
+                created: cycle,
+                injected: NEVER,
+                delivered: NEVER,
+                flits: rec.flits,
+                hops: 0,
+                in_reply_to: req,
+            });
+            self.nodes[rec.dest as usize].src_queue.push_back(id);
+            self.counters.created_packets += 1;
+        }
+    }
+
+    /// Phase 2: move flits through crossbars, return credits upstream.
+    fn phase_crossbar(&mut self) {
+        let cycle = self.cycle;
+        let vcs = self.vcs;
+        for r in 0..self.w.num_routers {
+            for l in 0..self.lanes_per_router {
+                let route = self.routers[r].in_route[l];
+                if route == NO_ROUTE {
+                    continue;
+                }
+                let rs = &mut self.routers[r];
+                let movable = matches!(rs.in_q[l].front(), Some(f) if f.moved < cycle)
+                    && !rs.out_q[route as usize].is_full();
+                if !movable {
+                    continue;
+                }
+                let mut f = rs.in_q[l].pop().unwrap();
+                f.moved = cycle;
+                rs.out_q[route as usize].push(f);
+                self.moves_this_cycle += 1;
+                if f.is_tail() {
+                    rs.in_route[l] = NO_ROUTE;
+                    rs.out_bound &= !(1u64 << route);
+                    if matches!(rs.in_q[l].front(), Some(nf) if nf.is_head()) {
+                        rs.pending |= 1 << l;
+                    }
+                }
+                // Acknowledgment: one buffer freed in this input lane.
+                let (p, v) = (l / vcs, l % vcs);
+                match self.w.peer(r, p) {
+                    Peer::Router { router: r2, port: p2 } => {
+                        let up = &mut self.routers[r2 as usize];
+                        let ul = p2 as usize * vcs + v;
+                        up.out_credits[ul] += 1;
+                        debug_assert!(up.out_credits[ul] as usize <= up.out_q[ul].capacity());
+                    }
+                    Peer::Node(nn) => {
+                        let node = &mut self.nodes[nn as usize];
+                        node.credits[v] += 1;
+                        debug_assert!(node.credits[v] as usize <= node.lanes[v].capacity());
+                    }
+                    Peer::None => unreachable!("flit arrived through an uncabled port"),
+                }
+            }
+        }
+    }
+
+    /// Phase 3: route at most one header per router.
+    fn phase_routing(&mut self) {
+        let cycle = self.cycle;
+        for r in 0..self.w.num_routers {
+            if self.routers[r].pending == 0 {
+                continue;
+            }
+            let lanes = self.lanes_per_router;
+            let start = self.routers[r].route_rr as usize;
+            for i in 0..lanes {
+                let l = (start + i) % lanes;
+                if self.routers[r].pending & (1 << l) == 0 {
+                    continue;
+                }
+                let front = *self.routers[r].in_q[l]
+                    .front()
+                    .expect("pending lane must hold a flit");
+                debug_assert!(front.is_head(), "pending lane front must be a header");
+                if front.moved >= cycle {
+                    // Arrived this very cycle; visible to the routing
+                    // logic from the next cycle on.
+                    continue;
+                }
+                let dest = self.packets[front.packet as usize].dest;
+                let in_port = l / self.vcs;
+                // Take the candidate buffer out to appease the borrow
+                // checker; it is returned below.
+                let mut cand = std::mem::take(&mut self.cand);
+                self.algo
+                    .route(RouterId(r as u32), Some(in_port), NodeId(dest), &mut cand);
+                debug_assert!(!cand.is_empty(), "routing function returned no candidate");
+                let choice = self.select_output(r, &cand);
+                self.cand = cand;
+                match choice {
+                    Some((ol, used_fallback)) => {
+                        let rs = &mut self.routers[r];
+                        rs.in_route[l] = ol as u32;
+                        rs.out_bound |= 1u64 << ol;
+                        rs.pending &= !(1 << l);
+                        self.counters.routed_headers += 1;
+                        self.packets[front.packet as usize].hops += 1;
+                        if used_fallback {
+                            self.counters.escape_routings += 1;
+                        }
+                    }
+                    None => {
+                        self.counters.routing_blocked += 1;
+                    }
+                }
+                // One routing decision per router per cycle, successful
+                // or not; advance the cursor for fairness either way.
+                self.routers[r].route_rr = ((l + 1) % lanes) as u32;
+                break;
+            }
+        }
+    }
+
+    /// The selection policy: among admissible preferred lanes pick the
+    /// port with the most free virtual channels (fair random tie-break),
+    /// then the lane with the most headroom on that port; fall back to
+    /// the first admissible escape lane. Returns the chosen output-lane
+    /// index and whether the fallback class was used.
+    fn select_output(&mut self, r: usize, cand: &CandidateSet) -> Option<(usize, bool)> {
+        let rs = &self.routers[r];
+        let vcs = self.vcs;
+        let admissible =
+            |lane: usize| rs.out_bound & (1u64 << lane) == 0 && !rs.out_q[lane].is_full();
+
+        // Pass 1: best port among preferred candidates.
+        let mut best_port: Option<usize> = None;
+        let mut best_score = 0usize;
+        let mut ties = 0u64;
+        let mut last_port = usize::MAX;
+        for c in &cand.preferred {
+            let port = c.port as usize;
+            if port == last_port {
+                continue; // candidates are grouped by port
+            }
+            last_port = port;
+            let has_admissible = (0..vcs).any(|v| {
+                cand.preferred
+                    .iter()
+                    .any(|cc| cc.port as usize == port && cc.vc as usize == v)
+                    && admissible(port * vcs + v)
+            });
+            if !has_admissible {
+                continue;
+            }
+            let port_mask = ((1u64 << vcs) - 1) << (port * vcs);
+            let free_vcs = vcs - (rs.out_bound & port_mask).count_ones() as usize;
+            if best_port.is_none() || free_vcs > best_score {
+                best_port = Some(port);
+                best_score = free_vcs;
+                ties = 1;
+            } else if free_vcs == best_score {
+                // Reservoir sampling for a fair tie-break.
+                ties += 1;
+                if self.rng.below(ties) == 0 {
+                    best_port = Some(port);
+                }
+            }
+        }
+
+        if let Some(port) = best_port {
+            // Pass 2: best lane on the chosen port.
+            let mut best_lane = None;
+            let mut best_headroom = 0usize;
+            for c in &cand.preferred {
+                if c.port as usize != port {
+                    continue;
+                }
+                let lane = port * vcs + c.vc as usize;
+                if !admissible(lane) {
+                    continue;
+                }
+                let headroom = rs.out_credits[lane] as usize + rs.out_q[lane].free();
+                if best_lane.is_none() || headroom > best_headroom {
+                    best_lane = Some(lane);
+                    best_headroom = headroom;
+                }
+            }
+            return best_lane.map(|l| (l, false));
+        }
+
+        // Fallback (escape) class, in the order the algorithm listed.
+        for c in &cand.fallback {
+            let lane = c.port as usize * vcs + c.vc as usize;
+            if admissible(lane) {
+                return Some((lane, true));
+            }
+        }
+        None
+    }
+
+    /// Phase 4: packet creation and injection streaming.
+    fn phase_injection(&mut self) {
+        let cycle = self.cycle;
+        let flits = self.flits_per_packet;
+        for n in 0..self.w.num_nodes {
+            let ns = &mut self.nodes[n];
+
+            // Packet creation.
+            if ns.proc.tick(&mut ns.rng) {
+                if let Some(dest) = self.pattern.dest(NodeId(n as u32), &mut ns.rng) {
+                    let id = self.packets.len() as u32;
+                    self.packets.push(PacketRec {
+                        src: n as u32,
+                        dest: dest.0,
+                        created: cycle,
+                        injected: NEVER,
+                        delivered: NEVER,
+                        flits,
+                        hops: 0,
+                        in_reply_to: u32::MAX,
+                    });
+                    ns.src_queue.push_back(id);
+                    self.counters.created_packets += 1;
+                }
+            }
+
+            // Start the next packet (single injection channel: one
+            // packet streams at a time; limited injection may hold it
+            // back while the local router is congested).
+            let throttled = match self.injection_limit {
+                None => false,
+                Some(limit) => {
+                    let (r, _) = self.w.node_ports[n];
+                    let rs = &self.routers[r as usize];
+                    (rs.out_bound & rs.network_lanes).count_ones() >= limit
+                }
+            };
+            let ns = &mut self.nodes[n];
+            if ns.active.is_none() && !throttled {
+                if let Some(&pkt) = ns.src_queue.front() {
+                    // Choose the lane with the most headroom; rotate on
+                    // ties for fairness.
+                    let vcs = self.vcs;
+                    let start = ns.lane_rr as usize;
+                    let mut best: Option<(usize, usize)> = None;
+                    for i in 0..vcs {
+                        let v = (start + i) % vcs;
+                        if ns.lanes[v].is_full() {
+                            continue;
+                        }
+                        let headroom = ns.lanes[v].free() + ns.credits[v] as usize;
+                        if best.is_none_or(|(_, h)| headroom > h) {
+                            best = Some((v, headroom));
+                        }
+                    }
+                    if let Some((v, _)) = best {
+                        ns.src_queue.pop_front();
+                        ns.active = Some((pkt, flits));
+                        ns.active_lane = v as u8;
+                    }
+                }
+            }
+
+            // Stream one flit of the active packet.
+            if let Some((pkt, remaining)) = ns.active {
+                let lane = ns.active_lane as usize;
+                if !ns.lanes[lane].is_full() {
+                    let mut flags = 0u8;
+                    if remaining == flits {
+                        flags |= HEAD;
+                        self.packets[pkt as usize].injected = cycle;
+                    }
+                    if remaining == 1 {
+                        flags |= TAIL;
+                    }
+                    ns.lanes[lane].push(Flit { packet: pkt, moved: cycle, flags });
+                    self.counters.in_flight_flits += 1;
+                    self.moves_this_cycle += 1;
+                    if remaining == 1 {
+                        ns.active = None;
+                    } else {
+                        ns.active = Some((pkt, remaining - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flits transmitted so far on the directed channel leaving
+    /// `router` through `port` (ejection channels included).
+    pub fn link_flits(&self, router: usize, port: usize) -> u64 {
+        self.link_flits[router * self.w.ports + port]
+    }
+
+    /// Total flits forwarded by each router onto its *network* ports
+    /// (ejection excluded): a spatial congestion map.
+    pub fn router_forwarded_flits(&self) -> Vec<u64> {
+        (0..self.w.num_routers)
+            .map(|r| {
+                (0..self.w.ports)
+                    .filter(|&p| matches!(self.w.peer(r, p), Peer::Router { .. }))
+                    .map(|p| self.link_flits[r * self.w.ports + p])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Verify the credit-counting invariant: for every cabled channel,
+    /// the upstream output lane's credits plus the downstream input
+    /// lane's occupancy equal the buffer depth. Returns the first
+    /// violation as `(router, port, vc, credits, occupancy)`.
+    pub fn check_credit_invariant(&self) -> Result<(), (usize, usize, usize, u8, usize)> {
+        for r in 0..self.w.num_routers {
+            for p in 0..self.w.ports {
+                if let Peer::Router { router: r2, port: p2 } = self.w.peer(r, p) {
+                    for v in 0..self.vcs {
+                        let l = p * self.vcs + v;
+                        let credits = self.routers[r].out_credits[l];
+                        let occ = self.routers[r2 as usize].in_q[p2 as usize * self.vcs + v].len();
+                        let cap = self.routers[r].out_q[l].capacity();
+                        if credits as usize + occ != cap {
+                            return Err((r, p, v, credits, occ));
+                        }
+                    }
+                }
+            }
+        }
+        // Node-side injection channels.
+        for n in 0..self.w.num_nodes {
+            let (r, p) = self.w.node_ports[n];
+            for v in 0..self.vcs {
+                let credits = self.nodes[n].credits[v];
+                let occ = self.routers[r as usize].in_q[p as usize * self.vcs + v].len();
+                let cap = self.nodes[n].lanes[v].capacity();
+                if credits as usize + occ != cap {
+                    return Err((r as usize, p as usize, v, credits, occ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count every flit currently buffered in any lane (for conservation
+    /// checks in tests).
+    pub fn buffered_flits(&self) -> u64 {
+        let router_flits: usize = self
+            .routers
+            .iter()
+            .map(|r| {
+                r.in_q.iter().map(FlitQueue::len).sum::<usize>()
+                    + r.out_q.iter().map(FlitQueue::len).sum::<usize>()
+            })
+            .sum();
+        let node_flits: usize = self
+            .nodes
+            .iter()
+            .map(|n| n.lanes.iter().map(FlitQueue::len).sum::<usize>())
+            .sum();
+        (router_flits + node_flits) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routing::{CubeDeterministic, CubeDuato, TreeAdaptive};
+    use topology::{KAryNCube, KAryNTree};
+    use traffic::{Bernoulli, Pattern, Periodic};
+
+    fn one_shot_proc(node: usize, at_node: usize) -> Box<dyn InjectionProcess> {
+        // Fires once on the first cycle for `at_node`, never for others.
+        struct Once(bool);
+        impl InjectionProcess for Once {
+            fn tick(&mut self, _rng: &mut Rng64) -> bool {
+                std::mem::take(&mut self.0)
+            }
+            fn mean_rate(&self) -> f64 {
+                0.0
+            }
+        }
+        Box::new(Once(node == at_node))
+    }
+
+    #[test]
+    fn single_packet_on_tiny_tree_has_exact_latency() {
+        // 2-ary 1-tree: two nodes, one switch. Path: node -> switch ->
+        // node. Head pipeline: inject (c0), link (c0+1), route (c0+2),
+        // crossbar (c0+3), ejection link (c0+4). Tail of an F-flit
+        // packet lands F-1 cycles later: latency = F + 3.
+        let tree = KAryNTree::new(2, 1);
+        let algo = TreeAdaptive::new(tree, 1);
+        let flits = 4u16;
+        let pattern = TrafficGen::new(Pattern::Complement, 2);
+        let mut eng = Engine::new(&algo, 4, flits, pattern, &|n| one_shot_proc(n, 0), 7);
+        eng.run(40);
+        assert_eq!(eng.counters().created_packets, 1);
+        assert_eq!(eng.counters().delivered_packets, 1);
+        let p = eng.packets()[0];
+        assert_eq!(p.src, 0);
+        assert_eq!(p.dest, 1);
+        assert_eq!(p.injected, 0);
+        assert_eq!(p.latency(), Some(flits as u32 + 3));
+        assert_eq!(eng.counters().in_flight_flits, 0);
+        assert_eq!(eng.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn single_packet_on_two_node_ring_has_exact_latency() {
+        // 2-ary 1-cube: nodes 0 and 1, one link. Head: inject, node
+        // link, route@r0, xbar, link, route@r1, xbar, ejection link =
+        // latency 7 for the head, + F-1 for the tail.
+        let cube = KAryNCube::new(2, 1);
+        let algo = CubeDeterministic::new(cube);
+        let flits = 4u16;
+        let pattern = TrafficGen::new(Pattern::Complement, 2);
+        let mut eng = Engine::new(&algo, 4, flits, pattern, &|n| one_shot_proc(n, 0), 7);
+        eng.run(60);
+        assert_eq!(eng.counters().delivered_packets, 1);
+        assert_eq!(eng.packets()[0].latency(), Some(flits as u32 + 6));
+    }
+
+    #[test]
+    fn flit_conservation_invariant() {
+        let cube = KAryNCube::new(4, 2);
+        let algo = CubeDuato::new(cube);
+        let pattern = TrafficGen::new(Pattern::Uniform, 16);
+        let mut eng = Engine::new(
+            &algo,
+            4,
+            16,
+            pattern,
+            &|_| Box::new(Bernoulli::new(0.02)),
+            99,
+        );
+        for _ in 0..500 {
+            eng.step();
+            assert_eq!(eng.buffered_flits(), eng.counters().in_flight_flits);
+        }
+        let c = eng.counters();
+        assert!(c.created_packets > 0);
+        // injected = delivered + in flight (in flits).
+        let injected_flits: u64 = eng
+            .packets()
+            .iter()
+            .filter(|p| p.injected != NEVER)
+            .map(|p| {
+                // flits already pushed into the network
+                
+                if p.delivered != NEVER {
+                    p.flits as u64
+                } else {
+                    // partially streamed packets are harder to count
+                    // exactly; bounded above by flits
+                    0
+                }
+            })
+            .sum();
+        assert!(injected_flits <= c.delivered_flits + c.in_flight_flits);
+    }
+
+    #[test]
+    fn all_packets_drain_after_sources_stop() {
+        // Run uniform traffic on the small cube with both algorithms,
+        // then stop injecting and let the network drain completely.
+        for algo_box in [
+            Box::new(CubeDeterministic::new(KAryNCube::new(4, 2))) as Box<dyn RoutingAlgorithm>,
+            Box::new(CubeDuato::new(KAryNCube::new(4, 2))),
+        ] {
+            struct Window(u32);
+            impl InjectionProcess for Window {
+                fn tick(&mut self, rng: &mut Rng64) -> bool {
+                    if self.0 > 0 {
+                        self.0 -= 1;
+                        rng.chance(0.05)
+                    } else {
+                        false
+                    }
+                }
+                fn mean_rate(&self) -> f64 {
+                    0.0
+                }
+            }
+            let pattern = TrafficGen::new(Pattern::Uniform, 16);
+            let mut eng = Engine::new(
+                algo_box.as_ref(),
+                4,
+                16,
+                pattern,
+                &|_| Box::new(Window(300)),
+                5,
+            );
+            eng.run(300 + 3000);
+            let c = eng.counters();
+            assert!(c.created_packets > 10, "{}", algo_box.name());
+            assert_eq!(c.delivered_packets, c.created_packets, "{}", algo_box.name());
+            assert_eq!(c.in_flight_flits, 0, "{}", algo_box.name());
+            assert_eq!(eng.source_queue_len(), 0, "{}", algo_box.name());
+        }
+    }
+
+    #[test]
+    fn tree_drains_too() {
+        struct Window(u32);
+        impl InjectionProcess for Window {
+            fn tick(&mut self, rng: &mut Rng64) -> bool {
+                if self.0 > 0 {
+                    self.0 -= 1;
+                    rng.chance(0.02)
+                } else {
+                    false
+                }
+            }
+            fn mean_rate(&self) -> f64 {
+                0.0
+            }
+        }
+        for vcs in [1usize, 2, 4] {
+            let algo = TreeAdaptive::new(KAryNTree::new(2, 3), vcs);
+            let pattern = TrafficGen::new(Pattern::Uniform, 8);
+            let mut eng =
+                Engine::new(&algo, 4, 32, pattern, &|_| Box::new(Window(400)), 11);
+            eng.run(400 + 4000);
+            let c = eng.counters();
+            assert!(c.created_packets > 5);
+            assert_eq!(c.delivered_packets, c.created_packets, "vcs={vcs}");
+            assert_eq!(c.in_flight_flits, 0, "vcs={vcs}");
+        }
+    }
+
+    #[test]
+    fn packets_are_delivered_to_the_right_node_in_order() {
+        // Periodic injection of several packets 0 -> 1 on the tiny tree;
+        // deliveries must be complete and FIFO per source-destination
+        // pair (wormhole + single injection channel guarantee this).
+        let algo = TreeAdaptive::new(KAryNTree::new(2, 1), 2);
+        let pattern = TrafficGen::new(Pattern::Complement, 2);
+        let mut eng = Engine::new(
+            &algo,
+            4,
+            8,
+            pattern,
+            &|n| {
+                if n == 0 {
+                    Box::new(Periodic::every(10))
+                } else {
+                    Box::new(Bernoulli::new(0.0))
+                }
+            },
+            3,
+        );
+        eng.run(200);
+        let c = eng.counters();
+        assert!(c.delivered_packets >= 15);
+        let mut last_delivery = 0;
+        for p in eng.packets().iter().filter(|p| p.src == 0) {
+            if p.delivered != NEVER {
+                assert!(p.delivered > last_delivery);
+                last_delivery = p.delivered;
+                assert_eq!(p.dest, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn escape_lanes_are_used_under_contention() {
+        // Duato on a small cube at very high load: some headers must
+        // fall back to the escape channels.
+        let algo = CubeDuato::new(KAryNCube::new(4, 2));
+        let pattern = TrafficGen::new(Pattern::Uniform, 16);
+        let mut eng = Engine::new(
+            &algo,
+            4,
+            16,
+            pattern,
+            &|_| Box::new(Bernoulli::new(0.06)),
+            13,
+        );
+        eng.run(5000);
+        let c = eng.counters();
+        assert!(c.escape_routings > 0, "escape channels never used");
+        assert!(c.routed_headers > c.escape_routings, "adaptive channels never used");
+    }
+
+    #[test]
+    fn deterministic_runs_are_bit_reproducible() {
+        let run = |seed: u64| {
+            let algo = CubeDuato::new(KAryNCube::new(4, 2));
+            let pattern = TrafficGen::new(Pattern::Uniform, 16);
+            let mut eng = Engine::new(
+                &algo,
+                4,
+                16,
+                pattern,
+                &|_| Box::new(Bernoulli::new(0.03)),
+                seed,
+            );
+            eng.run(2000);
+            let c = eng.counters();
+            (c.created_packets, c.delivered_packets, c.delivered_flits, c.routed_headers)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

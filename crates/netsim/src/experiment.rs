@@ -1,0 +1,375 @@
+//! The paper's experiment harness: the five router configurations,
+//! load sweeps, and CNF curve generation.
+//!
+//! Figures 5–7 all derive from the same experiment shape: fix a network
+//! and routing algorithm, sweep the offered load from a few percent of
+//! capacity up to (and past) 100%, and record accepted bandwidth and
+//! mean network latency at each point. This module packages the five
+//! configurations of the paper —
+//!
+//! * 16-ary 2-cube with deterministic routing,
+//! * 16-ary 2-cube with Duato's minimal adaptive routing,
+//! * 4-ary 4-tree with adaptive routing and 1, 2 or 4 virtual channels —
+//!
+//! together with their Chien-model timings and normalizations, and runs
+//! sweeps in parallel with `std::thread::scope`.
+
+use crate::sim::{run_simulation, InjectionSpec, SimConfig, SimOutcome};
+use costmodel::chien::{cube_deterministic_timing, cube_duato_timing, tree_adaptive_timing};
+use costmodel::normalize::NetworkNormalization;
+use netstats::SweepCurve;
+use routing::{CubeDeterministic, CubeDuato, RoutingAlgorithm, TreeAdaptive};
+use topology::{KAryNCube, KAryNTree};
+use traffic::Pattern;
+
+/// Parameters of a k-ary n-cube experiment network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CubeParams {
+    /// Radix (nodes per dimension).
+    pub k: usize,
+    /// Dimension.
+    pub n: usize,
+}
+
+impl CubeParams {
+    /// The paper's 16-ary 2-cube (256 nodes).
+    pub fn paper() -> Self {
+        CubeParams { k: 16, n: 2 }
+    }
+
+    /// A 16-node cube for fast tests.
+    pub fn tiny() -> Self {
+        CubeParams { k: 4, n: 2 }
+    }
+
+    fn build(&self) -> KAryNCube {
+        KAryNCube::new(self.k, self.n)
+    }
+}
+
+/// Parameters of a k-ary n-tree experiment network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Arity.
+    pub k: usize,
+    /// Number of levels.
+    pub n: usize,
+}
+
+impl TreeParams {
+    /// The paper's 4-ary 4-tree (256 nodes).
+    pub fn paper() -> Self {
+        TreeParams { k: 4, n: 4 }
+    }
+
+    /// A 16-node tree for fast tests.
+    pub fn tiny() -> Self {
+        TreeParams { k: 4, n: 2 }
+    }
+
+    fn build(&self) -> KAryNTree {
+        KAryNTree::new(self.k, self.n)
+    }
+}
+
+/// One of the paper's router configurations, bound to a network size.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    label: String,
+    kind: SpecKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SpecKind {
+    CubeDet(CubeParams),
+    CubeDuato(CubeParams),
+    Tree(TreeParams, usize),
+}
+
+/// Run-length of a simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLength {
+    /// Warm-up cycles excluded from measurement.
+    pub warmup: u32,
+    /// Total cycles.
+    pub total: u32,
+}
+
+impl RunLength {
+    /// The paper's protocol: 2000 warm-up, halt at 20000.
+    pub fn paper() -> Self {
+        RunLength { warmup: 2_000, total: 20_000 }
+    }
+
+    /// A shorter protocol for tests and quick looks (noisier).
+    pub fn quick() -> Self {
+        RunLength { warmup: 1_000, total: 6_000 }
+    }
+}
+
+impl ExperimentSpec {
+    /// Cube with dimension-order deterministic routing.
+    pub fn cube_deterministic(p: CubeParams) -> Self {
+        ExperimentSpec { label: "cube, deterministic".into(), kind: SpecKind::CubeDet(p) }
+    }
+
+    /// Cube with Duato's minimal adaptive routing.
+    pub fn cube_duato(p: CubeParams) -> Self {
+        ExperimentSpec { label: "cube, Duato".into(), kind: SpecKind::CubeDuato(p) }
+    }
+
+    /// Fat-tree with adaptive routing and `vcs` virtual channels.
+    pub fn tree_adaptive(p: TreeParams, vcs: usize) -> Self {
+        assert!(vcs >= 1);
+        ExperimentSpec { label: format!("fat tree, {vcs} vc"), kind: SpecKind::Tree(p, vcs) }
+    }
+
+    /// The five configurations of the paper's evaluation, bound to the
+    /// paper's 256-node networks.
+    pub fn paper_five() -> Vec<ExperimentSpec> {
+        vec![
+            ExperimentSpec::cube_deterministic(CubeParams::paper()),
+            ExperimentSpec::cube_duato(CubeParams::paper()),
+            ExperimentSpec::tree_adaptive(TreeParams::paper(), 1),
+            ExperimentSpec::tree_adaptive(TreeParams::paper(), 2),
+            ExperimentSpec::tree_adaptive(TreeParams::paper(), 4),
+        ]
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Instantiate the routing algorithm (and with it the network).
+    pub fn build_algorithm(&self) -> Box<dyn RoutingAlgorithm> {
+        match self.kind {
+            SpecKind::CubeDet(p) => Box::new(CubeDeterministic::new(p.build())),
+            SpecKind::CubeDuato(p) => Box::new(CubeDuato::new(p.build())),
+            SpecKind::Tree(p, vcs) => Box::new(TreeAdaptive::new(p.build(), vcs)),
+        }
+    }
+
+    /// The physical normalization (flit width, capacity, Chien timing).
+    pub fn normalization(&self) -> NetworkNormalization {
+        match self.kind {
+            SpecKind::CubeDet(p) => {
+                NetworkNormalization::cube(&p.build(), cube_deterministic_timing())
+            }
+            SpecKind::CubeDuato(p) => {
+                NetworkNormalization::cube(&p.build(), cube_duato_timing())
+            }
+            SpecKind::Tree(p, vcs) => {
+                NetworkNormalization::tree(&p.build(), tree_adaptive_timing(p.k, vcs))
+            }
+        }
+    }
+
+    /// A simulation config for this spec at the given offered load
+    /// (fraction of capacity).
+    pub fn config_at(&self, pattern: Pattern, fraction: f64, len: RunLength) -> SimConfig {
+        let norm = self.normalization();
+        let mut cfg = SimConfig::paper_protocol(
+            pattern,
+            InjectionSpec::Bernoulli { packets_per_cycle: norm.packet_rate(fraction) },
+            norm.flits_per_packet() as u16,
+            norm.capacity_flits_per_cycle(),
+        );
+        cfg.warmup_cycles = len.warmup;
+        cfg.total_cycles = len.total;
+        // Source throttling for the cube algorithms, after the paper's
+        // reference [28]: a node holds new packets back while half or
+        // more of its router's network output lanes are allocated. This
+        // is what keeps throughput stable above saturation (Section 3);
+        // the tree needs no such mechanism — its saturation is
+        // intrinsically stable.
+        cfg.injection_limit = match self.kind {
+            SpecKind::CubeDet(p) | SpecKind::CubeDuato(p) => {
+                // Half of the 2n*V network lanes (8 of 16 for the
+                // paper's cube). Large enough not to cap pre-saturation
+                // throughput for any pattern, small enough to keep the
+                // uniform and complement curves flat after saturation
+                // and to preserve Section 9's complement inversion
+                // (deterministic > Duato). A tighter threshold would
+                // also stabilize bit-reversal above saturation but
+                // over-corrects complement — see
+                // `ablation_injection_limit.csv` and EXPERIMENTS.md.
+                let algo = self.build_algorithm();
+                Some((p.n * algo.num_vcs()) as u32)
+            }
+            SpecKind::Tree(..) => None,
+        };
+        // Independent but reproducible seed per (spec, pattern, load).
+        cfg.seed = seed_for(&self.label, pattern, fraction);
+        cfg
+    }
+}
+
+fn seed_for(label: &str, pattern: Pattern, fraction: f64) -> u64 {
+    // FNV-1a over the identifying data: stable across runs and platforms.
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    label.bytes().for_each(&mut eat);
+    pattern.name().bytes().for_each(&mut eat);
+    fraction.to_bits().to_le_bytes().iter().copied().for_each(&mut eat);
+    h
+}
+
+/// Simulate one configuration at one offered load.
+pub fn simulate_load(
+    spec: &ExperimentSpec,
+    pattern: Pattern,
+    fraction: f64,
+    len: RunLength,
+) -> SimOutcome {
+    let algo = spec.build_algorithm();
+    let cfg = spec.config_at(pattern, fraction, len);
+    run_simulation(algo.as_ref(), &cfg)
+}
+
+/// The default load grid used for the figures: 5% to 100% of capacity in
+/// 5% steps.
+pub fn default_load_grid() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Sweep a configuration over a load grid, in parallel, returning the
+/// accepted-bandwidth and latency curves (x = offered fraction of
+/// capacity).
+pub fn sweep(
+    spec: &ExperimentSpec,
+    pattern: Pattern,
+    fractions: &[f64],
+    len: RunLength,
+) -> SweepCurve {
+    let outcomes = sweep_outcomes(spec, pattern, fractions, len);
+    let mut curve = SweepCurve::new(spec.label());
+    for (f, out) in fractions.iter().zip(&outcomes) {
+        let lat = out.mean_latency_cycles();
+        curve.push(*f, out.accepted_fraction, if lat.is_nan() { 0.0 } else { lat });
+    }
+    curve
+}
+
+/// Like [`sweep`], but returning the full outcome at every load point.
+pub fn sweep_outcomes(
+    spec: &ExperimentSpec,
+    pattern: Pattern,
+    fractions: &[f64],
+    len: RunLength,
+) -> Vec<SimOutcome> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut results: Vec<Option<SimOutcome>> = vec![None; fractions.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(fractions.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= fractions.len() {
+                    break;
+                }
+                let out = simulate_load(spec, pattern, fractions[i], len);
+                results_mutex.lock().unwrap()[i] = Some(out);
+            });
+        }
+    });
+    results.into_iter().map(|o| o.expect("all points simulated")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_five_shapes() {
+        let specs = ExperimentSpec::paper_five();
+        assert_eq!(specs.len(), 5);
+        let labels: Vec<&str> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "cube, deterministic",
+                "cube, Duato",
+                "fat tree, 1 vc",
+                "fat tree, 2 vc",
+                "fat tree, 4 vc"
+            ]
+        );
+        for s in &specs {
+            let algo = s.build_algorithm();
+            assert_eq!(algo.topology().num_nodes(), 256);
+            assert_eq!(algo.topology().num_routers(), 256);
+        }
+    }
+
+    #[test]
+    fn config_matches_normalization() {
+        let spec = ExperimentSpec::cube_duato(CubeParams::paper());
+        let cfg = spec.config_at(Pattern::Uniform, 0.5, RunLength::paper());
+        assert_eq!(cfg.flits_per_packet, 16);
+        assert!((cfg.offered_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(cfg.warmup_cycles, 2000);
+        assert_eq!(cfg.total_cycles, 20000);
+
+        let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), 4);
+        let cfg = spec.config_at(Pattern::Transpose, 1.0, RunLength::paper());
+        assert_eq!(cfg.flits_per_packet, 32);
+        assert!((cfg.injection.mean_rate() - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_stable() {
+        let a = seed_for("x", Pattern::Uniform, 0.5);
+        let b = seed_for("x", Pattern::Uniform, 0.55);
+        let c = seed_for("y", Pattern::Uniform, 0.5);
+        let d = seed_for("x", Pattern::Transpose, 0.5);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, seed_for("x", Pattern::Uniform, 0.5));
+    }
+
+    #[test]
+    fn tiny_sweep_is_monotone_then_flat() {
+        // A coarse sweep on the tiny cube: accepted grows with offered
+        // and the curve saturates below 1.0.
+        let spec = ExperimentSpec::cube_duato(CubeParams::tiny());
+        let grid = [0.2, 0.6, 1.0];
+        let curve = sweep(&spec, Pattern::Uniform, &grid, RunLength::quick());
+        let ys: Vec<f64> = curve.accepted.points.iter().map(|&(_, y)| y).collect();
+        assert!(ys[0] < ys[1] + 0.05);
+        assert!(ys[2] <= 1.0);
+        assert!(ys[1] > 0.3);
+        // Latency grows with load.
+        let ls: Vec<f64> = curve.latency.points.iter().map(|&(_, y)| y).collect();
+        assert!(ls[2] > ls[0]);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_serial() {
+        let spec = ExperimentSpec::cube_deterministic(CubeParams::tiny());
+        let grid = [0.3, 0.9];
+        let par = sweep_outcomes(&spec, Pattern::Transpose, &grid, RunLength::quick());
+        let ser: Vec<SimOutcome> = grid
+            .iter()
+            .map(|&f| simulate_load(&spec, Pattern::Transpose, f, RunLength::quick()))
+            .collect();
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.delivered_packets, s.delivered_packets);
+            assert_eq!(p.created_packets, s.created_packets);
+            assert!((p.accepted_fraction - s.accepted_fraction).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_grid_covers_5_to_100() {
+        let g = default_load_grid();
+        assert_eq!(g.len(), 20);
+        assert!((g[0] - 0.05).abs() < 1e-12);
+        assert!((g[19] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Flits and packet bookkeeping.
+
+/// Sentinel for "not yet happened" cycle stamps.
+pub const NEVER: u32 = u32::MAX;
+
+/// One flow-control digit. The header flit carries the routing
+/// information (here: the packet id, which indexes the packet table);
+/// body and tail flits follow the path the header established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flit {
+    /// Index into the simulation's packet table.
+    pub packet: u32,
+    /// Cycle at which this flit last advanced one pipeline stage; used
+    /// to enforce that a flit traverses at most one stage (link,
+    /// crossbar) per clock.
+    pub moved: u32,
+    /// [`HEAD`] / [`TAIL`] flag bits (a one-flit packet would carry both;
+    /// the paper's 64-byte packets are 16 or 32 flits, so this does not
+    /// arise in the experiments but the engine supports it).
+    pub flags: u8,
+}
+
+/// Flag bit: first flit of a packet.
+pub const HEAD: u8 = 1;
+/// Flag bit: last flit of a packet.
+pub const TAIL: u8 = 2;
+
+impl Flit {
+    /// Whether this is a header flit.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.flags & HEAD != 0
+    }
+
+    /// Whether this is a tail flit.
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.flags & TAIL != 0
+    }
+}
+
+/// Per-packet record: identity, timing, and size.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketRec {
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dest: u32,
+    /// Cycle the packet was created (entered the source queue).
+    pub created: u32,
+    /// Cycle the header flit entered the injection lane ([`NEVER`] while
+    /// still queued at the source).
+    pub injected: u32,
+    /// Cycle the tail flit was received at the destination ([`NEVER`]
+    /// while in flight).
+    pub delivered: u32,
+    /// Number of flits.
+    pub flits: u16,
+    /// Number of routers whose routing logic handled this packet's
+    /// header — for a minimal algorithm this must equal
+    /// `min_distance(src, dest) - 1` on delivery.
+    pub hops: u16,
+    /// In request–reply mode: the request packet this one answers
+    /// (`u32::MAX` for requests and for open-loop traffic). Round-trip
+    /// time = `delivered - packets[in_reply_to].created`.
+    pub in_reply_to: u32,
+}
+
+impl PacketRec {
+    /// Whether this packet is a reply in request-reply mode.
+    pub fn is_reply(&self) -> bool {
+        self.in_reply_to != u32::MAX
+    }
+}
+
+impl PacketRec {
+    /// Network latency in cycles (Section 6's definition), or `None`
+    /// if the packet has not been delivered.
+    pub fn latency(&self) -> Option<u32> {
+        if self.delivered == NEVER || self.injected == NEVER {
+            None
+        } else {
+            Some(self.delivered - self.injected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags() {
+        let h = Flit { packet: 0, moved: 0, flags: HEAD };
+        let b = Flit { packet: 0, moved: 0, flags: 0 };
+        let t = Flit { packet: 0, moved: 0, flags: TAIL };
+        let ht = Flit { packet: 0, moved: 0, flags: HEAD | TAIL };
+        assert!(h.is_head() && !h.is_tail());
+        assert!(!b.is_head() && !b.is_tail());
+        assert!(!t.is_head() && t.is_tail());
+        assert!(ht.is_head() && ht.is_tail());
+    }
+
+    #[test]
+    fn latency_requires_both_stamps() {
+        let mut p = PacketRec {
+            src: 0,
+            dest: 1,
+            created: 5,
+            injected: NEVER,
+            delivered: NEVER,
+            flits: 16,
+            hops: 0,
+            in_reply_to: u32::MAX,
+        };
+        assert_eq!(p.latency(), None);
+        p.injected = 10;
+        assert_eq!(p.latency(), None);
+        p.delivered = 73;
+        assert_eq!(p.latency(), Some(63));
+    }
+}

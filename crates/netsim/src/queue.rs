@@ -1,0 +1,175 @@
+//! Fixed-capacity flit FIFO.
+//!
+//! Every lane in the network holds at most [`MAX_DEPTH`] flits (the
+//! paper uses 4-flit lanes; the ablation benchmarks sweep 1..=8), so a
+//! small inline ring buffer avoids any per-lane heap allocation — with
+//! hundreds of switches times dozens of lanes each, lane operations are
+//! the hottest code in the simulator.
+
+use crate::flit::Flit;
+
+/// Maximum supported lane depth.
+pub const MAX_DEPTH: usize = 8;
+
+/// An inline ring buffer of flits with a runtime capacity
+/// `1..=MAX_DEPTH`.
+#[derive(Clone, Debug)]
+pub struct FlitQueue {
+    slots: [Flit; MAX_DEPTH],
+    head: u8,
+    len: u8,
+    cap: u8,
+}
+
+impl FlitQueue {
+    /// An empty queue with the given capacity.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= cap <= MAX_DEPTH`.
+    pub fn new(cap: usize) -> Self {
+        assert!((1..=MAX_DEPTH).contains(&cap), "lane depth {cap} unsupported");
+        FlitQueue {
+            slots: [Flit { packet: 0, moved: 0, flags: 0 }; MAX_DEPTH],
+            head: 0,
+            len: 0,
+            cap: cap as u8,
+        }
+    }
+
+    /// Capacity in flits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the queue is full.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.cap
+    }
+
+    /// Free slots remaining.
+    #[inline]
+    pub fn free(&self) -> usize {
+        (self.cap - self.len) as usize
+    }
+
+    /// The oldest flit, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Flit> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.slots[self.head as usize])
+        }
+    }
+
+    /// Append a flit.
+    ///
+    /// # Panics
+    /// Panics when full (callers must check credits/space first; a push
+    /// into a full lane is a flow-control bug, not a recoverable event).
+    #[inline]
+    pub fn push(&mut self, flit: Flit) {
+        assert!(!self.is_full(), "flit queue overflow: flow control violated");
+        let idx = (self.head as usize + self.len as usize) % MAX_DEPTH;
+        self.slots[idx] = flit;
+        self.len += 1;
+    }
+
+    /// Remove and return the oldest flit.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Flit> {
+        if self.len == 0 {
+            return None;
+        }
+        let f = self.slots[self.head as usize];
+        self.head = ((self.head as usize + 1) % MAX_DEPTH) as u8;
+        self.len -= 1;
+        Some(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{HEAD, TAIL};
+
+    fn f(p: u32) -> Flit {
+        Flit { packet: p, moved: 0, flags: 0 }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FlitQueue::new(4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.push(f(i));
+        }
+        assert!(q.is_full());
+        assert_eq!(q.free(), 0);
+        for i in 0..4 {
+            assert_eq!(q.pop().unwrap().packet, i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut q = FlitQueue::new(3);
+        for round in 0..10u32 {
+            q.push(f(round));
+            assert_eq!(q.pop().unwrap().packet, round);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut q = FlitQueue::new(2);
+        q.push(Flit { packet: 9, moved: 3, flags: HEAD | TAIL });
+        assert_eq!(q.front().unwrap().packet, 9);
+        assert_eq!(q.len(), 1);
+        assert!(q.front().unwrap().is_head());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q = FlitQueue::new(1);
+        q.push(f(0));
+        q.push(f(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = FlitQueue::new(0);
+    }
+
+    #[test]
+    fn interleaved_capacity_respected() {
+        let mut q = FlitQueue::new(4);
+        q.push(f(0));
+        q.push(f(1));
+        q.pop();
+        q.push(f(2));
+        q.push(f(3));
+        q.push(f(4));
+        assert!(q.is_full());
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|x| x.packet).collect();
+        assert_eq!(drained, vec![1, 2, 3, 4]);
+    }
+}

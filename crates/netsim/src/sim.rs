@@ -1,0 +1,354 @@
+//! Simulation configuration, measurement protocol, and outcomes.
+//!
+//! Implements the measurement discipline of Section 6: statistics are
+//! collected only after a warm-up period "to allow the network to reach
+//! steady state", accepted bandwidth is the sustained delivery rate, and
+//! network latency is averaged over packets injected during the
+//! measurement window (source queueing excluded).
+
+use crate::engine::Engine;
+use crate::flit::NEVER;
+use netstats::{Accumulator, Histogram};
+use routing::RoutingAlgorithm;
+use traffic::{Bernoulli, InjectionProcess, OnOffBursty, Pattern, Periodic, TrafficGen};
+
+/// How packets are created at each node.
+#[derive(Clone, Copy, Debug)]
+pub enum InjectionSpec {
+    /// Bernoulli process (the paper's choice).
+    Bernoulli {
+        /// Packets per node per cycle.
+        packets_per_cycle: f64,
+    },
+    /// Deterministic: one packet every `period` cycles.
+    Periodic {
+        /// Inter-arrival period in cycles.
+        period: u64,
+    },
+    /// Two-state bursty process (extension).
+    OnOff {
+        /// Packets per node per cycle while in the on state.
+        peak_rate: f64,
+        /// Mean on-state duration in cycles.
+        mean_on: f64,
+        /// Mean off-state duration in cycles.
+        mean_off: f64,
+    },
+}
+
+impl InjectionSpec {
+    /// Long-run packets per node per cycle.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            InjectionSpec::Bernoulli { packets_per_cycle } => packets_per_cycle,
+            InjectionSpec::Periodic { period } => 1.0 / period as f64,
+            InjectionSpec::OnOff { peak_rate, mean_on, mean_off } => {
+                peak_rate * mean_on / (mean_on + mean_off)
+            }
+        }
+    }
+
+    fn build(&self) -> Box<dyn InjectionProcess> {
+        match *self {
+            InjectionSpec::Bernoulli { packets_per_cycle } => {
+                Box::new(Bernoulli::new(packets_per_cycle))
+            }
+            InjectionSpec::Periodic { period } => Box::new(Periodic::every(period)),
+            InjectionSpec::OnOff { peak_rate, mean_on, mean_off } => {
+                Box::new(OnOffBursty::new(peak_rate, mean_on, mean_off))
+            }
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Master seed; the run is a pure function of config + seed.
+    pub seed: u64,
+    /// Warm-up cycles excluded from measurement (paper: 2000).
+    pub warmup_cycles: u32,
+    /// Total simulated cycles (paper: 20000).
+    pub total_cycles: u32,
+    /// Lane depth in flits (paper: 4 for both input and output lanes).
+    pub buffer_depth: usize,
+    /// Flits per packet (16 on the cube, 32 on the tree).
+    pub flits_per_packet: u16,
+    /// Theoretical per-node capacity in flits/cycle (normalization).
+    pub capacity_flits_per_cycle: f64,
+    /// Packet creation process.
+    pub injection: InjectionSpec,
+    /// Destination pattern.
+    pub pattern: Pattern,
+    /// Limited injection: a node may start a new packet only while
+    /// fewer than this many network output lanes of its local router
+    /// are allocated (the source-throttling mechanism of the paper's
+    /// reference \[28\]). `None` disables the throttle.
+    pub injection_limit: Option<u32>,
+    /// Request-reply mode (extension): every delivered packet generated
+    /// by the pattern is treated as a request and answered with a
+    /// same-size reply, modelling shared-memory read traffic.
+    pub request_reply: bool,
+}
+
+impl SimConfig {
+    /// The paper's measurement protocol with the given load.
+    pub fn paper_protocol(
+        pattern: Pattern,
+        injection: InjectionSpec,
+        flits_per_packet: u16,
+        capacity_flits_per_cycle: f64,
+    ) -> Self {
+        SimConfig {
+            seed: 0x5EED,
+            warmup_cycles: 2_000,
+            total_cycles: 20_000,
+            buffer_depth: 4,
+            flits_per_packet,
+            capacity_flits_per_cycle,
+            injection,
+            pattern,
+            injection_limit: None,
+            request_reply: false,
+        }
+    }
+
+    /// Nominal offered load as a fraction of capacity.
+    pub fn offered_fraction(&self) -> f64 {
+        self.injection.mean_rate() * self.flits_per_packet as f64
+            / self.capacity_flits_per_cycle
+    }
+}
+
+/// Measured results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Nominal offered load (fraction of capacity) from the config.
+    pub offered_fraction: f64,
+    /// Offered load actually generated during the measurement window
+    /// (differs from nominal for patterns with silent nodes and by
+    /// Bernoulli noise).
+    pub generated_fraction: f64,
+    /// Accepted bandwidth as a fraction of capacity.
+    pub accepted_fraction: f64,
+    /// Accepted bandwidth in flits per node per cycle.
+    pub accepted_flits_per_node_cycle: f64,
+    /// Network latency statistics in cycles over measured packets.
+    pub latency: Accumulator,
+    /// Latency histogram (8-cycle bins up to 4096 cycles).
+    pub latency_hist: Histogram,
+    /// Packets delivered during the measurement window.
+    pub delivered_packets: u64,
+    /// Packets created during the measurement window.
+    pub created_packets: u64,
+    /// Total packets queued at sources (or streaming) when the run ended
+    /// — grows without bound above saturation.
+    pub backlog_packets: usize,
+    /// Fraction of routed headers that used an escape lane.
+    pub escape_fraction: f64,
+    /// 95% batch-means confidence interval for the accepted bandwidth
+    /// (in flits per node per cycle, 10 batches over the measurement
+    /// window).
+    pub accepted_ci: netstats::ConfidenceInterval,
+}
+
+impl SimOutcome {
+    /// Mean latency in cycles (`NaN` if nothing was delivered).
+    pub fn mean_latency_cycles(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Whether the run was saturated: accepted visibly below offered.
+    pub fn is_saturated(&self, tol: f64) -> bool {
+        self.accepted_fraction < (1.0 - tol) * self.generated_fraction
+    }
+}
+
+/// Run one simulation to completion under the given configuration.
+///
+/// # Panics
+/// Panics on flow-control violations or deadlock (watchdog) — both are
+/// bugs, not outcomes.
+pub fn run_simulation(algo: &dyn RoutingAlgorithm, cfg: &SimConfig) -> SimOutcome {
+    assert!(cfg.warmup_cycles < cfg.total_cycles);
+    let num_nodes = algo.topology().num_nodes();
+    let pattern = TrafficGen::new(cfg.pattern, num_nodes);
+    let injection = cfg.injection;
+    let mut eng = Engine::new(
+        algo,
+        cfg.buffer_depth,
+        cfg.flits_per_packet,
+        pattern,
+        &move |_| injection.build(),
+        cfg.seed,
+    );
+    eng.set_injection_limit(cfg.injection_limit);
+    eng.set_request_reply(cfg.request_reply);
+
+    eng.run(cfg.warmup_cycles);
+    let warm = eng.counters();
+
+    // Run the measurement window in NUM_BATCHES contiguous batches and
+    // collect per-batch accepted rates for a batch-means confidence
+    // interval (see `netstats::batch`).
+    const NUM_BATCHES: u32 = 10;
+    let window_cycles = cfg.total_cycles - cfg.warmup_cycles;
+    let mut batches = netstats::BatchMeans::new();
+    let mut prev_delivered = warm.delivered_flits;
+    let mut remaining = window_cycles;
+    for b in 0..NUM_BATCHES {
+        let this = remaining / (NUM_BATCHES - b);
+        remaining -= this;
+        if this == 0 {
+            continue;
+        }
+        eng.run(this);
+        let now = eng.counters().delivered_flits;
+        batches.push((now - prev_delivered) as f64 / (this as f64 * num_nodes as f64));
+        prev_delivered = now;
+    }
+    let end = eng.counters();
+
+    let window = window_cycles as f64;
+    let delivered_flits = (end.delivered_flits - warm.delivered_flits) as f64;
+    let accepted_rate = delivered_flits / (window * num_nodes as f64);
+    let created = end.created_packets - warm.created_packets;
+    let generated_rate =
+        created as f64 * cfg.flits_per_packet as f64 / (window * num_nodes as f64);
+
+    let mut latency = Accumulator::new();
+    let mut latency_hist = Histogram::new(8.0, 512);
+    let mut delivered_measured = 0u64;
+    for p in eng.packets() {
+        if p.injected == NEVER || p.injected < cfg.warmup_cycles {
+            continue;
+        }
+        if let Some(l) = p.latency() {
+            latency.push(l as f64);
+            latency_hist.record(l as f64);
+            delivered_measured += 1;
+        }
+    }
+
+    let routed = end.routed_headers.max(1);
+    SimOutcome {
+        offered_fraction: cfg.offered_fraction(),
+        generated_fraction: generated_rate / cfg.capacity_flits_per_cycle,
+        accepted_fraction: accepted_rate / cfg.capacity_flits_per_cycle,
+        accepted_flits_per_node_cycle: accepted_rate,
+        latency,
+        latency_hist,
+        delivered_packets: delivered_measured,
+        created_packets: created,
+        backlog_packets: eng.source_queue_len(),
+        escape_fraction: end.escape_routings as f64 / routed as f64,
+        accepted_ci: batches.ci95(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routing::{CubeDeterministic, CubeDuato, TreeAdaptive};
+    use topology::{KAryNCube, KAryNTree};
+
+    fn quick(pattern: Pattern, rate: f64, flits: u16, cap: f64) -> SimConfig {
+        SimConfig {
+            seed: 1,
+            warmup_cycles: 500,
+            total_cycles: 4000,
+            buffer_depth: 4,
+            flits_per_packet: flits,
+            capacity_flits_per_cycle: cap,
+            injection: InjectionSpec::Bernoulli { packets_per_cycle: rate },
+            pattern,
+            injection_limit: None,
+            request_reply: false,
+        }
+    }
+
+    #[test]
+    fn below_saturation_accepted_tracks_offered() {
+        // Small cube, Duato, 20% load: open-loop equilibrium.
+        let algo = CubeDuato::new(KAryNCube::new(4, 2));
+        let cap = 2.0; // 8/k for k=4, capped at... 8/4 = 2 -> use raw
+        let cfg = quick(Pattern::Uniform, 0.2 * cap / 16.0, 16, cap);
+        let out = run_simulation(&algo, &cfg);
+        assert!(!out.is_saturated(0.05), "20% load must not saturate");
+        assert!(
+            (out.accepted_fraction - out.generated_fraction).abs() < 0.02,
+            "accepted {} vs generated {}",
+            out.accepted_fraction,
+            out.generated_fraction
+        );
+        assert!(out.latency.mean() > 10.0);
+        assert!(out.delivered_packets > 100);
+    }
+
+    #[test]
+    fn saturation_shows_backlog_and_gap() {
+        // Drive the small cube way past capacity.
+        let algo = CubeDeterministic::new(KAryNCube::new(4, 2));
+        let cube_cap = KAryNCube::new(4, 2).uniform_capacity_flits_per_cycle();
+        let cfg = quick(Pattern::Uniform, 2.0 * cube_cap / 16.0, 16, cube_cap);
+        let out = run_simulation(&algo, &cfg);
+        assert!(out.is_saturated(0.02));
+        assert!(out.backlog_packets > 50, "backlog {}", out.backlog_packets);
+        assert!(out.accepted_fraction < 1.0);
+        assert!(out.accepted_fraction > 0.2, "network still moves packets");
+    }
+
+    #[test]
+    fn tree_accepts_more_with_more_vcs_under_uniform_pressure() {
+        // The paper's core flow-control result, on a small tree at high
+        // load: more virtual channels => more accepted bandwidth.
+        let tree = KAryNTree::new(2, 4); // 16 nodes
+        let mut accepted = Vec::new();
+        for vcs in [1usize, 4] {
+            let algo = TreeAdaptive::new(tree.clone(), vcs);
+            let cfg = SimConfig {
+                seed: 2,
+                warmup_cycles: 1000,
+                total_cycles: 8000,
+                buffer_depth: 4,
+                flits_per_packet: 32,
+                capacity_flits_per_cycle: 1.0,
+                injection: InjectionSpec::Bernoulli { packets_per_cycle: 0.9 / 32.0 },
+                pattern: Pattern::Uniform,
+                injection_limit: None,
+                request_reply: false,
+            };
+            accepted.push(run_simulation(&algo, &cfg).accepted_fraction);
+        }
+        assert!(
+            accepted[1] > accepted[0] * 1.15,
+            "4 VCs ({}) should clearly beat 1 VC ({})",
+            accepted[1],
+            accepted[0]
+        );
+    }
+
+    #[test]
+    fn offered_fraction_roundtrip() {
+        let cfg = quick(Pattern::Uniform, 0.5 / 32.0, 32, 1.0);
+        assert!((cfg.offered_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injection_spec_rates() {
+        assert!((InjectionSpec::Bernoulli { packets_per_cycle: 0.25 }.mean_rate() - 0.25).abs() < 1e-12);
+        assert!((InjectionSpec::Periodic { period: 8 }.mean_rate() - 0.125).abs() < 1e-12);
+        let oo = InjectionSpec::OnOff { peak_rate: 0.5, mean_on: 100.0, mean_off: 300.0 };
+        assert!((oo.mean_rate() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_runs_clean() {
+        let algo = CubeDuato::new(KAryNCube::new(4, 2));
+        let cfg = quick(Pattern::Uniform, 0.0, 16, 2.0);
+        let out = run_simulation(&algo, &cfg);
+        assert_eq!(out.delivered_packets, 0);
+        assert_eq!(out.accepted_fraction, 0.0);
+        assert!(out.latency.mean().is_nan());
+    }
+}

@@ -1,0 +1,129 @@
+//! Flattened, validated wiring tables derived from a [`Topology`].
+//!
+//! The engine's inner loops index flat arrays; this module lowers the
+//! object-level [`Topology`] interface into those arrays once, at
+//! simulation construction, and revalidates the structure on the way.
+
+use topology::graph::PortPeer;
+use topology::{NodeId, PortRef, RouterId, Topology};
+
+/// What the far side of a (router, port) is, in flat-index form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Peer {
+    /// Another router's port.
+    Router {
+        /// Peer router index.
+        router: u32,
+        /// Peer port index.
+        port: u16,
+    },
+    /// A processing node.
+    Node(u32),
+    /// Uncabled.
+    None,
+}
+
+/// Flattened topology description.
+#[derive(Clone, Debug)]
+pub struct Wiring {
+    /// Number of routers.
+    pub num_routers: usize,
+    /// Number of processing nodes.
+    pub num_nodes: usize,
+    /// Ports per router (uniform across the network).
+    pub ports: usize,
+    /// `peers[router * ports + port]`.
+    pub peers: Vec<Peer>,
+    /// For each node: the (router, port) it is attached to.
+    pub node_ports: Vec<(u32, u16)>,
+}
+
+impl Wiring {
+    /// Lower a topology into flat tables.
+    ///
+    /// # Panics
+    /// Panics if the topology fails validation or routers have
+    /// non-uniform port counts (both would be construction bugs in the
+    /// topology crate, caught early here).
+    pub fn from_topology(topo: &dyn Topology) -> Self {
+        topology::validate(topo).expect("topology must validate");
+        let num_routers = topo.num_routers();
+        let num_nodes = topo.num_nodes();
+        let ports = topo.ports(RouterId(0));
+        let mut peers = Vec::with_capacity(num_routers * ports);
+        for r in 0..num_routers {
+            let rid = RouterId(r as u32);
+            assert_eq!(topo.ports(rid), ports, "non-uniform port counts unsupported");
+            for p in 0..ports {
+                peers.push(match topo.peer(PortRef::new(rid, p)) {
+                    PortPeer::Router(pr) => {
+                        Peer::Router { router: pr.router.0, port: pr.port as u16 }
+                    }
+                    PortPeer::Node(n) => Peer::Node(n.0),
+                    PortPeer::Unconnected => Peer::None,
+                });
+            }
+        }
+        let node_ports = (0..num_nodes)
+            .map(|n| {
+                let pr = topo.node_port(NodeId(n as u32));
+                (pr.router.0, pr.port as u16)
+            })
+            .collect();
+        Wiring { num_routers, num_nodes, ports, peers, node_ports }
+    }
+
+    /// Peer of `(router, port)`.
+    #[inline]
+    pub fn peer(&self, router: usize, port: usize) -> Peer {
+        self.peers[router * self.ports + port]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{KAryNCube, KAryNTree};
+
+    #[test]
+    fn cube_wiring_shape() {
+        let cube = KAryNCube::new(4, 2);
+        let w = Wiring::from_topology(&cube);
+        assert_eq!(w.num_routers, 16);
+        assert_eq!(w.num_nodes, 16);
+        assert_eq!(w.ports, 5);
+        // Every node port points back at the co-located router.
+        for (n, &(r, p)) in w.node_ports.iter().enumerate() {
+            assert_eq!(r as usize, n);
+            assert_eq!(w.peer(r as usize, p as usize), Peer::Node(n as u32));
+        }
+    }
+
+    #[test]
+    fn tree_wiring_is_symmetric() {
+        let tree = KAryNTree::new(3, 3);
+        let w = Wiring::from_topology(&tree);
+        assert_eq!(w.ports, 6);
+        for r in 0..w.num_routers {
+            for p in 0..w.ports {
+                if let Peer::Router { router, port } = w.peer(r, p) {
+                    assert_eq!(
+                        w.peer(router as usize, port as usize),
+                        Peer::Router { router: r as u32, port: p as u16 }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_up_ports_uncabled() {
+        let tree = KAryNTree::new(2, 3);
+        let w = Wiring::from_topology(&tree);
+        // Roots are routers 0..k^(n-1) = 0..4 in level-major order.
+        for r in 0..4 {
+            assert_eq!(w.peer(r, 2), Peer::None);
+            assert_eq!(w.peer(r, 3), Peer::None);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The routing-function interface between algorithms and the simulator.
+//!
+//! The router model of Section 4 separates the *routing function* (which
+//! output lanes may a header use?) from the *selection policy* (which of
+//! the available ones does it take?). This module defines the former;
+//! the simulator implements the latter ("pick the less loaded link, fair
+//! choice on ties", and for Duato "escape only when the adaptive choice
+//! is limited by contention").
+
+use topology::{NodeId, RouterId, Topology};
+
+/// One admissible output lane at the current router: a (port,
+/// virtual-channel) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Candidate {
+    /// Output port index at the current router.
+    pub port: u16,
+    /// Virtual channel (lane) index on that port, `0..num_vcs`.
+    pub vc: u8,
+}
+
+impl Candidate {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(port: usize, vc: usize) -> Self {
+        Candidate { port: port as u16, vc: vc as u8 }
+    }
+}
+
+/// The set of admissible output lanes for a header, split into the
+/// preferred class and a fallback class.
+///
+/// * For fully adaptive algorithms (tree) and for deterministic routing,
+///   only `preferred` is populated.
+/// * For Duato's algorithm, `preferred` holds the adaptive channels on
+///   every minimal direction and `fallback` the escape channel(s) of the
+///   dimension-order hop; the simulator consults `fallback` only when no
+///   preferred lane can be allocated this cycle.
+///
+/// The buffer is reused across calls to avoid per-header allocation.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateSet {
+    /// Adaptive / primary lanes; the selection policy chooses among
+    /// these first.
+    pub preferred: Vec<Candidate>,
+    /// Escape / secondary lanes, consulted only when every preferred
+    /// lane is unavailable.
+    pub fallback: Vec<Candidate>,
+}
+
+impl CandidateSet {
+    /// Empty both classes (keeps capacity).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.preferred.clear();
+        self.fallback.clear();
+    }
+
+    /// Total number of candidates in both classes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preferred.len() + self.fallback.len()
+    }
+
+    /// Whether no candidate at all was produced (a routing-function bug:
+    /// every reachable state must offer at least one lane).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over all candidates, preferred first.
+    pub fn iter_all(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.preferred.iter().chain(self.fallback.iter()).copied()
+    }
+}
+
+/// A wormhole routing function.
+///
+/// Implementations must be pure functions of `(router, dest)` — the
+/// incoming port is provided for diagnostics/assertions only. This
+/// purity is what lets the [`crate::cdg`] checker enumerate every
+/// reachable channel dependency by replaying the function.
+pub trait RoutingAlgorithm: Send + Sync {
+    /// Number of virtual channels per physical link this algorithm
+    /// requires (uniform across the network, node interfaces included).
+    fn num_vcs(&self) -> usize;
+
+    /// Fill `out` with the admissible output lanes for a header at
+    /// router `r` destined to node `dest`.
+    ///
+    /// When the packet has arrived (the router is the one `dest` is
+    /// attached to), implementations emit candidates on the node port.
+    /// `in_port` is the port the header arrived on; `None` for freshly
+    /// injected packets.
+    fn route(&self, r: RouterId, in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet);
+
+    /// The topology this algorithm instance routes on.
+    fn topology(&self) -> &dyn Topology;
+
+    /// Stable name for reports, e.g. `"deterministic"`, `"duato"`,
+    /// `"adaptive-2vc"`.
+    fn name(&self) -> String;
+
+    /// Degree of freedom `F` in Chien's cost model: the number of
+    /// alternatives the routing decision logic must consider
+    /// (Section 5 of the paper).
+    fn degrees_of_freedom(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_set_basics() {
+        let mut cs = CandidateSet::default();
+        assert!(cs.is_empty());
+        cs.preferred.push(Candidate::new(1, 0));
+        cs.fallback.push(Candidate::new(2, 3));
+        assert_eq!(cs.len(), 2);
+        let all: Vec<_> = cs.iter_all().collect();
+        assert_eq!(all[0], Candidate { port: 1, vc: 0 });
+        assert_eq!(all[1], Candidate { port: 2, vc: 3 });
+        cs.clear();
+        assert!(cs.is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Deterministic dimension-order routing on k-ary n-cubes.
+//!
+//! "The deterministic algorithm is a dimension order routing based on a
+//! static channel dependency graph. Packets are sent to their
+//! destination along a unique minimal path. The potential deadlocks
+//! caused by the wrap-around connections are avoided doubling the number
+//! of virtual channels and creating two distinct virtual networks.
+//! Packets enter the first virtual network and switch to the second
+//! virtual network upon crossing a wrap-around connection. Our version
+//! of the deterministic algorithm uses four virtual channels for each
+//! physical link (two channels for each virtual network)." — Section 3.
+//!
+//! ## Virtual-network (dateline) scheme
+//!
+//! Each dimension is a `k`-node ring in each travel direction. The
+//! *dateline* of the plus-direction ring is the wrap-around edge
+//! `k-1 -> 0` (for minus, `0 -> k-1`). A hop uses virtual network 0
+//! while the packet still has the dateline strictly ahead of it, and
+//! virtual network 1 from the crossing hop onwards (packets that never
+//! cross also ride network 1; what matters for acyclicity is that no
+//! packet *returns* to the dateline edge of the network it is in, which
+//! the CDG tests machine-check).
+//!
+//! Ties on even radix (`k/2` hops both ways round) are broken towards
+//! the plus direction so the path stays unique.
+
+use crate::algo::{Candidate, CandidateSet, RoutingAlgorithm};
+use topology::cube::{CubeDirection, Sign};
+use topology::{KAryNCube, NodeId, RouterId, Topology};
+
+/// Dimension-order deterministic routing with two virtual networks.
+#[derive(Clone, Debug)]
+pub struct CubeDeterministic {
+    cube: KAryNCube,
+    vcs_per_network: usize,
+}
+
+impl CubeDeterministic {
+    /// The paper's configuration: 4 virtual channels, 2 per network.
+    pub fn new(cube: KAryNCube) -> Self {
+        Self::with_vcs_per_network(cube, 2)
+    }
+
+    /// Custom number of virtual channels per virtual network (ablation
+    /// studies); total VCs = `2 * vcs_per_network`.
+    pub fn with_vcs_per_network(cube: KAryNCube, vcs_per_network: usize) -> Self {
+        assert!(vcs_per_network >= 1);
+        CubeDeterministic { cube, vcs_per_network }
+    }
+
+    /// The underlying cube.
+    pub fn cube(&self) -> &KAryNCube {
+        &self.cube
+    }
+
+    /// The dimension-order next hop for a packet at `cur` going to
+    /// `dest`: the lowest unaligned dimension, its (deterministic)
+    /// minimal sign, and the virtual-network class of the hop.
+    /// `None` when `cur == dest`.
+    pub fn next_hop(&self, cur: NodeId, dest: NodeId) -> Option<(CubeDirection, usize)> {
+        for dim in 0..self.cube.n() {
+            let (hops, sign) = self.cube.min_offset(cur, dest, dim);
+            if hops > 0 {
+                let class = dateline_class(&self.cube, cur, dest, dim, sign);
+                return Some((CubeDirection { dim, sign }, class));
+            }
+        }
+        None
+    }
+}
+
+/// Virtual-network class (0 or 1) of a hop in dimension `dim` with
+/// travel direction `sign`: 0 while the dateline is strictly ahead,
+/// 1 from the crossing hop onwards (and for paths that never cross).
+pub(crate) fn dateline_class(
+    cube: &KAryNCube,
+    cur: NodeId,
+    dest: NodeId,
+    dim: usize,
+    sign: Sign,
+) -> usize {
+    let c = cube.coord(cur, dim);
+    let d = cube.coord(dest, dim);
+    let k = cube.k();
+    match sign {
+        // Plus dateline is the edge (k-1 -> 0): still ahead iff the
+        // packet sits beyond its destination (c > d) and is not on the
+        // crossing hop itself (c == k-1).
+        Sign::Plus => usize::from(!(c > d && c != k - 1)),
+        Sign::Minus => usize::from(!(c < d && c != 0)),
+    }
+}
+
+impl RoutingAlgorithm for CubeDeterministic {
+    fn num_vcs(&self) -> usize {
+        2 * self.vcs_per_network
+    }
+
+    fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
+        out.clear();
+        let cur = NodeId(r.0); // routers are co-located with nodes
+        match self.next_hop(cur, dest) {
+            None => {
+                // Arrived: any ejection lane on the node port.
+                let node_port = self.cube.node_port(dest).port;
+                for vc in 0..self.num_vcs() {
+                    out.preferred.push(Candidate::new(node_port, vc));
+                }
+            }
+            Some((dir, class)) => {
+                // Both lanes of the selected virtual network (F = 2).
+                let base = class * self.vcs_per_network;
+                for vc in base..base + self.vcs_per_network {
+                    out.preferred.push(Candidate::new(dir.port(), vc));
+                }
+            }
+        }
+    }
+
+    fn topology(&self) -> &dyn Topology {
+        &self.cube
+    }
+
+    fn name(&self) -> String {
+        "deterministic".into()
+    }
+
+    fn degrees_of_freedom(&self) -> usize {
+        // "In the deterministic routing we have only two virtual
+        // channels available in a single direction (F = 2)."
+        self.vcs_per_network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_cube() -> CubeDeterministic {
+        CubeDeterministic::new(KAryNCube::new(16, 2))
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let a = paper_cube();
+        assert_eq!(a.num_vcs(), 4);
+        assert_eq!(a.degrees_of_freedom(), 2);
+        assert_eq!(a.name(), "deterministic");
+    }
+
+    #[test]
+    fn path_is_unique_minimal_and_dimension_ordered() {
+        let a = paper_cube();
+        let cube = a.cube().clone();
+        for (s, d) in [(0u32, 255u32), (17, 200), (255, 0), (128, 127), (5, 5)] {
+            let (src, dst) = (NodeId(s), NodeId(d));
+            let mut cur = src;
+            let mut hops = 0usize;
+            let mut max_dim_touched = 0usize;
+            while let Some((dir, _)) = a.next_hop(cur, dst) {
+                assert!(dir.dim >= max_dim_touched, "dimension order violated");
+                max_dim_touched = dir.dim;
+                cur = cube.neighbor(cur, dir);
+                hops += 1;
+                assert!(hops <= 64, "routing loop");
+            }
+            assert_eq!(cur, dst);
+            assert_eq!(hops, cube.hop_distance(src, dst), "{s}->{d} not minimal");
+        }
+    }
+
+    #[test]
+    fn every_pair_terminates_minimally() {
+        let a = CubeDeterministic::new(KAryNCube::new(5, 2));
+        let cube = a.cube().clone();
+        for s in 0..25u32 {
+            for d in 0..25u32 {
+                let mut cur = NodeId(s);
+                let mut hops = 0;
+                while let Some((dir, _)) = a.next_hop(cur, NodeId(d)) {
+                    cur = cube.neighbor(cur, dir);
+                    hops += 1;
+                    assert!(hops <= 10);
+                }
+                assert_eq!(cur, NodeId(d));
+                assert_eq!(hops, cube.hop_distance(NodeId(s), NodeId(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_classes_are_monotonic_along_path() {
+        // Once a packet is in virtual network 1 within a dimension it
+        // must never go back to network 0 in that dimension.
+        let a = CubeDeterministic::new(KAryNCube::new(8, 3));
+        let cube = a.cube().clone();
+        for s in (0..512u32).step_by(7) {
+            for d in (0..512u32).step_by(11) {
+                let mut cur = NodeId(s);
+                let mut last: Option<(usize, usize)> = None; // (dim, class)
+                while let Some((dir, class)) = a.next_hop(cur, NodeId(d)) {
+                    if let Some((ld, lc)) = last {
+                        if ld == dir.dim {
+                            assert!(class >= lc, "class regressed in dim {ld}");
+                        }
+                    }
+                    last = Some((dir.dim, class));
+                    cur = cube.neighbor(cur, dir);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_hop_uses_network_one() {
+        let a = paper_cube();
+        let cube = a.cube().clone();
+        // From (15, 0) to (2, 0): must wrap in dimension 0 (3 hops fwd
+        // vs 13 back). First hop is the crossing: class 1.
+        let s = cube.node_at(&[15, 0]);
+        let d = cube.node_at(&[2, 0]);
+        let (dir, class) = a.next_hop(s, d).unwrap();
+        assert_eq!(dir.sign, Sign::Plus);
+        assert_eq!(class, 1);
+        // From (12, 0) the dateline is ahead: class 0.
+        let s = cube.node_at(&[12, 0]);
+        let (dir, class) = a.next_hop(s, d).unwrap();
+        assert_eq!(dir.sign, Sign::Plus);
+        assert_eq!(class, 0);
+    }
+
+    #[test]
+    fn route_emits_ejection_candidates_at_destination() {
+        let a = paper_cube();
+        let mut cs = CandidateSet::default();
+        a.route(RouterId(9), None, NodeId(9), &mut cs);
+        assert_eq!(cs.preferred.len(), 4);
+        assert!(cs.fallback.is_empty());
+        let node_port = a.cube().node_port(NodeId(9)).port;
+        assert!(cs.preferred.iter().all(|c| c.port as usize == node_port));
+    }
+
+    #[test]
+    fn route_emits_two_lanes_of_one_network() {
+        let a = paper_cube();
+        let mut cs = CandidateSet::default();
+        a.route(RouterId(0), None, NodeId(5), &mut cs);
+        assert_eq!(cs.preferred.len(), 2);
+        let ports: Vec<u16> = cs.preferred.iter().map(|c| c.port).collect();
+        assert!(ports.windows(2).all(|w| w[0] == w[1]), "single direction");
+        let vcs: Vec<u8> = cs.preferred.iter().map(|c| c.vc).collect();
+        // 0->5 in a 16-ring never crosses the dateline: network 1.
+        assert_eq!(vcs, vec![2, 3]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimal adaptive routing on k-ary n-cubes after Duato's methodology.
+//!
+//! "In our adaptive algorithm, based on this methodology, we associate
+//! four virtual channels to each link: on two of these channels, called
+//! adaptive channels, packets can be routed along any minimal path
+//! between source and destination. In the remaining two channels, called
+//! deterministic or escape channels, packets are routed deterministically
+//! when the adaptive choice is limited by network contention. An
+//! interesting characteristic of this algorithm is that, once in the
+//! escape channels, packets can re-enter the adaptive channels, that is
+//! the channel allocation policy is non monotonic." — Section 3.
+//!
+//! ## Channel layout
+//!
+//! Per physical link: VCs `0,1` = adaptive, VCs `2,3` = escape. The
+//! escape pair forms a dimension-order subnetwork with the same dateline
+//! scheme as [`crate::CubeDeterministic`] (escape VC `2` = virtual
+//! network 0, VC `3` = virtual network 1), so the escape sub-CDG is
+//! acyclic and Duato's theorem gives deadlock freedom for the whole
+//! algorithm. The non-monotonic re-entry into adaptive channels is
+//! automatic: the routing function is stateless and offers the adaptive
+//! candidates again at every hop.
+//!
+//! On an exact half-ring tie (even `k`, offset `k/2`) *both* directions
+//! are offered adaptively; the escape hop uses the canonical plus
+//! direction so the escape path stays a deterministic DOR path.
+
+use crate::algo::{Candidate, CandidateSet, RoutingAlgorithm};
+use crate::dor::dateline_class;
+use topology::cube::CubeDirection;
+use topology::{KAryNCube, NodeId, RouterId, Topology};
+
+/// Duato minimal-adaptive routing: 2 adaptive + 2 escape channels.
+#[derive(Clone, Debug)]
+pub struct CubeDuato {
+    cube: KAryNCube,
+    adaptive_vcs: usize,
+}
+
+impl CubeDuato {
+    /// The paper's configuration: 2 adaptive + 2 escape channels.
+    pub fn new(cube: KAryNCube) -> Self {
+        Self::with_adaptive_vcs(cube, 2)
+    }
+
+    /// Custom adaptive channel count (ablations); the escape pair is
+    /// always 2 (one per virtual network), so total VCs =
+    /// `adaptive_vcs + 2`.
+    pub fn with_adaptive_vcs(cube: KAryNCube, adaptive_vcs: usize) -> Self {
+        assert!(adaptive_vcs >= 1);
+        CubeDuato { cube, adaptive_vcs }
+    }
+
+    /// The underlying cube.
+    pub fn cube(&self) -> &KAryNCube {
+        &self.cube
+    }
+
+    /// Index of the first escape VC.
+    #[inline]
+    pub fn escape_base(&self) -> usize {
+        self.adaptive_vcs
+    }
+
+    /// Whether `vc` is an escape lane.
+    #[inline]
+    pub fn is_escape_vc(&self, vc: usize) -> bool {
+        vc >= self.adaptive_vcs
+    }
+}
+
+impl RoutingAlgorithm for CubeDuato {
+    fn num_vcs(&self) -> usize {
+        self.adaptive_vcs + 2
+    }
+
+    fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
+        out.clear();
+        let cur = NodeId(r.0);
+        if cur == dest {
+            let node_port = self.cube.node_port(dest).port;
+            for vc in 0..self.num_vcs() {
+                out.preferred.push(Candidate::new(node_port, vc));
+            }
+            return;
+        }
+
+        // Adaptive class: every minimal direction, both adaptive lanes.
+        let mut lowest_unaligned: Option<usize> = None;
+        for dim in 0..self.cube.n() {
+            let signs = self.cube.minimal_signs(cur, dest, dim);
+            let mut any = false;
+            for sign in signs.iter() {
+                any = true;
+                // On a binary ring (k = 2) both directions are the same
+                // physical link, cabled on the Plus port only.
+                if self.cube.k() == 2 && sign == topology::cube::Sign::Minus {
+                    continue;
+                }
+                let port = CubeDirection { dim, sign }.port();
+                for vc in 0..self.adaptive_vcs {
+                    out.preferred.push(Candidate::new(port, vc));
+                }
+            }
+            if any && lowest_unaligned.is_none() {
+                lowest_unaligned = Some(dim);
+            }
+        }
+
+        // Escape class: the dimension-order hop on the virtual network
+        // selected by the dateline scheme.
+        let dim = lowest_unaligned.expect("cur != dest implies some unaligned dimension");
+        let (_, sign) = self.cube.min_offset(cur, dest, dim);
+        let class = dateline_class(&self.cube, cur, dest, dim, sign);
+        let port = CubeDirection { dim, sign }.port();
+        out.fallback.push(Candidate::new(port, self.escape_base() + class));
+    }
+
+    fn topology(&self) -> &dyn Topology {
+        &self.cube
+    }
+
+    fn name(&self) -> String {
+        "duato".into()
+    }
+
+    fn degrees_of_freedom(&self) -> usize {
+        // "With the adaptive algorithm the number increases to six
+        // (F = 6), four adaptive channels in two directions plus two
+        // deterministic channels." Generalized: in the worst case two
+        // unaligned dimensions each offer `adaptive_vcs` lanes in one
+        // direction, plus the two escape lanes of the DOR hop.
+        self.cube.n().min(2) * self.adaptive_vcs + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> CubeDuato {
+        CubeDuato::new(KAryNCube::new(16, 2))
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let a = paper();
+        assert_eq!(a.num_vcs(), 4);
+        assert_eq!(a.degrees_of_freedom(), 6);
+        assert_eq!(a.name(), "duato");
+    }
+
+    #[test]
+    fn candidates_cover_all_minimal_directions() {
+        let a = paper();
+        let cube = a.cube().clone();
+        let s = cube.node_at(&[0, 0]);
+        let d = cube.node_at(&[3, 14]);
+        let mut cs = CandidateSet::default();
+        a.route(RouterId(s.0), None, d, &mut cs);
+        // Minimal: dim0 plus (3 hops), dim1 minus (2 hops): 2 dirs x 2
+        // adaptive lanes.
+        assert_eq!(cs.preferred.len(), 4);
+        let ports: std::collections::HashSet<u16> =
+            cs.preferred.iter().map(|c| c.port).collect();
+        assert_eq!(ports.len(), 2);
+        assert!(cs.preferred.iter().all(|c| c.vc < 2), "adaptive lanes only");
+        // Escape: exactly one lane, dimension order = dim 0, no dateline
+        // crossing -> virtual network 1 -> vc 3.
+        assert_eq!(cs.fallback.len(), 1);
+        assert_eq!(cs.fallback[0].port, 0); // dim 0, plus
+        assert_eq!(cs.fallback[0].vc, 3);
+    }
+
+    #[test]
+    fn half_ring_tie_offers_both_directions() {
+        let a = paper();
+        let cube = a.cube().clone();
+        let s = cube.node_at(&[0, 0]);
+        let d = cube.node_at(&[8, 0]);
+        let mut cs = CandidateSet::default();
+        a.route(RouterId(s.0), None, d, &mut cs);
+        let ports: std::collections::HashSet<u16> =
+            cs.preferred.iter().map(|c| c.port).collect();
+        assert_eq!(ports.len(), 2, "both ring directions are minimal");
+        assert_eq!(cs.fallback.len(), 1);
+    }
+
+    #[test]
+    fn escape_path_follows_deterministic_route() {
+        // Following only the escape (fallback) candidates must trace the
+        // exact dimension-order path.
+        use crate::dor::CubeDeterministic;
+        let a = paper();
+        let det = CubeDeterministic::new(a.cube().clone());
+        let cube = a.cube().clone();
+        for (s, d) in [(0u32, 137u32), (255, 16), (34, 221)] {
+            let mut cur = NodeId(s);
+            let mut cs = CandidateSet::default();
+            while cur != NodeId(d) {
+                a.route(RouterId(cur.0), None, NodeId(d), &mut cs);
+                let esc = cs.fallback[0];
+                let (dir, class) = det.next_hop(cur, NodeId(d)).unwrap();
+                assert_eq!(esc.port as usize, dir.port());
+                assert_eq!(esc.vc as usize, 2 + class);
+                cur = cube.neighbor(cur, dir);
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_offers_every_ejection_lane() {
+        let a = paper();
+        let mut cs = CandidateSet::default();
+        a.route(RouterId(77), None, NodeId(77), &mut cs);
+        assert_eq!(cs.preferred.len(), 4);
+        assert!(cs.fallback.is_empty());
+    }
+
+    #[test]
+    fn adaptive_hops_shrink_distance() {
+        // Any preferred candidate is a minimal hop: distance decreases.
+        let a = CubeDuato::new(KAryNCube::new(6, 3));
+        let cube = a.cube().clone();
+        let mut cs = CandidateSet::default();
+        for s in (0..216u32).step_by(5) {
+            for d in (0..216u32).step_by(7) {
+                if s == d {
+                    continue;
+                }
+                a.route(RouterId(s), None, NodeId(d), &mut cs);
+                let base = cube.hop_distance(NodeId(s), NodeId(d));
+                for c in cs.iter_all() {
+                    let dir = CubeDirection::from_port(c.port as usize, 3).unwrap();
+                    let next = cube.neighbor(NodeId(s), dir);
+                    assert_eq!(cube.hop_distance(next, NodeId(d)), base - 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Routing algorithms and deadlock analysis for the ICPP'97 reproduction.
+//!
+//! The paper compares three wormhole routing algorithms:
+//!
+//! * [`CubeDeterministic`] — dimension-order routing on the k-ary n-cube
+//!   with four virtual channels forming two virtual networks; packets
+//!   move to the second network upon crossing a wrap-around connection
+//!   (Dally & Seitz dateline scheme). Degree of freedom `F = 2`.
+//! * [`CubeDuato`] — minimal adaptive routing after Duato's methodology:
+//!   two *adaptive* channels usable on any minimal direction plus two
+//!   *escape* channels routed by dimension-order, used when adaptive
+//!   choice is blocked by contention. Channel allocation is
+//!   non-monotonic: packets may re-enter the adaptive channels after an
+//!   escape hop. Degree of freedom `F = 6`.
+//! * [`TreeAdaptive`] — minimal adaptive routing on the k-ary n-tree:
+//!   an adaptive *ascending* phase to a nearest common ancestor of
+//!   source and destination followed by a deterministic *descending*
+//!   phase, with 1, 2 or 4 virtual channels. `F = (2k-1)·V`.
+//!
+//! All three implement the [`RoutingAlgorithm`] trait consumed by the
+//! simulator. The [`cdg`] module builds channel-dependency graphs by
+//! *executing* a routing function over every source/destination pair and
+//! machine-checks the deadlock-freedom arguments (acyclic CDG for the
+//! deterministic and tree algorithms, acyclic escape sub-CDG with
+//! indirect dependencies for Duato's).
+
+#![warn(missing_docs)]
+pub mod algo;
+pub mod cdg;
+pub mod dor;
+pub mod duato;
+pub mod mesh_routing;
+pub mod tree_adaptive;
+
+pub use algo::{Candidate, CandidateSet, RoutingAlgorithm};
+pub use cdg::{build_cdg, ChannelDependencyGraph, LaneId};
+
+pub use dor::CubeDeterministic;
+pub use duato::CubeDuato;
+pub use mesh_routing::{MeshAdaptive, MeshDeterministic};
+pub use tree_adaptive::TreeAdaptive;

@@ -1,0 +1,228 @@
+//! Routing on k-ary n-meshes (extension; used by the ablation studies).
+//!
+//! Without wrap-around links a dimension-order path never closes a ring,
+//! so dimension-order routing on a mesh is deadlock-free with a single
+//! virtual channel — no datelines, no virtual networks. That makes the
+//! mesh the cleanest ablation of the cube's deadlock machinery: same
+//! grid, same router, but `F = V` instead of the split networks, and
+//! half the bisection.
+//!
+//! Two algorithms are provided, mirroring the paper's pair:
+//!
+//! * [`MeshDeterministic`] — dimension-order, all `V` lanes of the
+//!   selected direction usable.
+//! * [`MeshAdaptive`] — Duato construction: `V - 1` adaptive lanes on
+//!   every minimal direction plus one escape lane routed in dimension
+//!   order.
+
+use crate::algo::{Candidate, CandidateSet, RoutingAlgorithm};
+use topology::cube::CubeDirection;
+use topology::mesh::KAryNMesh;
+use topology::{NodeId, RouterId, Topology};
+
+/// Dimension-order deterministic routing on a mesh.
+#[derive(Clone, Debug)]
+pub struct MeshDeterministic {
+    mesh: KAryNMesh,
+    vcs: usize,
+}
+
+impl MeshDeterministic {
+    /// Create with `vcs` virtual channels (all usable at every hop).
+    pub fn new(mesh: KAryNMesh, vcs: usize) -> Self {
+        assert!(vcs >= 1);
+        MeshDeterministic { mesh, vcs }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &KAryNMesh {
+        &self.mesh
+    }
+
+    /// The dimension-order next hop, `None` on arrival.
+    pub fn next_hop(&self, cur: NodeId, dest: NodeId) -> Option<CubeDirection> {
+        (0..self.mesh.n()).find_map(|dim| {
+            self.mesh
+                .direction(cur, dest, dim)
+                .map(|sign| CubeDirection { dim, sign })
+        })
+    }
+}
+
+impl RoutingAlgorithm for MeshDeterministic {
+    fn num_vcs(&self) -> usize {
+        self.vcs
+    }
+
+    fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
+        out.clear();
+        let cur = NodeId(r.0);
+        let port = match self.next_hop(cur, dest) {
+            None => self.mesh.node_port(dest).port,
+            Some(dir) => dir.port(),
+        };
+        for vc in 0..self.vcs {
+            out.preferred.push(Candidate::new(port, vc));
+        }
+    }
+
+    fn topology(&self) -> &dyn Topology {
+        &self.mesh
+    }
+
+    fn name(&self) -> String {
+        "mesh-deterministic".into()
+    }
+
+    fn degrees_of_freedom(&self) -> usize {
+        self.vcs
+    }
+}
+
+/// Duato-style minimal adaptive routing on a mesh: `V - 1` adaptive
+/// lanes per minimal direction plus one dimension-order escape lane
+/// (lane `V - 1`).
+#[derive(Clone, Debug)]
+pub struct MeshAdaptive {
+    mesh: KAryNMesh,
+    vcs: usize,
+}
+
+impl MeshAdaptive {
+    /// Create with `vcs >= 2` virtual channels (the last is the escape).
+    pub fn new(mesh: KAryNMesh, vcs: usize) -> Self {
+        assert!(vcs >= 2, "need at least one adaptive and one escape lane");
+        MeshAdaptive { mesh, vcs }
+    }
+
+    /// Whether `vc` is the escape lane.
+    pub fn is_escape_vc(&self, vc: usize) -> bool {
+        vc == self.vcs - 1
+    }
+}
+
+impl RoutingAlgorithm for MeshAdaptive {
+    fn num_vcs(&self) -> usize {
+        self.vcs
+    }
+
+    fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
+        out.clear();
+        let cur = NodeId(r.0);
+        if cur == dest {
+            let port = self.mesh.node_port(dest).port;
+            for vc in 0..self.vcs {
+                out.preferred.push(Candidate::new(port, vc));
+            }
+            return;
+        }
+        let mut dor_port = None;
+        for dim in 0..self.mesh.n() {
+            if let Some(sign) = self.mesh.direction(cur, dest, dim) {
+                let port = CubeDirection { dim, sign }.port();
+                if dor_port.is_none() {
+                    dor_port = Some(port);
+                }
+                for vc in 0..self.vcs - 1 {
+                    out.preferred.push(Candidate::new(port, vc));
+                }
+            }
+        }
+        out.fallback
+            .push(Candidate::new(dor_port.expect("unaligned dimension exists"), self.vcs - 1));
+    }
+
+    fn topology(&self) -> &dyn Topology {
+        &self.mesh
+    }
+
+    fn name(&self) -> String {
+        "mesh-adaptive".into()
+    }
+
+    fn degrees_of_freedom(&self) -> usize {
+        self.mesh.n().min(2) * (self.vcs - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdg::build_cdg;
+    use topology::Sign as S;
+
+    #[test]
+    fn dor_terminates_minimally() {
+        let a = MeshDeterministic::new(KAryNMesh::new(5, 2), 1);
+        let mesh = a.mesh().clone();
+        for s in 0..25u32 {
+            for d in 0..25u32 {
+                let mut cur = NodeId(s);
+                let mut hops = 0;
+                while let Some(dir) = a.next_hop(cur, NodeId(d)) {
+                    cur = mesh.neighbor(cur, dir).expect("minimal hop stays inside");
+                    hops += 1;
+                    assert!(hops <= 8);
+                }
+                assert_eq!(cur, NodeId(d));
+                assert_eq!(hops, mesh.hop_distance(NodeId(s), NodeId(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_dor_is_deadlock_free_with_one_vc() {
+        // The whole point of the ablation: no virtual networks needed.
+        for (k, n) in [(4usize, 2usize), (3, 3)] {
+            let algo = MeshDeterministic::new(KAryNMesh::new(k, n), 1);
+            let g = build_cdg(&algo, |_| true);
+            assert!(g.num_edges() > 0);
+            assert!(g.find_cycle().is_none(), "{k}-ary {n}-mesh DOR cycle");
+        }
+    }
+
+    #[test]
+    fn mesh_adaptive_escape_subgraph_acyclic() {
+        let algo = MeshAdaptive::new(KAryNMesh::new(4, 2), 3);
+        let escape = build_cdg(&algo, |l| algo.is_escape_vc(l.vc as usize));
+        assert!(escape.find_cycle().is_none());
+        let full = build_cdg(&algo, |_| true);
+        assert!(full.find_cycle().is_some(), "adaptive lanes should cycle");
+    }
+
+    #[test]
+    fn adaptive_candidates_are_minimal() {
+        let mesh = KAryNMesh::new(4, 2);
+        let algo = MeshAdaptive::new(mesh.clone(), 3);
+        let mut cs = CandidateSet::default();
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s == d {
+                    continue;
+                }
+                algo.route(RouterId(s), None, NodeId(d), &mut cs);
+                assert!(!cs.is_empty());
+                assert_eq!(cs.fallback.len(), 1);
+                let base = mesh.hop_distance(NodeId(s), NodeId(d));
+                for c in cs.iter_all() {
+                    let dir = CubeDirection::from_port(c.port as usize, 2).unwrap();
+                    let next = mesh.neighbor(NodeId(s), dir).unwrap();
+                    assert_eq!(mesh.hop_distance(next, NodeId(d)), base - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_boundary_violations() {
+        // Routing from a corner never emits an uncabled port.
+        let mesh = KAryNMesh::new(4, 2);
+        let algo = MeshDeterministic::new(mesh.clone(), 2);
+        let mut cs = CandidateSet::default();
+        algo.route(RouterId(0), None, NodeId(15), &mut cs);
+        for c in cs.iter_all() {
+            let dir = CubeDirection::from_port(c.port as usize, 2).unwrap();
+            assert!(matches!(dir.sign, S::Plus));
+        }
+    }
+}

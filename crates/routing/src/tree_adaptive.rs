@@ -1,0 +1,231 @@
+//! Minimal adaptive routing on k-ary n-trees.
+//!
+//! "Minimal adaptive routing between a pair of nodes on a k-ary n-tree
+//! can be easily accomplished sending the packet to one of the common
+//! roots or nearest common ancestors (NCA) of source and destination and
+//! from there to the destination. That is, each packet experiences two
+//! phases, an ascending adaptive phase to get to one of the NCA,
+//! followed by a descending deterministic phase." — Section 2.
+//!
+//! During the ascent **every** up port is admissible (each leads to a
+//! distinct parent that is still on a minimal path); the simulator's
+//! selection policy then "simply picks the less loaded link … that has
+//! the maximum number of free virtual channels (a fair choice is made
+//! when more links are in a similar state)". During the descent the
+//! port is forced — digit `l` of the destination at level `l` — but the
+//! lane on that port is still chosen freely among the `V` virtual
+//! channels.
+//!
+//! Deadlock freedom is structural: ascending hops strictly decrease the
+//! level, descending hops strictly increase it, and a packet never turns
+//! from descending back to ascending, so the channel dependency graph is
+//! acyclic for any number of virtual channels (machine-checked in the
+//! `cdg` tests).
+
+use crate::algo::{Candidate, CandidateSet, RoutingAlgorithm};
+use topology::{KAryNTree, NodeId, RouterId, Topology};
+
+/// Fat-tree minimal adaptive routing with a configurable number of
+/// virtual channels (the paper evaluates 1, 2 and 4).
+#[derive(Clone, Debug)]
+pub struct TreeAdaptive {
+    tree: KAryNTree,
+    vcs: usize,
+}
+
+impl TreeAdaptive {
+    /// Create the algorithm with `vcs` virtual channels per link.
+    ///
+    /// # Panics
+    /// Panics if `vcs == 0`.
+    pub fn new(tree: KAryNTree, vcs: usize) -> Self {
+        assert!(vcs >= 1, "need at least one virtual channel");
+        TreeAdaptive { tree, vcs }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &KAryNTree {
+        &self.tree
+    }
+}
+
+impl RoutingAlgorithm for TreeAdaptive {
+    fn num_vcs(&self) -> usize {
+        self.vcs
+    }
+
+    fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
+        out.clear();
+        let tree = &self.tree;
+        let level = tree.level(r);
+        if tree.is_ancestor_of(r, dest) {
+            // Descending phase (or ejection at the leaf switch): the
+            // down port is forced, the lane is free.
+            let port = tree.down_port_towards(level, dest);
+            for vc in 0..self.vcs {
+                out.preferred.push(Candidate::new(port, vc));
+            }
+        } else {
+            // Ascending phase: every up port leads to a valid NCA.
+            for port in tree.k()..2 * tree.k() {
+                for vc in 0..self.vcs {
+                    out.preferred.push(Candidate::new(port, vc));
+                }
+            }
+        }
+    }
+
+    fn topology(&self) -> &dyn Topology {
+        &self.tree
+    }
+
+    fn name(&self) -> String {
+        format!("adaptive-{}vc", self.vcs)
+    }
+
+    fn degrees_of_freedom(&self) -> usize {
+        // "The degree of freedom F of a packet in the ascending phase is
+        // (2k - 1) * V, because it can take any of the ascending or
+        // descending links" (a switch has 2k links; the one the header
+        // arrived on is excluded).
+        (2 * self.tree.k() - 1) * self.vcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::graph::PortPeer;
+    use topology::PortRef;
+
+    fn paper(vcs: usize) -> TreeAdaptive {
+        TreeAdaptive::new(KAryNTree::new(4, 4), vcs)
+    }
+
+    #[test]
+    fn paper_parameters() {
+        assert_eq!(paper(1).degrees_of_freedom(), 7);
+        assert_eq!(paper(2).degrees_of_freedom(), 14);
+        assert_eq!(paper(4).degrees_of_freedom(), 28);
+        assert_eq!(paper(4).name(), "adaptive-4vc");
+        assert_eq!(paper(2).num_vcs(), 2);
+    }
+
+    #[test]
+    fn ascending_offers_all_up_ports() {
+        let a = paper(2);
+        let tree = a.tree().clone();
+        // Packet at the leaf switch of node 0 destined to node 255:
+        // NCA level 0, must ascend.
+        let sw = tree.leaf_switch(NodeId(0));
+        let mut cs = CandidateSet::default();
+        a.route(sw, None, NodeId(255), &mut cs);
+        assert_eq!(cs.preferred.len(), 4 * 2); // k up ports x 2 lanes
+        assert!(cs.preferred.iter().all(|c| (c.port as usize) >= tree.k()));
+        assert!(cs.fallback.is_empty());
+    }
+
+    #[test]
+    fn descending_port_is_forced() {
+        let a = paper(4);
+        let tree = a.tree().clone();
+        // Any root-level switch is an ancestor of everything.
+        let root = tree.switch(0, 17);
+        let mut cs = CandidateSet::default();
+        let dest = NodeId(0b11_10_01_00); // digits 3,2,1,0
+        a.route(root, None, dest, &mut cs);
+        assert_eq!(cs.preferred.len(), 4); // one port x 4 lanes
+        assert!(cs.preferred.iter().all(|c| c.port == 3)); // digit 0 of dest
+    }
+
+    #[test]
+    fn ejection_at_leaf_switch() {
+        let a = paper(1);
+        let tree = a.tree().clone();
+        let dest = NodeId(42);
+        let leaf = tree.leaf_switch(dest);
+        let mut cs = CandidateSet::default();
+        a.route(leaf, None, dest, &mut cs);
+        assert_eq!(cs.preferred.len(), 1);
+        let c = cs.preferred[0];
+        assert_eq!(
+            tree.peer(PortRef::new(leaf, c.port as usize)),
+            PortPeer::Node(dest)
+        );
+    }
+
+    #[test]
+    fn all_paths_are_minimal() {
+        // Follow every candidate chain on a small tree; each route must
+        // use exactly min_distance(src, dest) - 1 switch decisions.
+        let a = TreeAdaptive::new(KAryNTree::new(3, 3), 1);
+        let tree = a.tree().clone();
+        let mut cs = CandidateSet::default();
+        for s in 0..27u32 {
+            for d in 0..27u32 {
+                if s == d {
+                    continue;
+                }
+                // Depth-first over all candidate choices.
+                let mut stack = vec![(tree.leaf_switch(NodeId(s)), 1usize)];
+                while let Some((sw, hops)) = stack.pop() {
+                    a.route(sw, None, NodeId(d), &mut cs);
+                    assert!(!cs.is_empty());
+                    let ports: std::collections::HashSet<u16> =
+                        cs.preferred.iter().map(|c| c.port).collect();
+                    for port in ports {
+                        match tree.peer(PortRef::new(sw, port as usize)) {
+                            PortPeer::Node(n) => {
+                                assert_eq!(n, NodeId(d));
+                                assert_eq!(
+                                    hops + 1,
+                                    tree.min_distance(NodeId(s), NodeId(d)),
+                                    "{s}->{d}"
+                                );
+                            }
+                            PortPeer::Router(pr) => {
+                                assert!(hops + 1 < 10, "path too long {s}->{d}");
+                                stack.push((pr.router, hops + 1));
+                            }
+                            PortPeer::Unconnected => panic!("routed into a dead port"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_transition_is_one_way() {
+        // Once descending (ancestor), every candidate keeps descending.
+        let a = TreeAdaptive::new(KAryNTree::new(4, 3), 2);
+        let tree = a.tree().clone();
+        let mut cs = CandidateSet::default();
+        for s in (0..64u32).step_by(3) {
+            for d in (0..64u32).step_by(5) {
+                if s == d {
+                    continue;
+                }
+                let mut stack = vec![(tree.leaf_switch(NodeId(s)), false)];
+                let mut guard = 0;
+                while let Some((sw, was_descending)) = stack.pop() {
+                    guard += 1;
+                    assert!(guard < 10_000);
+                    let descending = tree.is_ancestor_of(sw, NodeId(d));
+                    assert!(!was_descending || descending, "descent reverted");
+                    a.route(sw, None, NodeId(d), &mut cs);
+                    for c in cs.preferred.clone() {
+                        if c.vc != 0 {
+                            continue; // one lane is enough for path shape
+                        }
+                        if let PortPeer::Router(pr) =
+                            tree.peer(PortRef::new(sw, c.port as usize))
+                        {
+                            stack.push((pr.router, descending));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

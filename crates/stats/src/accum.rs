@@ -1,0 +1,173 @@
+//! Streaming scalar statistics.
+
+/// Numerically stable streaming statistics over a sequence of `f64`
+/// observations (Welford's online algorithm). Constant memory, one pass.
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `NaN` when empty.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation; `NaN` when empty.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean; `NaN` when empty.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            (self.m2 / self.count as f64 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.push(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.variance() - 4.0).abs() < 1e-12);
+        assert!((a.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(a.min(), 2.0);
+        assert_eq!(a.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let a = Accumulator::new();
+        assert!(a.mean().is_nan());
+        assert!(a.variance().is_nan());
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..300] {
+            left.push(x);
+        }
+        for &x in &xs[300..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Accumulator::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&Accumulator::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut empty = Accumulator::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Naive sum-of-squares would lose all precision here.
+        let mut a = Accumulator::new();
+        let offset = 1e9;
+        for x in [offset + 1.0, offset + 2.0, offset + 3.0] {
+            a.push(x);
+        }
+        assert!((a.variance() - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,198 @@
+//! Batch-means analysis for steady-state simulation output.
+//!
+//! Section 6 of the paper collects data "only after 2000 cycles, to
+//! allow the network to reach steady state". Whether a point estimate
+//! from one run is trustworthy is a statistics question: the standard
+//! answer for a single long run is the *method of batch means* — split
+//! the measurement window into `B` contiguous batches, treat the batch
+//! averages as (approximately independent) observations, and form a
+//! Student-t confidence interval. The simulator reports such an
+//! interval for accepted bandwidth so that paper-vs-measured deltas can
+//! be judged against run-to-run noise.
+
+use crate::accum::Accumulator;
+
+/// Batch-means estimator over a stream of per-interval observations.
+#[derive(Clone, Debug, Default)]
+pub struct BatchMeans {
+    batches: Vec<f64>,
+}
+
+/// A symmetric confidence interval `mean ± half_width`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width
+    }
+
+    /// Relative half-width (`half_width / mean`), `inf` for zero mean.
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+}
+
+/// Two-sided Student-t critical values at 95% confidence for `df`
+/// degrees of freedom (1..=30; larger `df` use the normal 1.96).
+fn t_crit_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+impl BatchMeans {
+    /// A fresh estimator.
+    pub fn new() -> Self {
+        BatchMeans::default()
+    }
+
+    /// Record one batch average.
+    pub fn push(&mut self, batch_mean: f64) {
+        self.batches.push(batch_mean);
+    }
+
+    /// Number of batches recorded.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether no batches were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The grand mean over all batches (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.batches.is_empty() {
+            return f64::NAN;
+        }
+        self.batches.iter().sum::<f64>() / self.batches.len() as f64
+    }
+
+    /// 95% Student-t confidence interval for the steady-state mean.
+    /// Requires at least two batches; with fewer the half-width is
+    /// infinite.
+    pub fn ci95(&self) -> ConfidenceInterval {
+        let b = self.batches.len();
+        if b < 2 {
+            return ConfidenceInterval { mean: self.mean(), half_width: f64::INFINITY };
+        }
+        let mut acc = Accumulator::new();
+        for &x in &self.batches {
+            acc.push(x);
+        }
+        // Sample std-dev of the batch means.
+        let sample_var = acc.variance() * b as f64 / (b as f64 - 1.0);
+        let half = t_crit_95(b - 1) * (sample_var / b as f64).sqrt();
+        ConfidenceInterval { mean: acc.mean(), half_width: half }
+    }
+
+    /// Lag-1 autocorrelation of the batch means — if this is large
+    /// (say > 0.3) the batches are too short to be treated as
+    /// independent and the interval is optimistic. `NaN` with fewer
+    /// than 3 batches.
+    pub fn lag1_autocorrelation(&self) -> f64 {
+        let b = self.batches.len();
+        if b < 3 {
+            return f64::NAN;
+        }
+        let mean = self.mean();
+        let num: f64 = self
+            .batches
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        let den: f64 = self.batches.iter().map(|x| (x - mean) * (x - mean)).sum();
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_batches_have_zero_width() {
+        let mut bm = BatchMeans::new();
+        for _ in 0..10 {
+            bm.push(0.5);
+        }
+        let ci = bm.ci95();
+        assert_eq!(ci.mean, 0.5);
+        assert!(ci.half_width < 1e-12);
+        assert!(ci.contains(0.5));
+        assert!(!ci.contains(0.6));
+    }
+
+    #[test]
+    fn too_few_batches_give_infinite_width() {
+        let mut bm = BatchMeans::new();
+        assert!(bm.ci95().mean.is_nan());
+        bm.push(1.0);
+        assert!(bm.ci95().half_width.is_infinite());
+        bm.push(2.0);
+        assert!(bm.ci95().half_width.is_finite());
+    }
+
+    #[test]
+    fn interval_covers_true_mean_for_iid_noise() {
+        // Deterministic pseudo-noise around 10.0.
+        let mut bm = BatchMeans::new();
+        let mut x = 7u64;
+        for _ in 0..20 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            bm.push(10.0 + noise);
+        }
+        let ci = bm.ci95();
+        assert!(ci.contains(10.0), "{ci:?}");
+        assert!(ci.relative() < 0.05);
+    }
+
+    #[test]
+    fn t_table_sane() {
+        assert!(t_crit_95(1) > t_crit_95(5));
+        assert!(t_crit_95(5) > t_crit_95(30));
+        assert!((t_crit_95(100) - 1.96).abs() < 1e-12);
+        assert!(t_crit_95(0).is_infinite());
+    }
+
+    #[test]
+    fn autocorrelation_detects_trend() {
+        let mut trending = BatchMeans::new();
+        for i in 0..20 {
+            trending.push(i as f64); // strong positive lag-1 correlation
+        }
+        assert!(trending.lag1_autocorrelation() > 0.7);
+
+        let mut alternating = BatchMeans::new();
+        for i in 0..20 {
+            alternating.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        assert!(alternating.lag1_autocorrelation() < -0.7);
+    }
+}

@@ -1,0 +1,271 @@
+//! Dependency-free CSV and JSON emitters for benchmark output.
+//!
+//! The benchmark harness writes one file per paper artifact (table or
+//! figure panel). The data is flat and tabular, so a small hand-rolled
+//! writer keeps the workspace free of serialization dependencies while
+//! producing files that load directly into gnuplot/pandas.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An in-memory table: named columns of `f64` plus an optional string
+/// key column (e.g. the algorithm label per row).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+/// A table cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// Numeric cell, rendered with up to 6 significant decimals.
+    Num(f64),
+    /// Text cell.
+    Text(String),
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Text(v.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Text(v)
+    }
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn with_columns<S: Into<String>>(cols: impl IntoIterator<Item = S>) -> Self {
+        Table { columns: cols.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let line = row
+                .iter()
+                .map(|c| match c {
+                    Cell::Num(v) => format_num(*v),
+                    Cell::Text(s) => csv_escape(s),
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a JSON array of objects keyed by column name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (col, cell)) in self.columns.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: ", json_string(col));
+                match cell {
+                    Cell::Num(v) => {
+                        if v.is_finite() {
+                            let _ = write!(out, "{}", format_num(*v));
+                        } else {
+                            out.push_str("null");
+                        }
+                    }
+                    Cell::Text(s) => out.push_str(&json_string(s)),
+                }
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+
+    /// Render as an aligned, human-readable text table.
+    pub fn to_pretty(&self) -> String {
+        let render = |c: &Cell| match c {
+            Cell::Num(v) => format_num(*v),
+            Cell::Text(s) => s.clone(),
+        };
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(render(cell).len());
+            }
+        }
+        let mut out = String::new();
+        for (w, col) in widths.iter().zip(&self.columns) {
+            let _ = write!(out, "{col:>w$}  ");
+        }
+        out.push('\n');
+        for (w, _) in widths.iter().zip(&self.columns) {
+            let _ = write!(out, "{:->w$}  ", "");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(out, "{:>w$}  ", render(cell));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.6}");
+        // Trim trailing zeros but keep at least one decimal digit.
+        let trimmed = s.trim_end_matches('0');
+        let trimmed = if trimmed.ends_with('.') { &s[..trimmed.len() + 1] } else { trimmed };
+        trimmed.to_string()
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Write a table as CSV to `path`, creating parent directories.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, table.to_csv())
+}
+
+/// Write a table as JSON to `path`, creating parent directories.
+pub fn write_json(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, table.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_columns(["alg", "offered", "accepted"]);
+        t.push_row(vec!["duato".into(), 0.5.into(), 0.5.into()]);
+        t.push_row(vec!["det, v2".into(), 0.75.into(), 0.62.into()]);
+        t
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("alg,offered,accepted"));
+        assert_eq!(lines.next(), Some("duato,0.5,0.5"));
+        assert_eq!(lines.next(), Some("\"det, v2\",0.75,0.62"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let json = sample().to_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"alg\": \"duato\""));
+        assert!(json.contains("\"offered\": 0.75"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn pretty_alignment() {
+        let p = sample().to_pretty();
+        let lines: Vec<&str> = p.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("accepted"));
+        assert!(lines[1].contains("---"));
+    }
+
+    #[test]
+    fn integers_render_without_decimals() {
+        assert_eq!(format_num(42.0), "42");
+        assert_eq!(format_num(0.5), "0.5");
+        assert_eq!(format_num(1.0 / 3.0), "0.333333");
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+        assert_eq!(json_string("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("netstats_test_export");
+        let path = dir.join("sub/table.csv");
+        write_csv(&sample(), &path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, sample().to_csv());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::with_columns(["a", "b"]);
+        t.push_row(vec![1.0.into()]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixed-width binned histograms with quantile queries.
+
+/// A histogram over `[0, bin_width * num_bins)` with an overflow bin.
+///
+/// Used for packet-latency distributions: latencies are non-negative and
+/// the interesting range is known a priori (a few thousand cycles), so
+/// fixed-width bins are simple and fast.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `num_bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    /// Panics if `bin_width <= 0` or `num_bins == 0`.
+    pub fn new(bin_width: f64, num_bins: usize) -> Self {
+        assert!(bin_width > 0.0 && num_bins > 0);
+        Histogram { bin_width, bins: vec![0; num_bins], overflow: 0, total: 0 }
+    }
+
+    /// Record an observation (negative values clamp into the first bin).
+    pub fn record(&mut self, x: f64) {
+        let idx = (x.max(0.0) / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Merge another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different bin widths or counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width);
+        assert_eq!(self.bins.len(), other.bins.len());
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper edge of the bin
+    /// containing the q-th observation. Returns `None` when empty or
+    /// when the quantile falls in the overflow bin.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i + 1) as f64 * self.bin_width);
+            }
+        }
+        None // in overflow
+    }
+
+    /// Iterator over (bin lower edge, count) for non-empty bins.
+    pub fn nonzero_bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as f64 * self.bin_width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_quantiles() {
+        let mut h = Histogram::new(10.0, 10);
+        for x in 0..100 {
+            h.record(x as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.05), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn overflow_handling() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(100.0);
+        h.record(0.5);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn negative_clamps_to_first_bin() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(-5.0);
+        assert_eq!(h.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(2.0, 5);
+        let mut b = Histogram::new(2.0, 5);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(9.0);
+        b.record(99.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.overflow(), 1);
+        let bins: Vec<_> = a.nonzero_bins().collect();
+        assert_eq!(bins, vec![(0.0, 2), (8.0, 1)]);
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_merge_panics() {
+        let mut a = Histogram::new(1.0, 4);
+        let b = Histogram::new(2.0, 4);
+        a.merge(&b);
+    }
+}

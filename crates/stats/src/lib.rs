@@ -1,0 +1,30 @@
+//! Statistics collection and export for network simulations.
+//!
+//! The metrics of Section 6 of the paper — accepted bandwidth and
+//! network latency, measured after a warm-up period — are computed from
+//! the primitives here:
+//!
+//! * [`accum::Accumulator`] — numerically stable streaming
+//!   mean/variance/min/max (Welford's algorithm), used for per-packet
+//!   latency;
+//! * [`histogram::Histogram`] — fixed-width binned counts with quantile
+//!   queries, used for latency distributions;
+//! * [`batch::BatchMeans`] — batch-means confidence intervals for
+//!   steady-state estimates;
+//! * [`series::Series`] and [`series::SweepCurve`] — (x, y…) curves for
+//!   the CNF plots, with saturation-point extraction;
+//! * [`export`] — dependency-free CSV and JSON writers for the
+//!   benchmark harness output.
+
+#![warn(missing_docs)]
+pub mod accum;
+pub mod batch;
+pub mod export;
+pub mod histogram;
+pub mod series;
+
+pub use accum::Accumulator;
+pub use batch::{BatchMeans, ConfidenceInterval};
+pub use export::{write_csv, write_json, Cell, Table};
+pub use histogram::Histogram;
+pub use series::{SaturationPoint, Series, SweepCurve};

@@ -1,0 +1,201 @@
+//! Load-sweep curves and saturation-point extraction.
+//!
+//! Section 6 of the paper: "Saturation is defined as the minimum offered
+//! bandwidth where the accepted bandwidth is lower than the global
+//! packet creation rate at the source nodes. It is worth noting that,
+//! before saturation, offered and accepted bandwidth are the same."
+//! [`SweepCurve::saturation`] implements exactly that definition, with a
+//! small tolerance for stochastic measurement noise.
+
+/// A single named (x, y) series, e.g. one line of a CNF plot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"1 vc"`, `"deterministic"`).
+    pub label: String,
+    /// The data points, in ascending x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point; x must be non-decreasing.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if let Some(&(last_x, _)) = self.points.last() {
+            assert!(x >= last_x, "series x values must be non-decreasing");
+        }
+        self.points.push((x, y));
+    }
+
+    /// Linear interpolation at `x` (clamped to the series range).
+    /// `None` when empty.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if x <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return Some(pts[pts.len() - 1].1);
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if x <= x1 {
+                let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+                return Some(y0 + t * (y1 - y0));
+            }
+        }
+        unreachable!()
+    }
+
+    /// Maximum y value. `None` when empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
+            Some(acc.map_or(y, |a: f64| a.max(y)))
+        })
+    }
+}
+
+/// A sweep of offered load: accepted bandwidth and latency at each
+/// offered point (both curves of one CNF presentation).
+#[derive(Clone, Debug)]
+pub struct SweepCurve {
+    /// Legend label.
+    pub label: String,
+    /// (offered, accepted) in the same unit (fraction of capacity or
+    /// bits/ns).
+    pub accepted: Series,
+    /// (offered, mean network latency).
+    pub latency: Series,
+}
+
+/// The saturation point of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SaturationPoint {
+    /// Offered load at the saturation point.
+    pub offered: f64,
+    /// Accepted bandwidth at (and beyond) that load.
+    pub accepted: f64,
+}
+
+impl SweepCurve {
+    /// Create an empty sweep curve.
+    pub fn new(label: impl Into<String>) -> Self {
+        let label = label.into();
+        SweepCurve {
+            accepted: Series::new(label.clone()),
+            latency: Series::new(label.clone()),
+            label,
+        }
+    }
+
+    /// Record one load point.
+    pub fn push(&mut self, offered: f64, accepted: f64, latency: f64) {
+        self.accepted.push(offered, accepted);
+        self.latency.push(offered, latency);
+    }
+
+    /// The saturation point: the first offered load where accepted falls
+    /// below `(1 - tol) * offered`; the accepted value reported is the
+    /// mean accepted bandwidth over all points at or beyond saturation
+    /// (the sustained post-saturation rate). Returns `None` if the sweep
+    /// never saturates.
+    pub fn saturation(&self, tol: f64) -> Option<SaturationPoint> {
+        let idx = self
+            .accepted
+            .points
+            .iter()
+            .position(|&(x, y)| y < (1.0 - tol) * x)?;
+        let tail = &self.accepted.points[idx..];
+        let sustained = tail.iter().map(|&(_, y)| y).sum::<f64>() / tail.len() as f64;
+        Some(SaturationPoint { offered: self.accepted.points[idx].0, accepted: sustained })
+    }
+
+    /// Throughput stability after saturation: ratio of the minimum to
+    /// the maximum accepted bandwidth at or beyond the saturation point
+    /// (1.0 = perfectly stable; the paper highlights that both networks
+    /// remain stable). `None` if the sweep never saturates.
+    pub fn post_saturation_stability(&self, tol: f64) -> Option<f64> {
+        let idx = self
+            .accepted
+            .points
+            .iter()
+            .position(|&(x, y)| y < (1.0 - tol) * x)?;
+        let tail = &self.accepted.points[idx..];
+        let min = tail.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+        let max = tail.iter().map(|&(_, y)| y).fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return Some(1.0);
+        }
+        Some(min / max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation() {
+        let mut s = Series::new("t");
+        s.push(0.0, 0.0);
+        s.push(1.0, 10.0);
+        s.push(2.0, 10.0);
+        assert_eq!(s.interpolate(0.5), Some(5.0));
+        assert_eq!(s.interpolate(1.5), Some(10.0));
+        assert_eq!(s.interpolate(-1.0), Some(0.0));
+        assert_eq!(s.interpolate(5.0), Some(10.0));
+        assert_eq!(s.max_y(), Some(10.0));
+        assert_eq!(Series::new("e").interpolate(1.0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decreasing_x_rejected() {
+        let mut s = Series::new("t");
+        s.push(1.0, 0.0);
+        s.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn saturation_detection() {
+        let mut c = SweepCurve::new("alg");
+        // Accepted tracks offered up to 0.6, then flattens at 0.62.
+        for i in 1..=10 {
+            let offered = i as f64 / 10.0;
+            let accepted = offered.min(0.62);
+            c.push(offered, accepted, 50.0 + offered * 100.0);
+        }
+        let sat = c.saturation(0.02).expect("saturates");
+        assert_eq!(sat.offered, 0.7);
+        assert!((sat.accepted - 0.62).abs() < 1e-12);
+        let stab = c.post_saturation_stability(0.02).unwrap();
+        assert!((stab - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_saturation_when_accepted_tracks_offered() {
+        let mut c = SweepCurve::new("ideal");
+        for i in 1..=10 {
+            let x = i as f64 / 10.0;
+            c.push(x, x * 0.999, 50.0);
+        }
+        assert_eq!(c.saturation(0.02), None);
+    }
+
+    #[test]
+    fn unstable_post_saturation_detected() {
+        let mut c = SweepCurve::new("unstable");
+        c.push(0.2, 0.2, 10.0);
+        c.push(0.4, 0.4, 10.0);
+        c.push(0.6, 0.5, 10.0);
+        c.push(0.8, 0.30, 10.0); // throughput collapse
+        let stab = c.post_saturation_stability(0.02).unwrap();
+        assert!((stab - 0.6).abs() < 1e-12);
+    }
+}

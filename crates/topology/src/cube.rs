@@ -1,0 +1,433 @@
+//! k-ary n-cubes (tori) — the direct-network family of the paper.
+//!
+//! A k-ary n-cube has `k^n` nodes arranged in an `n`-dimensional grid with
+//! `k` nodes per dimension and wrap-around connections. Every node hosts a
+//! routing chip, so `RouterId(i)` is co-located with `NodeId(i)`.
+//!
+//! ## Port convention
+//!
+//! Router `r` has `2n + 1` ports:
+//! * port `2d` — the **plus** direction of dimension `d` (towards
+//!   coordinate `(c_d + 1) mod k`),
+//! * port `2d + 1` — the **minus** direction of dimension `d`,
+//! * port `2n` — the local processing node.
+//!
+//! Dimension `0` is the least-significant coordinate: node `x` has
+//! coordinate `c_d = (x / k^d) mod k`. (Note this is the opposite
+//! convention to the most-significant-first *address digits* used by the
+//! traffic patterns and by [`crate::Digits`]; coordinates are a property
+//! of the physical grid, digits of the logical benchmark labelling, and
+//! the paper uses both.)
+
+use crate::graph::{PortPeer, PortRef, Topology};
+use crate::ids::{NodeId, RouterId};
+
+/// One of the two travel directions within a dimension of a torus.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    /// Towards increasing coordinate (with wraparound `k-1 -> 0`).
+    Plus,
+    /// Towards decreasing coordinate (with wraparound `0 -> k-1`).
+    Minus,
+}
+
+impl Sign {
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// A (dimension, sign) pair identifying one of the `2n` router directions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CubeDirection {
+    /// Dimension index, `0..n` (0 = least-significant coordinate).
+    pub dim: usize,
+    /// Travel direction within the dimension.
+    pub sign: Sign,
+}
+
+impl CubeDirection {
+    /// The router port carrying this direction.
+    #[inline]
+    pub fn port(self) -> usize {
+         2 * self.dim
+            + match self.sign {
+                Sign::Plus => 0,
+                Sign::Minus => 1,
+            }
+    }
+
+    /// Inverse of [`CubeDirection::port`]; `None` for the node port.
+    #[inline]
+    pub fn from_port(port: usize, n: usize) -> Option<CubeDirection> {
+        if port >= 2 * n {
+            return None;
+        }
+        Some(CubeDirection {
+            dim: port / 2,
+            sign: if port.is_multiple_of(2) { Sign::Plus } else { Sign::Minus },
+        })
+    }
+}
+
+/// A k-ary n-cube (torus) topology.
+///
+/// ```
+/// use topology::{KAryNCube, NodeId, Topology};
+///
+/// let cube = KAryNCube::new(16, 2); // the paper's 256-node torus
+/// assert_eq!(cube.num_nodes(), 256);
+/// assert_eq!(cube.hop_distance(NodeId(0), NodeId(255)), 2); // wraparound
+/// assert_eq!(cube.uniform_capacity_flits_per_cycle(), 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KAryNCube {
+    k: usize,
+    n: usize,
+    num_nodes: usize,
+}
+
+impl KAryNCube {
+    /// Build a k-ary n-cube.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, `n == 0`, or `k^n` does not fit in `u32`.
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 2, "radix must be at least 2");
+        assert!(n >= 1, "dimension must be at least 1");
+        let mut num_nodes: u64 = 1;
+        for _ in 0..n {
+            num_nodes = num_nodes.checked_mul(k as u64).expect("k^n overflow");
+        }
+        assert!(num_nodes <= u32::MAX as u64, "k^n exceeds u32 range");
+        KAryNCube { k, n, num_nodes: num_nodes as usize }
+    }
+
+    /// The radix `k` (nodes per dimension).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coordinate of node `x` in dimension `d` (`0` = least significant).
+    #[inline]
+    pub fn coord(&self, x: NodeId, d: usize) -> usize {
+        debug_assert!(d < self.n);
+        x.index() / self.k.pow(d as u32) % self.k
+    }
+
+    /// All coordinates of node `x`, index = dimension.
+    pub fn coords(&self, x: NodeId) -> Vec<usize> {
+        (0..self.n).map(|d| self.coord(x, d)).collect()
+    }
+
+    /// Node with the given coordinates (index = dimension).
+    pub fn node_at(&self, coords: &[usize]) -> NodeId {
+        assert_eq!(coords.len(), self.n);
+        let mut x = 0usize;
+        for d in (0..self.n).rev() {
+            assert!(coords[d] < self.k);
+            x = x * self.k + coords[d];
+        }
+        NodeId(x as u32)
+    }
+
+    /// The neighbor of `x` one hop along `dir`.
+    pub fn neighbor(&self, x: NodeId, dir: CubeDirection) -> NodeId {
+        let c = self.coord(x, dir.dim);
+        let stride = self.k.pow(dir.dim as u32);
+        let nc = match dir.sign {
+            Sign::Plus => (c + 1) % self.k,
+            Sign::Minus => (c + self.k - 1) % self.k,
+        };
+        NodeId((x.index() + nc * stride - c * stride) as u32)
+    }
+
+    /// Signed minimal hop count from `a` to `b` in dimension `d`:
+    /// `(hops, preferred_sign)`. When the two ways around the ring tie
+    /// (`k` even, offset exactly `k/2`), both directions are minimal;
+    /// the canonical deterministic choice is made by the parity of the
+    /// source coordinate, which keeps every (source, destination) path
+    /// unique while balancing the aggregate link load between the two
+    /// ring directions (always preferring one direction would load it
+    /// ~29% more under uniform traffic at `k = 16`).
+    /// [`KAryNCube::minimal_signs`] reports the tie for adaptive routers.
+    pub fn min_offset(&self, a: NodeId, b: NodeId, d: usize) -> (usize, Sign) {
+        let ca = self.coord(a, d);
+        let cb = self.coord(b, d);
+        let fwd = (cb + self.k - ca) % self.k;
+        let bwd = (ca + self.k - cb) % self.k;
+        // On a binary ring both directions are the same physical link,
+        // cabled on the Plus port only.
+        if fwd < bwd || (fwd == bwd && (self.k == 2 || ca.is_multiple_of(2))) {
+            (fwd, Sign::Plus)
+        } else {
+            (bwd, Sign::Minus)
+        }
+    }
+
+    /// All minimal travel directions from `a` to `b` in dimension `d`
+    /// (empty if aligned, two entries on an exact half-ring tie).
+    pub fn minimal_signs(&self, a: NodeId, b: NodeId, d: usize) -> MinimalSigns {
+        let ca = self.coord(a, d);
+        let cb = self.coord(b, d);
+        let fwd = (cb + self.k - ca) % self.k;
+        if fwd == 0 {
+            MinimalSigns::None
+        } else if 2 * fwd < self.k {
+            MinimalSigns::One(Sign::Plus)
+        } else if 2 * fwd > self.k {
+            MinimalSigns::One(Sign::Minus)
+        } else {
+            MinimalSigns::Both
+        }
+    }
+
+    /// Minimal router-to-router hop distance between the routers of two
+    /// nodes (sum of per-dimension minimal offsets).
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        (0..self.n).map(|d| self.min_offset(a, b, d).0).sum()
+    }
+
+    /// Number of bidirectional links crossing the canonical bisection.
+    ///
+    /// The canonical bisection cuts the highest dimension between
+    /// coordinates `k/2 - 1 | k/2` and, because of the wrap-around, also
+    /// between `k - 1 | 0`, giving `2 k^(n-1)` bidirectional links.
+    /// Requires even `k`.
+    pub fn bisection_links(&self) -> usize {
+        assert!(self.k.is_multiple_of(2), "bisection defined for even k");
+        2 * self.num_nodes / self.k
+    }
+
+    /// Theoretical per-node capacity under uniform traffic, in flits per
+    /// cycle, from the paper's footnote: half of uniform traffic crosses
+    /// the bisection, so each node can inject at most `2B/N` where `B`
+    /// counts bisection channels in both directions. Simplifies to `8/k`.
+    pub fn uniform_capacity_flits_per_cycle(&self) -> f64 {
+        let directed_bisection = 2.0 * self.bisection_links() as f64;
+        (2.0 * directed_bisection / self.num_nodes as f64).min(1.0)
+    }
+
+    /// Mean minimal hop distance over all ordered node pairs (self pairs
+    /// included): `n * k / 4` for even `k`.
+    pub fn mean_hop_distance(&self) -> f64 {
+        // Per dimension: sum over offsets of min(d, k-d) / k.
+        let k = self.k;
+        let per_dim: usize = (0..k).map(|d| d.min(k - d)).sum();
+        self.n as f64 * per_dim as f64 / k as f64
+    }
+}
+
+/// Result of [`KAryNCube::minimal_signs`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MinimalSigns {
+    /// Source and destination are aligned in this dimension.
+    None,
+    /// A unique minimal direction.
+    One(Sign),
+    /// Exact half-ring: both directions are minimal.
+    Both,
+}
+
+impl MinimalSigns {
+    /// Iterate over the minimal signs (0, 1 or 2 of them).
+    pub fn iter(self) -> impl Iterator<Item = Sign> {
+        let (a, b) = match self {
+            MinimalSigns::None => (None, None),
+            MinimalSigns::One(s) => (Some(s), None),
+            MinimalSigns::Both => (Some(Sign::Plus), Some(Sign::Minus)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl Topology for KAryNCube {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_routers(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn ports(&self, _r: RouterId) -> usize {
+        2 * self.n + 1
+    }
+
+    fn peer(&self, p: PortRef) -> PortPeer {
+        let node = NodeId(p.router.0);
+        match CubeDirection::from_port(p.port, self.n) {
+            Some(dir) => {
+                if self.k == 2 && dir.sign == Sign::Minus {
+                    // With k = 2 both directions reach the same neighbor;
+                    // we keep a single physical link on the Plus port and
+                    // leave the Minus port uncabled to avoid double links.
+                    return PortPeer::Unconnected;
+                }
+                let other = self.neighbor(node, dir);
+                let back = CubeDirection { dim: dir.dim, sign: dir.sign.opposite() };
+                let back_port = if self.k == 2 { dir.port() } else { back.port() };
+                PortPeer::Router(PortRef::new(RouterId(other.0), back_port))
+            }
+            None => {
+                if p.port == 2 * self.n {
+                    PortPeer::Node(node)
+                } else {
+                    PortPeer::Unconnected
+                }
+            }
+        }
+    }
+
+    fn node_port(&self, n: NodeId) -> PortRef {
+        PortRef::new(RouterId(n.0), 2 * self.n)
+    }
+
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+        if a == b {
+            0
+        } else {
+            self.hop_distance(a, b) + 2
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}-ary {}-cube", self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn paper_cube_shape() {
+        let c = KAryNCube::new(16, 2);
+        assert_eq!(c.num_nodes(), 256);
+        assert_eq!(c.num_routers(), 256);
+        // n * k^n links: node links (256) + router links (512) = 768.
+        assert_eq!(c.num_links(), 2 * 256 + 256); // 2 dims * 256 / ... = 512 + 256
+        assert_eq!(c.num_links(), c.n() * c.num_nodes() + c.num_nodes());
+        assert_eq!(c.label(), "16-ary 2-cube");
+    }
+
+    #[test]
+    fn paper_cube_validates() {
+        validate(&KAryNCube::new(16, 2)).unwrap();
+    }
+
+    #[test]
+    fn small_cubes_validate() {
+        for (k, n) in [(2, 2), (2, 4), (3, 2), (4, 3), (5, 2), (8, 2), (4, 4)] {
+            validate(&KAryNCube::new(k, n)).unwrap_or_else(|e| panic!("({k},{n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let c = KAryNCube::new(5, 3);
+        for x in 0..c.num_nodes() {
+            let coords = c.coords(NodeId(x as u32));
+            assert_eq!(c.node_at(&coords), NodeId(x as u32));
+        }
+    }
+
+    #[test]
+    fn neighbor_moves_one_coordinate() {
+        let c = KAryNCube::new(16, 2);
+        let x = c.node_at(&[15, 7]);
+        let p = c.neighbor(x, CubeDirection { dim: 0, sign: Sign::Plus });
+        assert_eq!(c.coords(p), vec![0, 7]); // wraps
+        let m = c.neighbor(x, CubeDirection { dim: 1, sign: Sign::Minus });
+        assert_eq!(c.coords(m), vec![15, 6]);
+    }
+
+    #[test]
+    fn neighbor_is_involutive() {
+        let c = KAryNCube::new(6, 3);
+        for x in 0..c.num_nodes() {
+            for d in 0..3 {
+                for sign in [Sign::Plus, Sign::Minus] {
+                    let dir = CubeDirection { dim: d, sign };
+                    let back = CubeDirection { dim: d, sign: sign.opposite() };
+                    let y = c.neighbor(NodeId(x as u32), dir);
+                    assert_eq!(c.neighbor(y, back), NodeId(x as u32));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_offset_symmetric_distance() {
+        let c = KAryNCube::new(16, 2);
+        for a in [0usize, 17, 100, 255] {
+            for b in [0usize, 3, 128, 254] {
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                assert_eq!(c.hop_distance(a, b), c.hop_distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn half_ring_tie_detected() {
+        let c = KAryNCube::new(16, 2);
+        let a = c.node_at(&[0, 0]);
+        let b = c.node_at(&[8, 0]);
+        assert_eq!(c.minimal_signs(a, b, 0), MinimalSigns::Both);
+        assert_eq!(c.minimal_signs(a, b, 1), MinimalSigns::None);
+        assert_eq!(c.min_offset(a, b, 0), (8, Sign::Plus));
+    }
+
+    #[test]
+    fn bisection_and_capacity() {
+        let c = KAryNCube::new(16, 2);
+        assert_eq!(c.bisection_links(), 32);
+        let cap = c.uniform_capacity_flits_per_cycle();
+        assert!((cap - 0.5).abs() < 1e-12, "capacity {cap}");
+    }
+
+    #[test]
+    fn mean_hop_distance_formula() {
+        let c = KAryNCube::new(16, 2);
+        assert!((c.mean_hop_distance() - 8.0).abs() < 1e-12);
+
+        // Brute-force check on a small cube.
+        let c = KAryNCube::new(4, 3);
+        let n = c.num_nodes();
+        let total: usize = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .map(|(a, b)| c.hop_distance(NodeId(a as u32), NodeId(b as u32)))
+            .sum();
+        let mean = total as f64 / (n * n) as f64;
+        assert!((mean - c.mean_hop_distance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_hypercube_special_case() {
+        // k = 2: the binary hypercube. Minus ports are uncabled.
+        let c = KAryNCube::new(2, 4);
+        assert_eq!(c.num_nodes(), 16);
+        validate(&c).unwrap();
+        assert_eq!(c.hop_distance(NodeId(0), NodeId(0b1111)), 4);
+    }
+
+    #[test]
+    fn min_distance_includes_node_links() {
+        let c = KAryNCube::new(16, 2);
+        assert_eq!(c.min_distance(NodeId(0), NodeId(0)), 0);
+        assert_eq!(c.min_distance(NodeId(0), NodeId(1)), 3);
+    }
+}

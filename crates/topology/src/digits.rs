@@ -1,0 +1,178 @@
+//! Base-`k` digit manipulation for node and switch addresses.
+//!
+//! Both topology families and all four synthetic traffic patterns of the
+//! paper are defined in terms of the base-`k` representation of node
+//! indices (Section 7 of the paper labels each node `p_0 p_1 … p_{n-1}`
+//! with `p_0` the most significant digit). This module centralizes the
+//! digit arithmetic so the conventions are fixed in exactly one place.
+
+/// A helper for converting between linear indices and fixed-width
+/// most-significant-first base-`k` digit vectors.
+///
+/// `Digits::new(k, n)` describes addresses with `n` digits in base `k`,
+/// covering the index range `0..k^n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Digits {
+    k: u32,
+    n: u32,
+}
+
+impl Digits {
+    /// Create a digit codec for `n`-digit base-`k` numbers.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, `n == 0`, or `k^n` overflows `u32`.
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 2, "radix must be at least 2");
+        assert!(n >= 1, "need at least one digit");
+        let mut total: u64 = 1;
+        for _ in 0..n {
+            total = total
+                .checked_mul(k as u64)
+                .expect("k^n overflows u64");
+        }
+        assert!(total <= u32::MAX as u64 + 1, "k^n exceeds u32 range");
+        Digits {
+            k: k as u32,
+            n: n as u32,
+        }
+    }
+
+    /// The radix `k`.
+    #[inline]
+    pub fn radix(&self) -> usize {
+        self.k as usize
+    }
+
+    /// The number of digits `n`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Total number of representable values, `k^n`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        (self.k as u64).pow(self.n) as usize
+    }
+
+    /// Digit `j` of `x`, with `j = 0` the most significant digit.
+    ///
+    /// This matches the paper's `p_0 p_1 … p_{n-1}` labelling.
+    #[inline]
+    pub fn digit(&self, x: usize, j: usize) -> usize {
+        debug_assert!(j < self.n as usize);
+        let shift = (self.k as u64).pow(self.n - 1 - j as u32);
+        (x as u64 / shift % self.k as u64) as usize
+    }
+
+    /// Replace digit `j` (most-significant-first) of `x` with `value`.
+    #[inline]
+    pub fn with_digit(&self, x: usize, j: usize, value: usize) -> usize {
+        debug_assert!(j < self.n as usize);
+        debug_assert!(value < self.k as usize);
+        let shift = (self.k as u64).pow(self.n - 1 - j as u32);
+        let old = x as u64 / shift % self.k as u64;
+        (x as u64 - old * shift + value as u64 * shift) as usize
+    }
+
+    /// Decompose `x` into its digit vector, most significant first.
+    pub fn expand(&self, x: usize) -> Vec<usize> {
+        (0..self.width()).map(|j| self.digit(x, j)).collect()
+    }
+
+    /// Recompose a most-significant-first digit vector into an index.
+    ///
+    /// # Panics
+    /// Panics if the slice length differs from `n` or any digit is `>= k`.
+    pub fn compose(&self, digits: &[usize]) -> usize {
+        assert_eq!(digits.len(), self.width());
+        let mut x: u64 = 0;
+        for &d in digits {
+            assert!(d < self.k as usize, "digit out of range");
+            x = x * self.k as u64 + d as u64;
+        }
+        x as usize
+    }
+
+    /// Length of the longest common most-significant-first digit prefix of
+    /// `a` and `b` (between `0` and `n` inclusive).
+    ///
+    /// In a k-ary n-tree this is exactly what determines the level of the
+    /// nearest common ancestors: two nodes with common prefix length `m`
+    /// meet at level `m` (0 = root), so their minimal distance is
+    /// `2 (n - m)` links.
+    pub fn common_prefix_len(&self, a: usize, b: usize) -> usize {
+        for j in 0..self.width() {
+            if self.digit(a, j) != self.digit(b, j) {
+                return j;
+            }
+        }
+        self.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_extraction_msb_first() {
+        let d = Digits::new(4, 4);
+        // 0x1B3 in base 4: 123 = 1*64 + 3*16 + 2*4 + 3 -> digits [1,3,2,3]
+        let x = 64 + 3 * 16 + 2 * 4 + 3;
+        assert_eq!(d.expand(x), vec![1, 3, 2, 3]);
+        assert_eq!(d.digit(x, 0), 1);
+        assert_eq!(d.digit(x, 3), 3);
+    }
+
+    #[test]
+    fn compose_inverts_expand() {
+        let d = Digits::new(3, 5);
+        for x in 0..d.count() {
+            assert_eq!(d.compose(&d.expand(x)), x);
+        }
+    }
+
+    #[test]
+    fn with_digit_changes_one_digit() {
+        let d = Digits::new(4, 3);
+        for x in 0..d.count() {
+            for j in 0..3 {
+                for v in 0..4 {
+                    let y = d.with_digit(x, j, v);
+                    assert_eq!(d.digit(y, j), v);
+                    for other in 0..3 {
+                        if other != j {
+                            assert_eq!(d.digit(y, other), d.digit(x, other));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_prefix() {
+        let d = Digits::new(4, 4);
+        let a = d.compose(&[1, 2, 3, 0]);
+        let b = d.compose(&[1, 2, 0, 0]);
+        assert_eq!(d.common_prefix_len(a, b), 2);
+        assert_eq!(d.common_prefix_len(a, a), 4);
+        let c = d.compose(&[3, 2, 3, 0]);
+        assert_eq!(d.common_prefix_len(a, c), 0);
+    }
+
+    #[test]
+    fn count_matches_pow() {
+        assert_eq!(Digits::new(4, 4).count(), 256);
+        assert_eq!(Digits::new(16, 2).count(), 256);
+        assert_eq!(Digits::new(2, 8).count(), 256);
+    }
+
+    #[test]
+    #[should_panic]
+    fn radix_one_rejected() {
+        let _ = Digits::new(1, 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! The port-level topology abstraction consumed by the simulator.
+//!
+//! A topology is a set of routers, each with a fixed number of ports.
+//! Every port is either wired to a port of another router (one
+//! bidirectional link), wired to a processing node (the node's
+//! injection/ejection interface), or left unconnected (e.g. the upward
+//! ports of the root-level switches of a fat-tree, which the paper leaves
+//! available as "external connections").
+//!
+//! The [`validate`] function checks the structural invariants that every
+//! well-formed topology must satisfy (symmetric wiring, each node attached
+//! exactly once, network connectedness) and is run by the test-suites of
+//! both concrete topologies as well as by property-based tests.
+
+use crate::ids::{NodeId, RouterId};
+use std::collections::VecDeque;
+
+/// A specific port of a specific router.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PortRef {
+    /// The router owning the port.
+    pub router: RouterId,
+    /// Port index within the router, `0..ports(router)`.
+    pub port: usize,
+}
+
+impl PortRef {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(router: RouterId, port: usize) -> Self {
+        PortRef { router, port }
+    }
+}
+
+/// What sits at the far end of a router port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortPeer {
+    /// A port of another router; the two ports form one bidirectional link.
+    Router(PortRef),
+    /// A processing node (injection and ejection interface).
+    Node(NodeId),
+    /// Nothing; the port exists physically but is not cabled.
+    Unconnected,
+}
+
+/// Errors found by [`validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TopologyError {
+    /// Port `a` claims peer `b`, but `b`'s peer is not `a`.
+    AsymmetricLink(PortRef, PortRef),
+    /// A router port points at a router or port index that does not exist.
+    DanglingPort(PortRef),
+    /// Node is attached zero or more than one time.
+    BadNodeAttachment(NodeId, usize),
+    /// `node_port` disagrees with the port scan.
+    InconsistentNodePort(NodeId),
+    /// Not every router is reachable from router 0.
+    Disconnected {
+        /// Routers reachable from router 0.
+        reachable: usize,
+        /// Total routers in the topology.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::AsymmetricLink(a, b) => {
+                write!(f, "asymmetric link: {}:{} -> {}:{}", a.router, a.port, b.router, b.port)
+            }
+            TopologyError::DanglingPort(p) => {
+                write!(f, "dangling port {}:{}", p.router, p.port)
+            }
+            TopologyError::BadNodeAttachment(n, c) => {
+                write!(f, "node {n} attached {c} times (expected 1)")
+            }
+            TopologyError::InconsistentNodePort(n) => {
+                write!(f, "node_port({n}) disagrees with port scan")
+            }
+            TopologyError::Disconnected { reachable, total } => {
+                write!(f, "router graph disconnected: {reachable}/{total} reachable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The structural interface every topology exposes to the simulator.
+///
+/// Implementations must be pure: all methods are `&self` and answers never
+/// change for a given instance.
+pub trait Topology {
+    /// Number of processing nodes `N`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of routing switches.
+    fn num_routers(&self) -> usize;
+
+    /// Number of ports of router `r` (including node-facing ports and
+    /// unconnected ports).
+    fn ports(&self, r: RouterId) -> usize;
+
+    /// What is wired to port `p`.
+    fn peer(&self, p: PortRef) -> PortPeer;
+
+    /// The router port to which node `n` is attached.
+    fn node_port(&self, n: NodeId) -> PortRef;
+
+    /// Minimal distance between two nodes in links (node-to-router and
+    /// router-to-node links included). `0` if `a == b`.
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize;
+
+    /// Total number of bidirectional links, counting node-attachment
+    /// links but not unconnected ports.
+    fn num_links(&self) -> usize {
+        let mut count = 0usize;
+        for r in 0..self.num_routers() {
+            for p in 0..self.ports(RouterId(r as u32)) {
+                match self.peer(PortRef::new(RouterId(r as u32), p)) {
+                    PortPeer::Router(_) => count += 1, // counted twice
+                    PortPeer::Node(_) => count += 2,   // counted once
+                    PortPeer::Unconnected => {}
+                }
+            }
+        }
+        count / 2
+    }
+
+    /// Short human-readable name, e.g. `"16-ary 2-cube"`.
+    fn label(&self) -> String;
+}
+
+/// Check the structural invariants of a topology.
+///
+/// Verifies that:
+/// 1. every `Router` peer is in range and symmetric (`peer(peer(p)) == p`),
+/// 2. every node is attached to exactly one router port and `node_port`
+///    agrees with the port scan,
+/// 3. the router graph is connected.
+pub fn validate<T: Topology + ?Sized>(t: &T) -> Result<(), TopologyError> {
+    let nr = t.num_routers();
+    let mut node_seen = vec![0usize; t.num_nodes()];
+
+    for r in 0..nr {
+        let rid = RouterId(r as u32);
+        for p in 0..t.ports(rid) {
+            let here = PortRef::new(rid, p);
+            match t.peer(here) {
+                PortPeer::Router(other) => {
+                    if other.router.index() >= nr || other.port >= t.ports(other.router) {
+                        return Err(TopologyError::DanglingPort(here));
+                    }
+                    if t.peer(other) != PortPeer::Router(here) {
+                        return Err(TopologyError::AsymmetricLink(here, other));
+                    }
+                }
+                PortPeer::Node(n) => {
+                    if n.index() >= t.num_nodes() {
+                        return Err(TopologyError::DanglingPort(here));
+                    }
+                    node_seen[n.index()] += 1;
+                    if t.node_port(n) != here {
+                        return Err(TopologyError::InconsistentNodePort(n));
+                    }
+                }
+                PortPeer::Unconnected => {}
+            }
+        }
+    }
+
+    for (i, &c) in node_seen.iter().enumerate() {
+        if c != 1 {
+            return Err(TopologyError::BadNodeAttachment(NodeId(i as u32), c));
+        }
+    }
+
+    // BFS over the router graph.
+    let mut seen = vec![false; nr];
+    let mut queue = VecDeque::new();
+    seen[0] = true;
+    queue.push_back(RouterId(0));
+    let mut reachable = 1usize;
+    while let Some(r) = queue.pop_front() {
+        for p in 0..t.ports(r) {
+            if let PortPeer::Router(other) = t.peer(PortRef::new(r, p)) {
+                if !seen[other.router.index()] {
+                    seen[other.router.index()] = true;
+                    reachable += 1;
+                    queue.push_back(other.router);
+                }
+            }
+        }
+    }
+    if reachable != nr {
+        return Err(TopologyError::Disconnected { reachable, total: nr });
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately broken two-router topology for exercising `validate`.
+    struct Broken {
+        asymmetric: bool,
+        orphan_node: bool,
+    }
+
+    impl Topology for Broken {
+        fn num_nodes(&self) -> usize {
+            2
+        }
+        fn num_routers(&self) -> usize {
+            2
+        }
+        fn ports(&self, _r: RouterId) -> usize {
+            2
+        }
+        fn peer(&self, p: PortRef) -> PortPeer {
+            match (p.router.index(), p.port) {
+                (0, 0) => PortPeer::Node(NodeId(0)),
+                (1, 0) => {
+                    if self.orphan_node {
+                        PortPeer::Node(NodeId(0)) // node 0 attached twice, node 1 never
+                    } else {
+                        PortPeer::Node(NodeId(1))
+                    }
+                }
+                (0, 1) => PortPeer::Router(PortRef::new(RouterId(1), 1)),
+                (1, 1) => {
+                    if self.asymmetric {
+                        PortPeer::Router(PortRef::new(RouterId(0), 0))
+                    } else {
+                        PortPeer::Router(PortRef::new(RouterId(0), 1))
+                    }
+                }
+                _ => PortPeer::Unconnected,
+            }
+        }
+        fn node_port(&self, n: NodeId) -> PortRef {
+            PortRef::new(RouterId(n.0), 0)
+        }
+        fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+            if a == b {
+                0
+            } else {
+                3
+            }
+        }
+        fn label(&self) -> String {
+            "broken".into()
+        }
+    }
+
+    #[test]
+    fn valid_two_router_line_passes() {
+        let t = Broken { asymmetric: false, orphan_node: false };
+        assert_eq!(validate(&t), Ok(()));
+        assert_eq!(t.num_links(), 3);
+    }
+
+    #[test]
+    fn asymmetric_link_detected() {
+        let t = Broken { asymmetric: true, orphan_node: false };
+        assert!(matches!(validate(&t), Err(TopologyError::AsymmetricLink(..))));
+    }
+
+    #[test]
+    fn bad_node_attachment_detected() {
+        let t = Broken { asymmetric: false, orphan_node: true };
+        assert!(matches!(
+            validate(&t),
+            Err(TopologyError::BadNodeAttachment(..)) | Err(TopologyError::InconsistentNodePort(..))
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = TopologyError::Disconnected { reachable: 1, total: 4 };
+        assert!(e.to_string().contains("1/4"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Strongly typed identifiers for processing nodes and routing switches.
+//!
+//! Keeping node and router identifiers as distinct newtypes prevents the
+//! most common class of indexing bug in network simulators: using a node
+//! index where a switch index is expected. In a k-ary n-cube the two
+//! happen to coincide numerically (every node hosts a router), which makes
+//! the bug silent; in a k-ary n-tree they do not.
+
+use std::fmt;
+
+/// Identifier of a processing node (a traffic source/sink).
+///
+/// Nodes are numbered `0..N` where `N = k^n` for both topology families.
+/// The numeric value doubles as the node's base-`k` address: digit `j`
+/// (most-significant first) is `(id / k^(n-1-j)) % k`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a routing switch.
+///
+/// * In a [`crate::KAryNCube`], router `r` is co-located with node `r`.
+/// * In a [`crate::KAryNTree`] with parameters `(k, n)`, router
+///   `l * k^(n-1) + w` is the switch at level `l` (0 = root level,
+///   `n-1` = leaf level) with word index `w`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RouterId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RouterId {
+    /// The index as a `usize`, for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+impl From<usize> for RouterId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        RouterId(v as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 42usize.into();
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+    }
+
+    #[test]
+    fn router_id_roundtrip() {
+        let r: RouterId = 7usize.into();
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.to_string(), "r7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(3) < NodeId(4));
+        assert!(RouterId(0) < RouterId(1));
+    }
+}

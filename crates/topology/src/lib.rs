@@ -1,0 +1,34 @@
+//! Interconnection-network topologies for the ICPP'97 reproduction.
+//!
+//! This crate provides the two topology families compared by Petrini &
+//! Vanneschi in *Network Performance under Physical Constraints*:
+//!
+//! * [`KAryNCube`] — direct networks: `k^n` nodes arranged in an
+//!   `n`-dimensional grid with `k` nodes per dimension and wrap-around
+//!   links (a torus; the 16-ary 2-cube of the paper).
+//! * [`KAryNTree`] — indirect networks: `k^n` processing nodes at the
+//!   leaves of `n` levels of `k^(n-1)` fixed-arity switches, the
+//!   butterfly-based fat-tree subclass introduced by the same authors
+//!   (the 4-ary 4-tree of the paper).
+//!
+//! Both expose a common port-level view through the [`Topology`] trait so
+//! that the flit-level simulator in the `netsim` crate can build routers
+//! and links without knowing which family it is simulating. Addressing,
+//! minimal distances, bisection widths and the structural invariants the
+//! paper relies on (same node count, same router count, `n·k^n` links)
+//! are all available and unit-tested here.
+
+#![warn(missing_docs)]
+pub mod cube;
+pub mod digits;
+pub mod graph;
+pub mod ids;
+pub mod mesh;
+pub mod tree;
+
+pub use cube::{CubeDirection, KAryNCube, Sign};
+pub use digits::Digits;
+pub use graph::{validate, PortPeer, PortRef, Topology, TopologyError};
+pub use ids::{NodeId, RouterId};
+pub use mesh::KAryNMesh;
+pub use tree::KAryNTree;

@@ -1,0 +1,245 @@
+//! k-ary n-meshes — tori without the wrap-around connections.
+//!
+//! The paper's cube family keeps its wrap-around links (Section 3), and
+//! its deadlock machinery — two virtual networks split at a dateline —
+//! exists *only because of them*. The mesh variant is the natural
+//! ablation: same grid, no wrap-around, no datelines needed, but an
+//! asymmetric channel load (the center is busier than the edges) and
+//! half the bisection. It is provided as an extension for the ablation
+//! benchmarks; the paper's own machines include mesh-like designs
+//! (Intel Delta/Paragon).
+//!
+//! Port convention matches [`crate::KAryNCube`]: port `2d` is the plus
+//! direction of dimension `d`, `2d + 1` the minus direction, `2n` the
+//! local node. Boundary ports (plus at coordinate `k-1`, minus at `0`)
+//! are unconnected.
+
+use crate::cube::{CubeDirection, Sign};
+use crate::graph::{PortPeer, PortRef, Topology};
+use crate::ids::{NodeId, RouterId};
+
+/// A k-ary n-mesh (grid without wrap-around).
+#[derive(Clone, Debug)]
+pub struct KAryNMesh {
+    k: usize,
+    n: usize,
+    num_nodes: usize,
+}
+
+impl KAryNMesh {
+    /// Build a k-ary n-mesh.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, `n == 0`, or `k^n` does not fit in `u32`.
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 2 && n >= 1);
+        let mut num_nodes: u64 = 1;
+        for _ in 0..n {
+            num_nodes = num_nodes.checked_mul(k as u64).expect("k^n overflow");
+        }
+        assert!(num_nodes <= u32::MAX as u64);
+        KAryNMesh { k, n, num_nodes: num_nodes as usize }
+    }
+
+    /// The radix `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coordinate of node `x` in dimension `d` (0 = least significant).
+    #[inline]
+    pub fn coord(&self, x: NodeId, d: usize) -> usize {
+        debug_assert!(d < self.n);
+        x.index() / self.k.pow(d as u32) % self.k
+    }
+
+    /// The neighbor one hop along `dir`, or `None` at the mesh boundary.
+    pub fn neighbor(&self, x: NodeId, dir: CubeDirection) -> Option<NodeId> {
+        let c = self.coord(x, dir.dim);
+        let stride = self.k.pow(dir.dim as u32);
+        match dir.sign {
+            Sign::Plus if c + 1 < self.k => Some(NodeId((x.index() + stride) as u32)),
+            Sign::Minus if c > 0 => Some(NodeId((x.index() - stride) as u32)),
+            _ => None,
+        }
+    }
+
+    /// The unique minimal direction from `a` to `b` in dimension `d`
+    /// (`None` if aligned). Meshes have no routing ties.
+    pub fn direction(&self, a: NodeId, b: NodeId, d: usize) -> Option<Sign> {
+        use std::cmp::Ordering;
+        match self.coord(a, d).cmp(&self.coord(b, d)) {
+            Ordering::Less => Some(Sign::Plus),
+            Ordering::Greater => Some(Sign::Minus),
+            Ordering::Equal => None,
+        }
+    }
+
+    /// Manhattan distance between the routers of two nodes.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        (0..self.n)
+            .map(|d| self.coord(a, d).abs_diff(self.coord(b, d)))
+            .sum()
+    }
+
+    /// Bidirectional links crossing the middle bisection (even `k`):
+    /// half the torus figure, `k^(n-1)`.
+    pub fn bisection_links(&self) -> usize {
+        assert!(self.k.is_multiple_of(2));
+        self.num_nodes / self.k
+    }
+
+    /// Per-node uniform capacity in flits/cycle: `4/k` — half the
+    /// equivalent torus, since the wrap-around links are gone.
+    pub fn uniform_capacity_flits_per_cycle(&self) -> f64 {
+        let directed = 2.0 * self.bisection_links() as f64;
+        (2.0 * directed / self.num_nodes as f64).min(1.0)
+    }
+
+    /// Mean hop distance over all ordered pairs: `n (k^2 - 1) / (3 k)`.
+    pub fn mean_hop_distance(&self) -> f64 {
+        // Per dimension: E|a - b| for independent uniform a, b on 0..k.
+        let k = self.k as f64;
+        self.n as f64 * (k * k - 1.0) / (3.0 * k)
+    }
+}
+
+impl Topology for KAryNMesh {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_routers(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn ports(&self, _r: RouterId) -> usize {
+        2 * self.n + 1
+    }
+
+    fn peer(&self, p: PortRef) -> PortPeer {
+        let node = NodeId(p.router.0);
+        match CubeDirection::from_port(p.port, self.n) {
+            Some(dir) => match self.neighbor(node, dir) {
+                Some(other) => {
+                    let back = CubeDirection { dim: dir.dim, sign: dir.sign.opposite() };
+                    PortPeer::Router(PortRef::new(RouterId(other.0), back.port()))
+                }
+                None => PortPeer::Unconnected,
+            },
+            None => {
+                if p.port == 2 * self.n {
+                    PortPeer::Node(node)
+                } else {
+                    PortPeer::Unconnected
+                }
+            }
+        }
+    }
+
+    fn node_port(&self, n: NodeId) -> PortRef {
+        PortRef::new(RouterId(n.0), 2 * self.n)
+    }
+
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+        if a == b {
+            0
+        } else {
+            self.hop_distance(a, b) + 2
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}-ary {}-mesh", self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn meshes_validate() {
+        for (k, n) in [(2usize, 2usize), (4, 2), (16, 2), (3, 3), (4, 3)] {
+            validate(&KAryNMesh::new(k, n)).unwrap_or_else(|e| panic!("({k},{n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn boundary_ports_uncabled() {
+        let m = KAryNMesh::new(4, 2);
+        // Node (0,0): minus ports in both dimensions dangle.
+        assert_eq!(m.peer(PortRef::new(RouterId(0), 1)), PortPeer::Unconnected);
+        assert_eq!(m.peer(PortRef::new(RouterId(0), 3)), PortPeer::Unconnected);
+        // Node (3,3): plus ports dangle.
+        assert_eq!(m.peer(PortRef::new(RouterId(15), 0)), PortPeer::Unconnected);
+        assert_eq!(m.peer(PortRef::new(RouterId(15), 2)), PortPeer::Unconnected);
+    }
+
+    #[test]
+    fn link_count() {
+        // k-ary n-mesh has n (k-1) k^(n-1) grid links + k^n node links.
+        let m = KAryNMesh::new(4, 2);
+        assert_eq!(m.num_links(), 2 * 3 * 4 + 16);
+    }
+
+    #[test]
+    fn distances_are_manhattan() {
+        let m = KAryNMesh::new(16, 2);
+        let a = NodeId(0);
+        let b = NodeId((15 + 15 * 16) as u32);
+        assert_eq!(m.hop_distance(a, b), 30); // no wraparound shortcuts
+        let torus = crate::cube::KAryNCube::new(16, 2);
+        assert_eq!(torus.hop_distance(a, b), 2); // with them: 1 + 1
+    }
+
+    #[test]
+    fn half_the_torus_capacity() {
+        let m = KAryNMesh::new(16, 2);
+        assert_eq!(m.bisection_links(), 16);
+        assert!((m.uniform_capacity_flits_per_cycle() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_distance_formula_matches_brute_force() {
+        let m = KAryNMesh::new(5, 2);
+        let n = m.num_nodes();
+        let total: usize = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .map(|(a, b)| m.hop_distance(NodeId(a as u32), NodeId(b as u32)))
+            .sum();
+        let brute = total as f64 / (n * n) as f64;
+        assert!((m.mean_hop_distance() - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_ties_ever() {
+        let m = KAryNMesh::new(4, 2);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for d in 0..2 {
+                    // direction is unique or None; consistency with
+                    // coordinates:
+                    let dir = m.direction(NodeId(a), NodeId(b), d);
+                    match dir {
+                        None => assert_eq!(m.coord(NodeId(a), d), m.coord(NodeId(b), d)),
+                        Some(Sign::Plus) => {
+                            assert!(m.coord(NodeId(a), d) < m.coord(NodeId(b), d))
+                        }
+                        Some(Sign::Minus) => {
+                            assert!(m.coord(NodeId(a), d) > m.coord(NodeId(b), d))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! k-ary n-trees — the fat-tree family of the paper.
+//!
+//! A k-ary n-tree (Petrini & Vanneschi, IPPS'97) has `k^n` processing
+//! nodes and `n` levels of `k^(n-1)` switches, each with `2k` ports. The
+//! internal structure is borrowed from the k-ary n-butterfly: between two
+//! adjacent levels the switches that agree on all word digits except one
+//! form a complete `k x k` bipartite exchange.
+//!
+//! ## Addressing
+//!
+//! * Levels are numbered `0` (root) to `n-1` (leaves). Each level holds
+//!   `k^(n-1)` switches identified by a word `w` of `n-1` base-`k` digits
+//!   (most significant first). `RouterId = level * k^(n-1) + w`.
+//! * A node `p` with digits `p_0 … p_{n-1}` attaches to the leaf switch
+//!   whose word is `p_0 … p_{n-2}`, on down port `p_{n-1}`.
+//! * Switch `<w, l>` (level `l`) and `<w', l+1>` are connected iff their
+//!   words agree on every digit position except position `l`. The upper
+//!   switch reaches that child through down port `w'_l`; the lower switch
+//!   reaches that parent through up port `w_l`.
+//!
+//! ## Ports
+//!
+//! Each switch has `2k` ports: ports `0..k` go **down** (towards the
+//! leaves — or to the processing nodes at the leaf level), ports
+//! `k..2k` go **up** (towards the roots). The up ports of the root-level
+//! switches are unconnected, matching the paper's "external connections
+//! available to recursively build a bigger network".
+//!
+//! ## Routing structure
+//!
+//! Minimal routing ascends adaptively (any up port) to level `m`, the
+//! length of the longest common address prefix of source and destination,
+//! then descends deterministically: at level `l` the down port towards
+//! node `q` is digit `q_l`. Because every up hop strictly decreases the
+//! level and every down hop strictly increases it, the channel dependency
+//! graph of this scheme is trivially acyclic (deadlock freedom), which
+//! the `routing` crate machine-checks.
+
+use crate::digits::Digits;
+use crate::graph::{PortPeer, PortRef, Topology};
+use crate::ids::{NodeId, RouterId};
+
+/// A k-ary n-tree (quaternary fat-tree for `k = 4`).
+///
+/// ```
+/// use topology::{KAryNTree, NodeId, Topology};
+///
+/// let tree = KAryNTree::new(4, 4); // the paper's 256-node fat-tree
+/// assert_eq!(tree.num_nodes(), 256);
+/// assert_eq!(tree.num_routers(), 256); // n * k^(n-1) switches
+/// // Nodes 0 and 255 share no address prefix: they meet at a root,
+/// // 8 links apart.
+/// assert_eq!(tree.nca_level(NodeId(0), NodeId(255)), 0);
+/// assert_eq!(tree.min_distance(NodeId(0), NodeId(255)), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KAryNTree {
+    k: usize,
+    n: usize,
+    /// Codec for node addresses (`n` digits).
+    node_digits: Digits,
+    /// Codec for switch words (`n - 1` digits); `None` when `n == 1`
+    /// (a single switch with an empty word).
+    word_digits: Option<Digits>,
+    switches_per_level: usize,
+}
+
+impl KAryNTree {
+    /// Build a k-ary n-tree.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, `n == 0`, or `k^n` does not fit in `u32`.
+    pub fn new(k: usize, n: usize) -> Self {
+        let node_digits = Digits::new(k, n);
+        let word_digits = if n >= 2 { Some(Digits::new(k, n - 1)) } else { None };
+        let switches_per_level = node_digits.count() / k;
+        KAryNTree { k, n, node_digits, word_digits, switches_per_level }
+    }
+
+    /// The arity `k` (up ports per switch = down ports per switch).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of levels `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of switches per level, `k^(n-1)`.
+    #[inline]
+    pub fn switches_per_level(&self) -> usize {
+        self.switches_per_level
+    }
+
+    /// The node address codec (`n` base-`k` digits).
+    #[inline]
+    pub fn node_digits(&self) -> Digits {
+        self.node_digits
+    }
+
+    /// Level of a switch (`0` = root level, `n-1` = leaf level).
+    #[inline]
+    pub fn level(&self, r: RouterId) -> usize {
+        r.index() / self.switches_per_level
+    }
+
+    /// Word index of a switch within its level.
+    #[inline]
+    pub fn word(&self, r: RouterId) -> usize {
+        r.index() % self.switches_per_level
+    }
+
+    /// The switch at `(level, word)`.
+    #[inline]
+    pub fn switch(&self, level: usize, word: usize) -> RouterId {
+        debug_assert!(level < self.n && word < self.switches_per_level);
+        RouterId((level * self.switches_per_level + word) as u32)
+    }
+
+    /// The leaf switch to which node `p` attaches.
+    #[inline]
+    pub fn leaf_switch(&self, p: NodeId) -> RouterId {
+        self.switch(self.n - 1, p.index() / self.k)
+    }
+
+    /// Whether `port` points down (towards the leaves).
+    #[inline]
+    pub fn is_down_port(&self, port: usize) -> bool {
+        port < self.k
+    }
+
+    /// The level of the nearest common ancestors of `a` and `b`: the
+    /// longest common most-significant-first digit prefix of the two
+    /// addresses. Ranges over `0..=n`; `n` means `a == b` and `n - 1`
+    /// means "same leaf switch".
+    #[inline]
+    pub fn nca_level(&self, a: NodeId, b: NodeId) -> usize {
+        self.node_digits.common_prefix_len(a.index(), b.index())
+    }
+
+    /// The down port a switch at `level` must take towards node `dest`
+    /// while descending: digit `level` of the destination address.
+    #[inline]
+    pub fn down_port_towards(&self, level: usize, dest: NodeId) -> usize {
+        self.node_digits.digit(dest.index(), level)
+    }
+
+    /// Whether `sw` lies on a descending path towards `dest`, i.e. is an
+    /// ancestor of `dest`'s leaf switch (leaf switches are their own
+    /// ancestors). True iff the switch word matches the destination
+    /// address on digit positions `0..level`.
+    pub fn is_ancestor_of(&self, sw: RouterId, dest: NodeId) -> bool {
+        let level = self.level(sw);
+        let word = self.word(sw);
+        match self.word_digits {
+            None => true, // single-switch tree
+            Some(wd) => (0..level).all(|j| {
+                wd.digit(word, j) == self.node_digits.digit(dest.index(), j)
+            }),
+        }
+    }
+
+    /// Mean distance (in links) of a permutation traffic pattern,
+    /// computed exactly from the pattern function. Self-sends contribute
+    /// distance 0, matching the paper's convention for Equation (5).
+    pub fn mean_permutation_distance(&self, perm: impl Fn(NodeId) -> NodeId) -> f64 {
+        let n = self.num_nodes();
+        let total: usize = (0..n)
+            .map(|x| self.min_distance(NodeId(x as u32), perm(NodeId(x as u32))))
+            .sum();
+        total as f64 / n as f64
+    }
+
+    /// Equation (5) of the paper: the mean distance of the bit-reversal
+    /// and transpose permutations on a k-ary n-tree (even `n`):
+    ///
+    /// ```text
+    /// d_m = (k-1) / k^(n/2 + 1) * sum_{i=1}^{n/2} (n + 2i) k^i
+    /// ```
+    ///
+    /// For the 4-ary 4-tree this gives 7.125, "very close to the network
+    /// diameter" of 8.
+    pub fn eq5_mean_distance(k: usize, n: usize) -> f64 {
+        assert!(n.is_multiple_of(2), "Equation 5 assumes even n");
+        let kf = k as f64;
+        let sum: f64 = (1..=n / 2)
+            .map(|i| (n as f64 + 2.0 * i as f64) * kf.powi(i as i32))
+            .sum();
+        (kf - 1.0) / kf.powi(n as i32 / 2 + 1) * sum
+    }
+
+    /// Per-node capacity under uniform traffic in flits per cycle.
+    ///
+    /// k-ary n-trees are not bisection-limited: the upper bound is simply
+    /// the unidirectional bandwidth of the node-to-switch link (paper,
+    /// Section 5), i.e. one flit per cycle.
+    pub fn uniform_capacity_flits_per_cycle(&self) -> f64 {
+        1.0
+    }
+
+    /// Worst-case *descent overload* of a traffic pattern: the maximum,
+    /// over every level `l` and every destination subtree at that level,
+    /// of `demand / capacity`, where *demand* is the number of packets
+    /// that must take a level-`l` down link into the subtree (packets
+    /// whose NCA level is `<= l` and whose destination lies in the
+    /// subtree) and *capacity* is the number of such links,
+    /// `k^(n-1-l)`.
+    ///
+    /// An overload above 1 means the pattern **necessarily** congests the
+    /// descending phase, no matter how cleverly the adaptive ascent
+    /// spreads packets. An overload of exactly 1 is the signature of the
+    /// *congestion-free* permutations of Section 8 (after Heller), such
+    /// as the complement: every subtree receives exactly as many packets
+    /// as it has incoming links. Note the converse does not hold for the
+    /// distributed algorithm: a pattern with overload `<= 1` (e.g.
+    /// bit-reversal) can still suffer transient descending conflicts
+    /// because the least-loaded ascent choice is made with only local
+    /// information — this is precisely the effect Figures 5 e)–h) of the
+    /// paper measure.
+    pub fn descent_overload(&self, perm: impl Fn(NodeId) -> NodeId) -> f64 {
+        let nn = self.num_nodes();
+        let mut worst: f64 = 0.0;
+        for l in 0..self.n {
+            // demand[prefix of length l+1]
+            let classes = self.k.pow((l + 1) as u32);
+            let mut demand = vec![0usize; classes];
+            for x in 0..nn {
+                let src = NodeId(x as u32);
+                let dst = perm(src);
+                if dst == src {
+                    continue; // palindromes etc. do not inject
+                }
+                if self.nca_level(src, dst) <= l {
+                    let prefix: usize = (0..=l)
+                        .fold(0, |acc, j| acc * self.k + self.node_digits.digit(dst.index(), j));
+                    demand[prefix] += 1;
+                }
+            }
+            let capacity = self.k.pow((self.n - 1 - l) as u32) as f64;
+            for &d in &demand {
+                worst = worst.max(d as f64 / capacity);
+            }
+        }
+        worst
+    }
+}
+
+impl Topology for KAryNTree {
+    fn num_nodes(&self) -> usize {
+        self.node_digits.count()
+    }
+
+    fn num_routers(&self) -> usize {
+        self.n * self.switches_per_level
+    }
+
+    fn ports(&self, _r: RouterId) -> usize {
+        2 * self.k
+    }
+
+    fn peer(&self, p: PortRef) -> PortPeer {
+        let level = self.level(p.router);
+        let word = self.word(p.router);
+        if self.is_down_port(p.port) {
+            let c = p.port;
+            if level == self.n - 1 {
+                // Leaf switch: down port c -> node word*k + c.
+                PortPeer::Node(NodeId((word * self.k + c) as u32))
+            } else {
+                // Down to level + 1: set word digit `level` to c; the
+                // child's up port back to us is our own digit `level`.
+                let wd = self.word_digits.expect("n >= 2 when not leaf");
+                let child_word = wd.with_digit(word, level, c);
+                let up_port = self.k + wd.digit(word, level);
+                PortPeer::Router(PortRef::new(self.switch(level + 1, child_word), up_port))
+            }
+        } else {
+            let u = p.port - self.k;
+            if level == 0 {
+                // Root level: external connections, left uncabled.
+                PortPeer::Unconnected
+            } else {
+                // Up to level - 1: parent u has word digit `level - 1`
+                // set to u; its down port back to us is our own digit
+                // `level - 1`.
+                let wd = self.word_digits.expect("n >= 2 when not root-only");
+                let parent_word = wd.with_digit(word, level - 1, u);
+                let down_port = wd.digit(word, level - 1);
+                PortPeer::Router(PortRef::new(self.switch(level - 1, parent_word), down_port))
+            }
+        }
+    }
+
+    fn node_port(&self, n: NodeId) -> PortRef {
+        PortRef::new(self.leaf_switch(n), n.index() % self.k)
+    }
+
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let m = self.nca_level(a, b);
+        if m == self.n {
+            0
+        } else {
+            2 * (self.n - m)
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}-ary {}-tree", self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn paper_tree_shape() {
+        let t = KAryNTree::new(4, 4);
+        assert_eq!(t.num_nodes(), 256);
+        assert_eq!(t.num_routers(), 256); // n * k^(n-1) = 4 * 64
+        assert_eq!(t.switches_per_level(), 64);
+        // n * k^n links = 4 * 256 = 1024: 3 * 256 switch links + 256 node links.
+        assert_eq!(t.num_links(), t.n() * t.num_nodes());
+        assert_eq!(t.label(), "4-ary 4-tree");
+    }
+
+    #[test]
+    fn paper_networks_are_cost_equalized() {
+        // Section 5: same node count and same router count.
+        use crate::cube::KAryNCube;
+        let t = KAryNTree::new(4, 4);
+        let c = KAryNCube::new(16, 2);
+        assert_eq!(t.num_nodes(), c.num_nodes());
+        assert_eq!(t.num_routers(), c.num_routers());
+        // "Both k-ary n-trees and k-ary n-cubes have n k^n links" and
+        // "the quaternary fat-tree has got twice as many links as a
+        // bi-dimensional cube" (Section 5). The paper's n*k^n counts
+        // node links for the tree (1024 = 768 switch + 256 node) and
+        // only the torus links for the cube (512).
+        assert_eq!(t.num_links(), t.n() * t.num_nodes());
+        assert_eq!(c.num_links() - c.num_nodes(), c.n() * c.num_nodes());
+        assert_eq!(t.num_links(), 2 * (c.num_links() - c.num_nodes()));
+    }
+
+    #[test]
+    fn paper_tree_validates() {
+        validate(&KAryNTree::new(4, 4)).unwrap();
+    }
+
+    #[test]
+    fn small_trees_validate() {
+        for (k, n) in [(2, 1), (2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2), (4, 3), (5, 2)] {
+            validate(&KAryNTree::new(k, n)).unwrap_or_else(|e| panic!("({k},{n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn fig2_4ary_2tree() {
+        // Figure 2 of the paper: 16 nodes, 2 levels of 4 switches, and
+        // every leaf switch connects to every root switch.
+        let t = KAryNTree::new(4, 2);
+        assert_eq!(t.num_nodes(), 16);
+        assert_eq!(t.num_routers(), 8);
+        for leaf_word in 0..4 {
+            let leaf = t.switch(1, leaf_word);
+            let mut parents: Vec<usize> = (4..8)
+                .map(|p| match t.peer(PortRef::new(leaf, p)) {
+                    PortPeer::Router(pr) => pr.router.index(),
+                    other => panic!("unexpected peer {other:?}"),
+                })
+                .collect();
+            parents.sort_unstable();
+            assert_eq!(parents, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn node_attachment() {
+        let t = KAryNTree::new(4, 4);
+        for x in 0..t.num_nodes() {
+            let node = NodeId(x as u32);
+            let pr = t.node_port(node);
+            assert_eq!(t.peer(pr), PortPeer::Node(node));
+            assert_eq!(t.level(pr.router), 3);
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let t = KAryNTree::new(4, 4);
+        let a = NodeId(0); // digits 0,0,0,0
+        assert_eq!(t.min_distance(a, a), 0);
+        assert_eq!(t.min_distance(a, NodeId(1)), 2); // same leaf switch
+        assert_eq!(t.min_distance(a, NodeId(4)), 4); // prefix len 2
+        assert_eq!(t.min_distance(a, NodeId(16)), 6); // prefix len 1
+        assert_eq!(t.min_distance(a, NodeId(64)), 8); // prefix len 0
+        // Diameter = 2n.
+        let max = (0..256)
+            .map(|b| t.min_distance(a, NodeId(b)))
+            .max()
+            .unwrap();
+        assert_eq!(max, 8);
+    }
+
+    #[test]
+    fn eq5_value_for_paper_tree() {
+        let dm = KAryNTree::eq5_mean_distance(4, 4);
+        assert!((dm - 7.125).abs() < 1e-9, "d_m = {dm}");
+    }
+
+    #[test]
+    fn is_ancestor_matches_descending_reachability() {
+        let t = KAryNTree::new(3, 3);
+        // BFS down from each switch, collect reachable nodes, compare.
+        for r in 0..t.num_routers() {
+            let rid = RouterId(r as u32);
+            let mut reach = vec![false; t.num_nodes()];
+            let mut stack = vec![rid];
+            while let Some(s) = stack.pop() {
+                for p in 0..t.k() {
+                    match t.peer(PortRef::new(s, p)) {
+                        PortPeer::Node(n) => reach[n.index()] = true,
+                        PortPeer::Router(pr) => stack.push(pr.router),
+                        PortPeer::Unconnected => {}
+                    }
+                }
+            }
+            for (x, &reached) in reach.iter().enumerate() {
+                assert_eq!(
+                    reached,
+                    t.is_ancestor_of(rid, NodeId(x as u32)),
+                    "switch {rid} node {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ascend_then_descend_reaches_destination() {
+        // Simulate the two-phase minimal route for every pair on a small
+        // tree, taking an arbitrary (here: 0th) up port each ascent step.
+        let t = KAryNTree::new(3, 3);
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                if a == b {
+                    continue;
+                }
+                let m = t.nca_level(a, b);
+                let mut sw = t.leaf_switch(a);
+                let mut hops = 1; // node -> leaf switch
+                for up in 0..(t.n() - 1 - m) {
+                    let port = t.k() + (up % t.k()); // vary choices a bit
+                    match t.peer(PortRef::new(sw, port)) {
+                        PortPeer::Router(pr) => sw = pr.router,
+                        other => panic!("expected router, got {other:?}"),
+                    }
+                    hops += 1;
+                }
+                assert_eq!(t.level(sw), m);
+                assert!(t.is_ancestor_of(sw, b), "NCA must cover destination");
+                while t.level(sw) < t.n() - 1 {
+                    let port = t.down_port_towards(t.level(sw), b);
+                    match t.peer(PortRef::new(sw, port)) {
+                        PortPeer::Router(pr) => sw = pr.router,
+                        other => panic!("expected router, got {other:?}"),
+                    }
+                    hops += 1;
+                }
+                let port = t.down_port_towards(t.n() - 1, b);
+                assert_eq!(t.peer(PortRef::new(sw, port)), PortPeer::Node(b));
+                hops += 1;
+                assert_eq!(hops, t.min_distance(a, b), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_has_unit_descent_overload() {
+        let t = KAryNTree::new(4, 4);
+        let n = t.num_nodes();
+        // Complement permutation: digit-wise complement of the address.
+        let complement = |x: NodeId| NodeId((n - 1 - x.index()) as u32);
+        let overload = t.descent_overload(complement);
+        assert!((overload - 1.0).abs() < 1e-12, "overload {overload}");
+        // Identity: nobody injects, no descent demand at all.
+        assert_eq!(t.descent_overload(|x| x), 0.0);
+    }
+
+    #[test]
+    fn hotspot_overloads_descent() {
+        let t = KAryNTree::new(4, 4);
+        // Everyone sends to node 0: the last link must carry 255 packets.
+        assert!(t.descent_overload(|_| NodeId(0)) > 100.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Bit-string view of node addresses.
+//!
+//! Section 7 of the paper defines the permutation patterns on the binary
+//! representation `a_0 a_1 … a_{B-1}` of the node label, with `a_0` the
+//! most significant bit and `B = n log2 k`. [`AddressBits`] fixes that
+//! convention once: every pattern below is a trivial composition of the
+//! primitives here, and the unit tests pin the exact examples implied by
+//! the paper (palindromic addresses, bisection crossing, etc.).
+
+/// Bit-level codec for `B`-bit node addresses, `a_0` = MSB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddressBits {
+    bits: u32,
+}
+
+impl AddressBits {
+    /// Codec for addresses of `num_nodes = 2^B` nodes.
+    ///
+    /// # Panics
+    /// Panics unless `num_nodes` is a power of two `>= 2` (the paper
+    /// assumes `k` a power of two and defines the patterns bit-wise).
+    pub fn for_nodes(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 2 && num_nodes.is_power_of_two(),
+            "bit-defined patterns need a power-of-two node count, got {num_nodes}");
+        AddressBits { bits: num_nodes.trailing_zeros() }
+    }
+
+    /// Number of address bits `B`.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of representable addresses `2^B`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Bit `a_j` of `x` (0 = most significant).
+    #[inline]
+    pub fn bit(&self, x: usize, j: u32) -> usize {
+        debug_assert!(j < self.bits);
+        (x >> (self.bits - 1 - j)) & 1
+    }
+
+    /// Bitwise complement: `a_j -> !a_j` for all `j`.
+    #[inline]
+    pub fn complement(&self, x: usize) -> usize {
+        !x & (self.count() - 1)
+    }
+
+    /// Bit reversal: `a_0 … a_{B-1} -> a_{B-1} … a_0`.
+    #[inline]
+    pub fn reverse(&self, x: usize) -> usize {
+        (x as u64).reverse_bits() as usize >> (64 - self.bits)
+    }
+
+    /// Transpose (matrix transpose): swap the two halves of the bit
+    /// string, `a_{B/2} … a_{B-1} a_0 … a_{B/2-1}`.
+    ///
+    /// # Panics
+    /// Panics if `B` is odd.
+    #[inline]
+    pub fn transpose(&self, x: usize) -> usize {
+        assert!(self.bits.is_multiple_of(2), "transpose needs an even number of bits");
+        let half = self.bits / 2;
+        let mask = (1usize << half) - 1;
+        ((x & mask) << half) | (x >> half)
+    }
+
+    /// Perfect shuffle: rotate the bit string left by one,
+    /// `a_1 … a_{B-1} a_0`.
+    #[inline]
+    pub fn shuffle(&self, x: usize) -> usize {
+        let top = x >> (self.bits - 1);
+        ((x << 1) & (self.count() - 1)) | top
+    }
+
+    /// Butterfly: swap the most and least significant bits.
+    #[inline]
+    pub fn butterfly(&self, x: usize) -> usize {
+        let b = self.bits;
+        let msb = (x >> (b - 1)) & 1;
+        let lsb = x & 1;
+        if msb == lsb {
+            x
+        } else {
+            x ^ 1 ^ (1 << (b - 1))
+        }
+    }
+
+    /// Whether the address is a palindrome (fixed point of
+    /// [`AddressBits::reverse`]). The paper notes the 16-ary 2-cube has
+    /// 16 palindromic nodes that inject nothing under bit reversal.
+    #[inline]
+    pub fn is_palindrome(&self, x: usize) -> bool {
+        self.reverse(x) == x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(AddressBits::for_nodes(256).width(), 8);
+        assert_eq!(AddressBits::for_nodes(2).width(), 1);
+        assert_eq!(AddressBits::for_nodes(1024).count(), 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = AddressBits::for_nodes(100);
+    }
+
+    #[test]
+    fn bit_msb_first() {
+        let b = AddressBits::for_nodes(256);
+        let x = 0b1000_0001;
+        assert_eq!(b.bit(x, 0), 1);
+        assert_eq!(b.bit(x, 1), 0);
+        assert_eq!(b.bit(x, 7), 1);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let b = AddressBits::for_nodes(256);
+        assert_eq!(b.complement(0), 255);
+        for x in 0..256 {
+            assert_eq!(b.complement(b.complement(x)), x);
+        }
+    }
+
+    #[test]
+    fn reverse_examples_and_involution() {
+        let b = AddressBits::for_nodes(256);
+        assert_eq!(b.reverse(0b1000_0000), 0b0000_0001);
+        assert_eq!(b.reverse(0b1100_0000), 0b0000_0011);
+        for x in 0..256 {
+            assert_eq!(b.reverse(b.reverse(x)), x);
+        }
+    }
+
+    #[test]
+    fn transpose_examples_and_involution() {
+        let b = AddressBits::for_nodes(256);
+        assert_eq!(b.transpose(0b1111_0000), 0b0000_1111);
+        assert_eq!(b.transpose(0b1010_0110), 0b0110_1010);
+        for x in 0..256 {
+            assert_eq!(b.transpose(b.transpose(x)), x);
+        }
+    }
+
+    #[test]
+    fn sixteen_palindromes_in_256() {
+        // Paper, Section 9: "There are 16 nodes that have a palindrome
+        // bit string and do not inject any packet into the network."
+        let b = AddressBits::for_nodes(256);
+        let count = (0..256).filter(|&x| b.is_palindrome(x)).count();
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn transpose_fixed_points_in_256() {
+        // Transpose fixes addresses whose two halves are equal: 16 of 256.
+        let b = AddressBits::for_nodes(256);
+        let count = (0..256).filter(|&x| b.transpose(x) == x).count();
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn shuffle_rotates() {
+        let b = AddressBits::for_nodes(256);
+        assert_eq!(b.shuffle(0b1000_0001), 0b0000_0011);
+        // B applications of shuffle = identity.
+        for x in 0..256 {
+            let mut y = x;
+            for _ in 0..8 {
+                y = b.shuffle(y);
+            }
+            assert_eq!(y, x);
+        }
+    }
+
+    #[test]
+    fn butterfly_swaps_ends() {
+        let b = AddressBits::for_nodes(256);
+        assert_eq!(b.butterfly(0b1000_0000), 0b0000_0001);
+        assert_eq!(b.butterfly(0b0000_0001), 0b1000_0000);
+        assert_eq!(b.butterfly(0b1000_0001), 0b1000_0001);
+        for x in 0..256 {
+            assert_eq!(b.butterfly(b.butterfly(x)), x);
+        }
+    }
+
+    #[test]
+    fn patterns_are_permutations() {
+        let b = AddressBits::for_nodes(256);
+        for f in [
+            AddressBits::complement as fn(&AddressBits, usize) -> usize,
+            AddressBits::reverse,
+            AddressBits::transpose,
+            AddressBits::shuffle,
+            AddressBits::butterfly,
+        ] {
+            let mut seen = vec![false; 256];
+            for x in 0..256 {
+                let y = f(&b, x);
+                assert!(y < 256);
+                assert!(!seen[y], "collision at {y}");
+                seen[y] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Injection processes: *when* does a node generate a packet?
+//!
+//! The paper drives each node with an open-loop source: packets are
+//! created at a controlled rate (a fraction of the network capacity)
+//! regardless of network state, queue in an unbounded source queue, and
+//! enter the router through a single injection channel. This module
+//! provides the packet *creation* processes:
+//!
+//! * [`Bernoulli`] — geometric inter-arrival times; the standard choice
+//!   in network-simulation studies and the one used for every figure.
+//! * [`Periodic`] — deterministic inter-arrival times, useful for
+//!   testing because offered load is exact rather than in expectation.
+//! * [`OnOffBursty`] — a two-state Markov-modulated Bernoulli process
+//!   for the "bursty applications that require peak performance for a
+//!   short period of time" mentioned in Section 6.
+
+use crate::rng::Rng64;
+
+/// A per-node packet creation process. At most one packet is created per
+/// node per cycle (rates are well below 1 in all experiments: at full
+/// capacity a 64-byte packet is created once every 32 cycles).
+pub trait InjectionProcess {
+    /// Advance one cycle; return `true` if a packet is created.
+    fn tick(&mut self, rng: &mut Rng64) -> bool;
+
+    /// The long-run average rate in packets per cycle.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Bernoulli process: each cycle a packet is created with probability
+/// `rate`.
+#[derive(Clone, Debug)]
+pub struct Bernoulli {
+    rate: f64,
+}
+
+impl Bernoulli {
+    /// Create a Bernoulli process with the given packets-per-cycle rate.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= rate <= 1`.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        Bernoulli { rate }
+    }
+}
+
+impl InjectionProcess for Bernoulli {
+    #[inline]
+    fn tick(&mut self, rng: &mut Rng64) -> bool {
+        rng.chance(self.rate)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Deterministic process: a packet every `round(1/rate)` cycles.
+#[derive(Clone, Debug)]
+pub struct Periodic {
+    period: u64,
+    countdown: u64,
+}
+
+impl Periodic {
+    /// Create a periodic process approximating the given rate. A rate of
+    /// zero never fires.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        let period = if rate == 0.0 { u64::MAX } else { (1.0 / rate).round().max(1.0) as u64 };
+        Periodic { period, countdown: period }
+    }
+
+    /// Create a process firing exactly every `period` cycles.
+    pub fn every(period: u64) -> Self {
+        assert!(period >= 1);
+        Periodic { period, countdown: period }
+    }
+}
+
+impl InjectionProcess for Periodic {
+    #[inline]
+    fn tick(&mut self, _rng: &mut Rng64) -> bool {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        if self.period == u64::MAX {
+            0.0
+        } else {
+            1.0 / self.period as f64
+        }
+    }
+}
+
+/// Two-state Markov-modulated Bernoulli process. In the **on** state
+/// packets are created with probability `peak_rate` per cycle; in the
+/// **off** state none are created. State sojourn times are geometric
+/// with means `mean_on` and `mean_off` cycles.
+#[derive(Clone, Debug)]
+pub struct OnOffBursty {
+    peak_rate: f64,
+    p_on_to_off: f64,
+    p_off_to_on: f64,
+    on: bool,
+}
+
+impl OnOffBursty {
+    /// Create a bursty process.
+    ///
+    /// # Panics
+    /// Panics if `peak_rate` is outside [0, 1] or a mean sojourn is < 1.
+    pub fn new(peak_rate: f64, mean_on: f64, mean_off: f64) -> Self {
+        assert!((0.0..=1.0).contains(&peak_rate));
+        assert!(mean_on >= 1.0 && mean_off >= 1.0);
+        OnOffBursty {
+            peak_rate,
+            p_on_to_off: 1.0 / mean_on,
+            p_off_to_on: 1.0 / mean_off,
+            on: true,
+        }
+    }
+}
+
+impl InjectionProcess for OnOffBursty {
+    fn tick(&mut self, rng: &mut Rng64) -> bool {
+        let fire = self.on && rng.chance(self.peak_rate);
+        // State transition at end of cycle.
+        if self.on {
+            if rng.chance(self.p_on_to_off) {
+                self.on = false;
+            }
+        } else if rng.chance(self.p_off_to_on) {
+            self.on = true;
+        }
+        fire
+    }
+
+    fn mean_rate(&self) -> f64 {
+        let duty = self.p_off_to_on / (self.p_on_to_off + self.p_off_to_on);
+        self.peak_rate * duty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measure(p: &mut dyn InjectionProcess, cycles: u64, seed: u64) -> f64 {
+        let mut rng = Rng64::seed_from(seed);
+        let fired = (0..cycles).filter(|_| p.tick(&mut rng)).count();
+        fired as f64 / cycles as f64
+    }
+
+    #[test]
+    fn bernoulli_hits_rate() {
+        let mut p = Bernoulli::new(0.031_25); // 1/32: full load with 32-flit packets
+        let measured = measure(&mut p, 200_000, 1);
+        assert!((measured - p.mean_rate()).abs() < 0.002, "{measured}");
+    }
+
+    #[test]
+    fn periodic_is_exact() {
+        let mut p = Periodic::every(32);
+        let measured = measure(&mut p, 32_000, 2);
+        assert!((measured - 1.0 / 32.0).abs() < 1e-9);
+        // First firing happens on cycle 32, not cycle 1.
+        let mut p = Periodic::every(4);
+        let mut rng = Rng64::seed_from(0);
+        let first: Vec<bool> = (0..8).map(|_| p.tick(&mut rng)).collect();
+        assert_eq!(first, [false, false, false, true, false, false, false, true]);
+    }
+
+    #[test]
+    fn periodic_from_rate() {
+        let p = Periodic::new(0.25);
+        assert!((p.mean_rate() - 0.25).abs() < 1e-12);
+        let z = Periodic::new(0.0);
+        assert_eq!(z.mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn bursty_long_run_rate() {
+        let mut p = OnOffBursty::new(0.5, 100.0, 300.0);
+        let expect = p.mean_rate();
+        assert!((expect - 0.125).abs() < 1e-12);
+        let measured = measure(&mut p, 2_000_000, 3);
+        assert!((measured - expect).abs() < 0.01, "{measured} vs {expect}");
+    }
+
+    #[test]
+    fn bursty_is_actually_bursty() {
+        // Count packets in 100-cycle windows: variance must exceed the
+        // Bernoulli variance at the same mean rate.
+        let mut bursty = OnOffBursty::new(0.8, 200.0, 200.0);
+        let mut bern = Bernoulli::new(bursty.mean_rate());
+        let mut rng = Rng64::seed_from(4);
+        let window = 100;
+        let windows = 2_000;
+        let var = |p: &mut dyn InjectionProcess, rng: &mut Rng64| {
+            let counts: Vec<f64> = (0..windows)
+                .map(|_| (0..window).filter(|_| p.tick(rng)).count() as f64)
+                .collect();
+            let mean = counts.iter().sum::<f64>() / windows as f64;
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / windows as f64
+        };
+        let v_bursty = var(&mut bursty, &mut rng);
+        let v_bern = var(&mut bern, &mut rng);
+        assert!(v_bursty > 2.0 * v_bern, "bursty {v_bursty} vs bernoulli {v_bern}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bernoulli_rejects_bad_rate() {
+        let _ = Bernoulli::new(1.5);
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic workload generation for the ICPP'97 reproduction.
+//!
+//! Section 7 of the paper drives both networks with four traffic
+//! patterns — uniform, complement, bit-reversal and transpose — defined on
+//! the binary representation `a_0 a_1 … a_{n log2(k) - 1}` of the node
+//! address (most significant bit first). This crate implements those
+//! patterns plus several classical extensions (shuffle, butterfly,
+//! tornado, neighbor, hot-spot) behind a single [`pattern::Pattern`]
+//! enum, together with:
+//!
+//! * [`bits`] — bit-string manipulation of node addresses,
+//! * [`injection`] — stochastic injection processes (Bernoulli, periodic,
+//!   bursty on/off) that decide *when* a node generates a packet,
+//! * [`rng`] — a small, fully deterministic xoshiro256** generator so
+//!   simulations are bit-reproducible across runs and platforms.
+
+#![warn(missing_docs)]
+pub mod bits;
+pub mod injection;
+pub mod pattern;
+pub mod rng;
+
+pub use bits::AddressBits;
+pub use injection::{Bernoulli, InjectionProcess, OnOffBursty, Periodic};
+pub use pattern::{Pattern, TrafficGen};
+pub use rng::Rng64;

@@ -1,0 +1,88 @@
+set datafile separator ','
+set key autotitle columnhead
+set grid
+set term pngcairo size 1400,900
+set output 'fig5_uniform.png'
+set multiplot layout 1,2 title 'fig5 uniform'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig5_uniform.csv' using 1:2 with linespoints, 'fig5_uniform.csv' using 1:4 with linespoints, 'fig5_uniform.csv' using 1:6 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig5_uniform.csv' using 1:3 with linespoints, 'fig5_uniform.csv' using 1:5 with linespoints, 'fig5_uniform.csv' using 1:7 with linespoints
+unset multiplot
+set output 'fig5_complement.png'
+set multiplot layout 1,2 title 'fig5 complement'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig5_complement.csv' using 1:2 with linespoints, 'fig5_complement.csv' using 1:4 with linespoints, 'fig5_complement.csv' using 1:6 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig5_complement.csv' using 1:3 with linespoints, 'fig5_complement.csv' using 1:5 with linespoints, 'fig5_complement.csv' using 1:7 with linespoints
+unset multiplot
+set output 'fig5_transpose.png'
+set multiplot layout 1,2 title 'fig5 transpose'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig5_transpose.csv' using 1:2 with linespoints, 'fig5_transpose.csv' using 1:4 with linespoints, 'fig5_transpose.csv' using 1:6 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig5_transpose.csv' using 1:3 with linespoints, 'fig5_transpose.csv' using 1:5 with linespoints, 'fig5_transpose.csv' using 1:7 with linespoints
+unset multiplot
+set output 'fig5_bitrev.png'
+set multiplot layout 1,2 title 'fig5 bitrev'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig5_bitrev.csv' using 1:2 with linespoints, 'fig5_bitrev.csv' using 1:4 with linespoints, 'fig5_bitrev.csv' using 1:6 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig5_bitrev.csv' using 1:3 with linespoints, 'fig5_bitrev.csv' using 1:5 with linespoints, 'fig5_bitrev.csv' using 1:7 with linespoints
+unset multiplot
+set output 'fig6_uniform.png'
+set multiplot layout 1,2 title 'fig6 uniform'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig6_uniform.csv' using 1:2 with linespoints, 'fig6_uniform.csv' using 1:4 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig6_uniform.csv' using 1:3 with linespoints, 'fig6_uniform.csv' using 1:5 with linespoints
+unset multiplot
+set output 'fig6_complement.png'
+set multiplot layout 1,2 title 'fig6 complement'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig6_complement.csv' using 1:2 with linespoints, 'fig6_complement.csv' using 1:4 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig6_complement.csv' using 1:3 with linespoints, 'fig6_complement.csv' using 1:5 with linespoints
+unset multiplot
+set output 'fig6_transpose.png'
+set multiplot layout 1,2 title 'fig6 transpose'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig6_transpose.csv' using 1:2 with linespoints, 'fig6_transpose.csv' using 1:4 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig6_transpose.csv' using 1:3 with linespoints, 'fig6_transpose.csv' using 1:5 with linespoints
+unset multiplot
+set output 'fig6_bitrev.png'
+set multiplot layout 1,2 title 'fig6 bitrev'
+set xlabel 'offered (fraction of capacity)'; set ylabel 'accepted (fraction)'
+plot 'fig6_bitrev.csv' using 1:2 with linespoints, 'fig6_bitrev.csv' using 1:4 with linespoints
+set xlabel 'offered (fraction of capacity)'; set ylabel 'latency (cycles)'
+plot 'fig6_bitrev.csv' using 1:3 with linespoints, 'fig6_bitrev.csv' using 1:5 with linespoints
+unset multiplot
+set output 'fig7_uniform.png'
+set multiplot layout 1,2 title 'fig7 uniform'
+set xlabel 'offered (bits/ns)'; set ylabel 'accepted (bits/ns)'
+plot 'fig7_uniform.csv' using 2:3 with linespoints, 'fig7_uniform.csv' using 5:6 with linespoints, 'fig7_uniform.csv' using 8:9 with linespoints, 'fig7_uniform.csv' using 11:12 with linespoints, 'fig7_uniform.csv' using 14:15 with linespoints
+set xlabel 'offered (bits/ns)'; set ylabel 'latency (ns)'
+plot 'fig7_uniform.csv' using 2:4 with linespoints, 'fig7_uniform.csv' using 5:7 with linespoints, 'fig7_uniform.csv' using 8:10 with linespoints, 'fig7_uniform.csv' using 11:13 with linespoints, 'fig7_uniform.csv' using 14:16 with linespoints
+unset multiplot
+set output 'fig7_complement.png'
+set multiplot layout 1,2 title 'fig7 complement'
+set xlabel 'offered (bits/ns)'; set ylabel 'accepted (bits/ns)'
+plot 'fig7_complement.csv' using 2:3 with linespoints, 'fig7_complement.csv' using 5:6 with linespoints, 'fig7_complement.csv' using 8:9 with linespoints, 'fig7_complement.csv' using 11:12 with linespoints, 'fig7_complement.csv' using 14:15 with linespoints
+set xlabel 'offered (bits/ns)'; set ylabel 'latency (ns)'
+plot 'fig7_complement.csv' using 2:4 with linespoints, 'fig7_complement.csv' using 5:7 with linespoints, 'fig7_complement.csv' using 8:10 with linespoints, 'fig7_complement.csv' using 11:13 with linespoints, 'fig7_complement.csv' using 14:16 with linespoints
+unset multiplot
+set output 'fig7_transpose.png'
+set multiplot layout 1,2 title 'fig7 transpose'
+set xlabel 'offered (bits/ns)'; set ylabel 'accepted (bits/ns)'
+plot 'fig7_transpose.csv' using 2:3 with linespoints, 'fig7_transpose.csv' using 5:6 with linespoints, 'fig7_transpose.csv' using 8:9 with linespoints, 'fig7_transpose.csv' using 11:12 with linespoints, 'fig7_transpose.csv' using 14:15 with linespoints
+set xlabel 'offered (bits/ns)'; set ylabel 'latency (ns)'
+plot 'fig7_transpose.csv' using 2:4 with linespoints, 'fig7_transpose.csv' using 5:7 with linespoints, 'fig7_transpose.csv' using 8:10 with linespoints, 'fig7_transpose.csv' using 11:13 with linespoints, 'fig7_transpose.csv' using 14:16 with linespoints
+unset multiplot
+set output 'fig7_bitrev.png'
+set multiplot layout 1,2 title 'fig7 bitrev'
+set xlabel 'offered (bits/ns)'; set ylabel 'accepted (bits/ns)'
+plot 'fig7_bitrev.csv' using 2:3 with linespoints, 'fig7_bitrev.csv' using 5:6 with linespoints, 'fig7_bitrev.csv' using 8:9 with linespoints, 'fig7_bitrev.csv' using 11:12 with linespoints, 'fig7_bitrev.csv' using 14:15 with linespoints
+set xlabel 'offered (bits/ns)'; set ylabel 'latency (ns)'
+plot 'fig7_bitrev.csv' using 2:4 with linespoints, 'fig7_bitrev.csv' using 5:7 with linespoints, 'fig7_bitrev.csv' using 8:10 with linespoints, 'fig7_bitrev.csv' using 11:13 with linespoints, 'fig7_bitrev.csv' using 14:16 with linespoints
+unset multiplot

@@ -1,0 +1,243 @@
+//! `netperf` — command-line driver for the flit-level simulator.
+//!
+//! Run a single simulation or a load sweep on any supported network
+//! without writing Rust:
+//!
+//! ```sh
+//! netperf --topology cube --k 16 --n 2 --algo duato --pattern uniform --load 0.6
+//! netperf --topology tree --k 4 --n 4 --algo adaptive --vcs 2 \
+//!         --pattern transpose --sweep 0.1:1.0:0.1 --csv sweep.csv
+//! netperf --topology mesh --k 8 --n 2 --algo det --pattern tornado --load 0.3
+//! ```
+
+use netperf::netsim::experiment::{default_load_grid, RunLength};
+use netperf::netsim::sim::{run_simulation, InjectionSpec, SimConfig};
+use netperf::prelude::*;
+use netperf::routing::{MeshAdaptive, MeshDeterministic, RoutingAlgorithm};
+use netperf::topology::KAryNMesh;
+use netstats::{Cell, Table};
+
+#[derive(Debug)]
+struct Args {
+    topology: String,
+    k: usize,
+    n: usize,
+    algo: String,
+    vcs: usize,
+    pattern: Pattern,
+    load: f64,
+    sweep: Option<Vec<f64>>,
+    cycles: u32,
+    warmup: u32,
+    seed: u64,
+    buffer: usize,
+    packet_bytes: usize,
+    csv: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            topology: "cube".into(),
+            k: 16,
+            n: 2,
+            algo: "duato".into(),
+            vcs: 4,
+            pattern: Pattern::Uniform,
+            load: 0.5,
+            sweep: None,
+            cycles: 20_000,
+            warmup: 2_000,
+            seed: 0x5EED,
+            buffer: 4,
+            packet_bytes: 64,
+            csv: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netperf [options]\n\
+         --topology cube|tree|mesh   network family (default cube)\n\
+         --k <int>                   radix / arity (default 16)\n\
+         --n <int>                   dimension / levels (default 2)\n\
+         --algo det|duato|adaptive   routing algorithm (default duato)\n\
+         --vcs <int>                 virtual channels (tree/mesh; default 4)\n\
+         --pattern <name>            uniform|complement|bitrev|transpose|shuffle|\n\
+                                     butterfly|tornado|neighbor|hotspot (default uniform)\n\
+         --load <frac>               offered load, fraction of capacity (default 0.5)\n\
+         --sweep a:b:step            sweep loads instead of a single run\n\
+         --cycles <int>              total cycles (default 20000)\n\
+         --warmup <int>              warm-up cycles (default 2000)\n\
+         --seed <int>                RNG seed (default 0x5EED)\n\
+         --buffer <int>              lane depth in flits (default 4)\n\
+         --packet-bytes <int>        packet size (default 64)\n\
+         --csv <path>                write results as CSV"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--topology" => a.topology = val("--topology"),
+            "--k" => a.k = val("--k").parse().unwrap_or_else(|_| usage()),
+            "--n" => a.n = val("--n").parse().unwrap_or_else(|_| usage()),
+            "--algo" => a.algo = val("--algo"),
+            "--vcs" => a.vcs = val("--vcs").parse().unwrap_or_else(|_| usage()),
+            "--pattern" => {
+                let name = val("--pattern");
+                a.pattern = Pattern::parse(&name).unwrap_or_else(|| {
+                    eprintln!("error: unknown pattern {name}");
+                    usage()
+                });
+            }
+            "--load" => a.load = val("--load").parse().unwrap_or_else(|_| usage()),
+            "--sweep" => {
+                let spec = val("--sweep");
+                let parts: Vec<f64> =
+                    spec.split(':').map(|x| x.parse().unwrap_or_else(|_| usage())).collect();
+                let grid = match parts.as_slice() {
+                    [a, b, step] if *step > 0.0 && b >= a => {
+                        let mut g = Vec::new();
+                        let mut x = *a;
+                        while x <= b + 1e-9 {
+                            g.push(x);
+                            x += step;
+                        }
+                        g
+                    }
+                    _ => usage(),
+                };
+                a.sweep = Some(grid);
+            }
+            "--cycles" => a.cycles = val("--cycles").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => a.warmup = val("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--buffer" => a.buffer = val("--buffer").parse().unwrap_or_else(|_| usage()),
+            "--packet-bytes" => {
+                a.packet_bytes = val("--packet-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            "--csv" => a.csv = Some(val("--csv")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    a
+}
+
+/// Build the algorithm and the physical parameters for the CLI request.
+fn build(args: &Args) -> (Box<dyn RoutingAlgorithm>, usize, f64) {
+    match (args.topology.as_str(), args.algo.as_str()) {
+        ("cube", "det") => {
+            let cube = KAryNCube::new(args.k, args.n);
+            let cap = cube.uniform_capacity_flits_per_cycle();
+            (Box::new(CubeDeterministic::new(cube)), 4, cap)
+        }
+        ("cube", "duato") => {
+            let cube = KAryNCube::new(args.k, args.n);
+            let cap = cube.uniform_capacity_flits_per_cycle();
+            (Box::new(CubeDuato::new(cube)), 4, cap)
+        }
+        ("tree", "adaptive") => {
+            let tree = KAryNTree::new(args.k, args.n);
+            (Box::new(TreeAdaptive::new(tree, args.vcs)), 2, 1.0)
+        }
+        ("mesh", "det") => {
+            let mesh = KAryNMesh::new(args.k, args.n);
+            let cap = mesh.uniform_capacity_flits_per_cycle();
+            (Box::new(MeshDeterministic::new(mesh, args.vcs)), 4, cap)
+        }
+        ("mesh", "adaptive" | "duato") => {
+            let mesh = KAryNMesh::new(args.k, args.n);
+            let cap = mesh.uniform_capacity_flits_per_cycle();
+            (Box::new(MeshAdaptive::new(mesh, args.vcs.max(2))), 4, cap)
+        }
+        (topo, algo) => {
+            eprintln!("error: unsupported combination --topology {topo} --algo {algo}");
+            eprintln!("supported: cube+det, cube+duato, tree+adaptive, mesh+det, mesh+adaptive");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn config(args: &Args, flit_bytes: usize, cap: f64, load: f64) -> SimConfig {
+    let flits = (args.packet_bytes / flit_bytes).max(1) as u16;
+    SimConfig {
+        seed: args.seed,
+        warmup_cycles: args.warmup,
+        total_cycles: args.cycles,
+        buffer_depth: args.buffer,
+        flits_per_packet: flits,
+        capacity_flits_per_cycle: cap,
+        injection: InjectionSpec::Bernoulli {
+            packets_per_cycle: load * cap / flits as f64,
+        },
+        pattern: args.pattern,
+        injection_limit: None,
+        request_reply: false,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (algo, flit_bytes, cap) = build(&args);
+    let _ = (RunLength::paper(), default_load_grid()); // referenced for docs
+
+    let loads: Vec<f64> = args.sweep.clone().unwrap_or_else(|| vec![args.load]);
+    let mut table = Table::with_columns([
+        "offered_fraction",
+        "generated_fraction",
+        "accepted_fraction",
+        "latency_cycles",
+        "latency_p99_cycles",
+        "delivered_packets",
+        "backlog_packets",
+    ]);
+    println!(
+        "{} | {} | {} | {} flits/packet | capacity {:.3} flits/node/cycle",
+        algo.topology().label(),
+        algo.name(),
+        args.pattern.name(),
+        (args.packet_bytes / flit_bytes).max(1),
+        cap,
+    );
+    for &load in &loads {
+        let cfg = config(&args, flit_bytes, cap, load);
+        let out = run_simulation(algo.as_ref(), &cfg);
+        let p99 = out.latency_hist.quantile(0.99).unwrap_or(f64::NAN);
+        println!(
+            "load {:>5.2}: accepted {:>6.3} of capacity, latency {:>7.1} cycles (p99 {:>6.0}), {} packets",
+            load,
+            out.accepted_fraction,
+            out.mean_latency_cycles(),
+            p99,
+            out.delivered_packets
+        );
+        table.push_row(vec![
+            Cell::Num(load),
+            Cell::Num(out.generated_fraction),
+            Cell::Num(out.accepted_fraction),
+            Cell::Num(out.mean_latency_cycles()),
+            Cell::Num(p99),
+            Cell::Num(out.delivered_packets as f64),
+            Cell::Num(out.backlog_packets as f64),
+        ]);
+    }
+    if let Some(path) = &args.csv {
+        netstats::write_csv(&table, path).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,59 @@
+//! # netperf — "Network Performance under Physical Constraints", reproduced
+//!
+//! A production-quality Rust reproduction of Petrini & Vanneschi's ICPP'97
+//! study comparing a quaternary fat-tree (4-ary 4-tree) against a
+//! bi-dimensional cube (16-ary 2-cube) with a flit-level wormhole
+//! simulation normalized for physical constraints (pin count, wire delay,
+//! router complexity).
+//!
+//! This facade crate re-exports the public API of the workspace crates so
+//! downstream users can depend on a single crate:
+//!
+//! * [`topology`] — k-ary n-cubes and k-ary n-trees.
+//! * [`traffic`] — synthetic benchmark patterns and injection processes.
+//! * [`routing`] — deterministic, Duato-adaptive and fat-tree-adaptive
+//!   routing functions plus channel-dependency-graph deadlock analysis.
+//! * [`costmodel`] — Chien's router cost model and the paper's
+//!   performance normalization.
+//! * [`netstats`] — statistics collection and CSV/JSON export.
+//! * [`netsim`] — the flit-level wormhole simulator and the paper's
+//!   experiment harness.
+//! * [`analytic`] — closed-form latency/throughput baselines
+//!   (Agarwal-style M/D/1 contention models).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use netperf::prelude::*;
+//!
+//! // Simulate the paper's 16-ary 2-cube with Duato's adaptive routing
+//! // under uniform traffic at 40% of capacity.
+//! let spec = ExperimentSpec::cube_duato(CubeParams::paper());
+//! let outcome = simulate_load(&spec, Pattern::Uniform, 0.4, RunLength::quick());
+//! assert!(outcome.accepted_fraction > 0.35); // below saturation: accepted ~ offered
+//! ```
+
+#![warn(missing_docs)]
+
+pub use analytic;
+pub use costmodel;
+pub use netsim;
+pub use netstats;
+pub use routing;
+pub use topology;
+pub use traffic;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use costmodel::chien::{ChienModel, RouterTiming};
+    pub use costmodel::normalize::NetworkNormalization;
+    pub use netsim::experiment::{
+        default_load_grid, simulate_load, sweep, sweep_outcomes, CubeParams, ExperimentSpec,
+        RunLength, TreeParams,
+    };
+    pub use netsim::sim::{SimConfig, SimOutcome};
+    pub use netstats::export::{write_csv, Table};
+    pub use routing::{CubeDeterministic, CubeDuato, TreeAdaptive};
+    pub use topology::{KAryNCube, KAryNTree, NodeId, RouterId, Topology};
+    pub use traffic::pattern::Pattern;
+}

@@ -1,0 +1,85 @@
+//! Bit-reproducibility: a simulation is a pure function of its
+//! configuration. This is what makes the figures in EXPERIMENTS.md
+//! reproducible on any machine, and what makes the parallel sweep
+//! identical to a serial one.
+
+use netperf::netsim::sim::run_simulation;
+use netperf::prelude::*;
+use netperf::traffic::Pattern as P;
+
+fn fingerprint(out: &netperf::netsim::sim::SimOutcome) -> (u64, u64, u64, u64) {
+    (
+        out.delivered_packets,
+        out.created_packets,
+        out.accepted_fraction.to_bits(),
+        out.mean_latency_cycles().to_bits(),
+    )
+}
+
+#[test]
+fn identical_configs_produce_identical_outcomes() {
+    let spec = ExperimentSpec::cube_duato(CubeParams::tiny());
+    let cfg = spec.config_at(P::Uniform, 0.6, RunLength::quick());
+    let a = {
+        let algo = spec.build_algorithm();
+        run_simulation(algo.as_ref(), &cfg)
+    };
+    let b = {
+        let algo = spec.build_algorithm();
+        run_simulation(algo.as_ref(), &cfg)
+    };
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let spec = ExperimentSpec::cube_duato(CubeParams::tiny());
+    let mut cfg = spec.config_at(P::Uniform, 0.6, RunLength::quick());
+    let algo = spec.build_algorithm();
+    let a = run_simulation(algo.as_ref(), &cfg);
+    cfg.seed ^= 1;
+    let b = run_simulation(algo.as_ref(), &cfg);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn parallel_sweep_matches_serial_exactly() {
+    let spec = ExperimentSpec::tree_adaptive(TreeParams::tiny(), 2);
+    let grid = [0.2, 0.5, 0.8, 1.0];
+    let par = sweep_outcomes(&spec, P::Transpose, &grid, RunLength::quick());
+    let ser: Vec<_> = grid
+        .iter()
+        .map(|&f| simulate_load(&spec, P::Transpose, f, RunLength::quick()))
+        .collect();
+    for (p, s) in par.iter().zip(&ser) {
+        assert_eq!(fingerprint(p), fingerprint(s));
+    }
+}
+
+#[test]
+fn seeds_differ_across_grid_points_and_specs() {
+    // Two different loads of the same spec, and the same load of two
+    // specs, must not share RNG streams: their traces differ even
+    // though the measured values could legitimately coincide.
+    let spec = ExperimentSpec::cube_deterministic(CubeParams::tiny());
+    let c1 = spec.config_at(P::Uniform, 0.5, RunLength::quick());
+    let c2 = spec.config_at(P::Uniform, 0.55, RunLength::quick());
+    assert_ne!(c1.seed, c2.seed);
+    let other = ExperimentSpec::cube_duato(CubeParams::tiny());
+    let c3 = other.config_at(P::Uniform, 0.5, RunLength::quick());
+    assert_ne!(c1.seed, c3.seed);
+}
+
+#[test]
+fn engine_counters_are_stable_across_runs_of_paper_network() {
+    // A short paper-size run, twice; guards the hot path against
+    // nondeterministic iteration (e.g. hash maps) sneaking in.
+    let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), 2);
+    let cfg = spec.config_at(P::BitReversal, 0.7, RunLength { warmup: 500, total: 2_500 });
+    let algo = spec.build_algorithm();
+    let a = run_simulation(algo.as_ref(), &cfg);
+    let b = run_simulation(algo.as_ref(), &cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.backlog_packets, b.backlog_packets);
+    assert_eq!(a.escape_fraction.to_bits(), b.escape_fraction.to_bits());
+}

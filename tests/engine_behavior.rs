@@ -1,0 +1,247 @@
+//! Behavioral tests of the router model itself: arbitration fairness,
+//! source throttling, virtual-channel multiplexing, and ejection
+//! bandwidth — the Section 4 mechanisms, observed from outside.
+
+use netperf::netsim::engine::Engine;
+use netperf::netsim::flit::NEVER;
+use netperf::prelude::*;
+use netperf::routing::RoutingAlgorithm;
+use netperf::traffic::{InjectionProcess, Pattern as P, Rng64, TrafficGen};
+
+/// Injects periodically from a fixed set of source nodes only.
+struct FromNodes {
+    active: bool,
+    period: u64,
+    count: u64,
+}
+
+impl InjectionProcess for FromNodes {
+    fn tick(&mut self, _rng: &mut Rng64) -> bool {
+        if !self.active {
+            return false;
+        }
+        self.count += 1;
+        self.count.is_multiple_of(self.period)
+    }
+    fn mean_rate(&self) -> f64 {
+        if self.active {
+            1.0 / self.period as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[test]
+fn ejection_link_is_shared_fairly() {
+    // Nodes 0 and 1 (different leaf switches) both flood node 8 of a
+    // 4-ary 2-tree. The last link (leaf switch -> node 8) is the shared
+    // bottleneck; the round-robin arbiter must split it evenly.
+    let tree = KAryNTree::new(4, 2);
+    let algo = TreeAdaptive::new(tree, 2);
+    let pattern = TrafficGen::new(P::HotSpot { hot: 8, percent: 100 }, 16);
+    let mut eng = Engine::new(
+        &algo,
+        4,
+        16,
+        pattern,
+        &|n| Box::new(FromNodes { active: n == 0 || n == 1, period: 16, count: 0 }),
+        9,
+    );
+    eng.run(10_000);
+    let mut per_source = [0u64; 2];
+    for p in eng.packets() {
+        if p.delivered != NEVER {
+            assert_eq!(p.dest, 8);
+            per_source[p.src as usize] += 1;
+        }
+    }
+    let (a, b) = (per_source[0] as f64, per_source[1] as f64);
+    assert!(a + b > 200.0, "not enough deliveries: {a} + {b}");
+    assert!(
+        (a / b - 1.0).abs() < 0.1,
+        "unfair ejection sharing: {a} vs {b}"
+    );
+}
+
+#[test]
+fn competing_flows_through_a_shared_link_get_equal_shares() {
+    // On a 2-ary 1-tree both nodes send to each other continuously;
+    // the switch serves both directions independently, so both flows
+    // must progress at the same rate.
+    let algo = TreeAdaptive::new(KAryNTree::new(2, 1), 2);
+    let pattern = TrafficGen::new(P::Complement, 2);
+    let mut eng = Engine::new(
+        &algo,
+        4,
+        8,
+        pattern,
+        &|_| Box::new(FromNodes { active: true, period: 8, count: 0 }),
+        4,
+    );
+    eng.run(8_000);
+    let mut per_source = [0u64; 2];
+    for p in eng.packets() {
+        if p.delivered != NEVER {
+            per_source[p.src as usize] += 1;
+        }
+    }
+    assert!(per_source[0] > 300);
+    assert_eq!(per_source[0], per_source[1]);
+}
+
+#[test]
+fn injection_limit_throttles_starts_not_correctness() {
+    // With a tiny injection limit the backlog grows, but everything
+    // still drains once the sources stop, and nothing is lost.
+    let algo = CubeDuato::new(KAryNCube::new(4, 2));
+    struct Burst(u32);
+    impl InjectionProcess for Burst {
+        fn tick(&mut self, rng: &mut Rng64) -> bool {
+            if self.0 > 0 {
+                self.0 -= 1;
+                rng.chance(0.05)
+            } else {
+                false
+            }
+        }
+        fn mean_rate(&self) -> f64 {
+            0.0
+        }
+    }
+    let run = |limit: Option<u32>| {
+        let pattern = TrafficGen::new(P::Uniform, 16);
+        let mut eng =
+            Engine::new(&algo, 4, 16, pattern, &|_| Box::new(Burst(1_000)), 77);
+        eng.set_injection_limit(limit);
+        eng.run(1_000);
+        let mid_backlog = eng.source_queue_len();
+        eng.run(30_000);
+        let c = eng.counters();
+        assert_eq!(c.delivered_packets, c.created_packets, "lost packets at {limit:?}");
+        assert_eq!(c.in_flight_flits, 0);
+        mid_backlog
+    };
+    let unthrottled = run(None);
+    let throttled = run(Some(2));
+    assert!(
+        throttled > unthrottled,
+        "tight limit must hold packets back at the source: {throttled} vs {unthrottled}"
+    );
+}
+
+#[test]
+fn virtual_channels_multiplex_one_physical_link() {
+    // Node 0 streams continuously to node 1 over the single link of a
+    // 2-ary 1-tree. With 1 VC the link carries one worm at a time;
+    // with 4 VCs, several worms interleave, so the *maximum gap*
+    // between consecutive packet deliveries shrinks while aggregate
+    // throughput stays link-bound (1 flit/cycle either way).
+    let deliveries = |vcs: usize| -> Vec<u32> {
+        let algo = TreeAdaptive::new(KAryNTree::new(2, 1), vcs);
+        let pattern = TrafficGen::new(P::Complement, 2);
+        let mut eng = Engine::new(
+            &algo,
+            4,
+            16,
+            pattern,
+            &|n| Box::new(FromNodes { active: n == 0, period: 4, count: 0 }),
+            6,
+        );
+        eng.run(4_000);
+        let mut times: Vec<u32> = eng
+            .packets()
+            .iter()
+            .filter(|p| p.delivered != NEVER)
+            .map(|p| p.delivered)
+            .collect();
+        times.sort_unstable();
+        times
+    };
+    let t1 = deliveries(1);
+    let t4 = deliveries(4);
+    // Throughput is the same (the physical link is the bottleneck)…
+    assert!((t1.len() as f64 / t4.len() as f64 - 1.0).abs() < 0.05);
+    // …and at steady state both deliver one 16-flit packet every ~16
+    // cycles; multiplexing does not break the pipeline.
+    let gaps = |ts: &[u32]| {
+        ts.windows(2).map(|w| (w[1] - w[0]) as f64).sum::<f64>() / (ts.len() - 1) as f64
+    };
+    assert!((gaps(&t1) - 16.0).abs() < 1.0, "{}", gaps(&t1));
+    assert!((gaps(&t4) - 16.0).abs() < 1.0, "{}", gaps(&t4));
+}
+
+#[test]
+fn single_injection_channel_serializes_packet_starts() {
+    // Even with 4 VCs, a node streams one packet at a time into the
+    // network: the injected timestamps of consecutive packets from one
+    // source must be at least a full packet apart.
+    let algo = TreeAdaptive::new(KAryNTree::new(2, 1), 4);
+    let pattern = TrafficGen::new(P::Complement, 2);
+    let flits = 16u16;
+    let mut eng = Engine::new(
+        &algo,
+        4,
+        flits,
+        pattern,
+        &|n| Box::new(FromNodes { active: n == 0, period: 2, count: 0 }),
+        8,
+    );
+    eng.run(3_000);
+    let mut injected: Vec<u32> = eng
+        .packets()
+        .iter()
+        .filter(|p| p.injected != NEVER)
+        .map(|p| p.injected)
+        .collect();
+    injected.sort_unstable();
+    assert!(injected.len() > 50);
+    for w in injected.windows(2) {
+        assert!(
+            w[1] - w[0] >= flits as u32,
+            "packet started while the previous one was still streaming"
+        );
+    }
+}
+
+#[test]
+fn routing_is_one_header_per_router_per_cycle() {
+    // Flood a single leaf switch with headers from its 4 local nodes
+    // plus descending traffic; routed_headers can grow by at most
+    // num_routers per cycle — and for this 1-switch network, by 1.
+    let algo = TreeAdaptive::new(KAryNTree::new(4, 1), 1);
+    let pattern = TrafficGen::new(P::Uniform, 4);
+    let mut eng = Engine::new(
+        &algo,
+        4,
+        4,
+        pattern,
+        &|_| Box::new(FromNodes { active: true, period: 5, count: 0 }),
+        12,
+    );
+    let mut last = 0;
+    for _ in 0..2_000 {
+        eng.step();
+        let now = eng.counters().routed_headers;
+        assert!(now - last <= 1, "routed {} headers in one cycle", now - last);
+        last = now;
+    }
+    assert!(last > 100);
+}
+
+#[test]
+fn counters_escape_is_zero_for_fully_adaptive_algorithms() {
+    let algo: Box<dyn RoutingAlgorithm> = Box::new(TreeAdaptive::new(KAryNTree::new(2, 3), 2));
+    let pattern = TrafficGen::new(P::Uniform, 8);
+    let mut eng = Engine::new(
+        algo.as_ref(),
+        4,
+        16,
+        pattern,
+        &|_| Box::new(FromNodes { active: true, period: 40, count: 0 }),
+        2,
+    );
+    eng.run(5_000);
+    assert_eq!(eng.counters().escape_routings, 0, "trees have no escape class");
+    assert!(eng.counters().routed_headers > 100);
+}
