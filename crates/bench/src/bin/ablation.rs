@@ -101,12 +101,10 @@ fn main() {
 }
 
 fn torus_vs_mesh(opts: &Options, len: netsim::experiment::RunLength) {
-    use netsim::engine::Engine;
     use netsim::sim::SimConfig;
     use routing::{CubeDeterministic, MeshDeterministic, RoutingAlgorithm};
     use topology::{KAryNCube, KAryNMesh};
 
-    let _ = Engine::new; // (engine is exercised through run_simulation)
     let mut t = Table::with_columns([
         "topology",
         "flits_per_node_cycle",

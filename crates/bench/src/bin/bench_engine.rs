@@ -1,0 +1,222 @@
+//! Engine benchmark-baseline harness.
+//!
+//! Runs fixed paper-scale workloads (the five router configurations of
+//! the paper on their 256-node networks, uniform traffic) once with the
+//! active-set stepper ([`Engine::step`]) and once with the naive
+//! scan-everything reference stepper ([`Engine::step_reference`]),
+//! measuring wall-clock throughput of each: simulated cycles per second
+//! and flit-moves per second. Both engines are asserted bit-identical
+//! before their numbers are reported, so the comparison is between two
+//! implementations of the *same* simulation.
+//!
+//! Writes `BENCH_engine.json` (override with `--out <path>`): one
+//! record per (configuration, offered load) with the optimized and
+//! baseline rates side by side and their ratio. Low loads are where the
+//! active sets pay off (most routers idle); saturation shows the
+//! bounded overhead when nearly everything is active.
+//!
+//! Usage: `bench_engine [--cycles N] [--out <path>]`
+
+use netsim::engine::{Counters, Engine};
+use netsim::experiment::{ExperimentSpec, RunLength, SpecVisitor};
+use netsim::sim::SimConfig;
+use routing::RoutingAlgorithm;
+use std::fmt::Write as _;
+use std::time::Instant;
+use traffic::{Bernoulli, InjectionProcess, Pattern, TrafficGen};
+
+/// Offered loads (fraction of capacity) per configuration: the 0.1–0.3
+/// regime the active sets target, one mid point, and saturation.
+const LOADS: [f64; 5] = [0.1, 0.2, 0.3, 0.5, 1.0];
+
+struct Sample {
+    label: String,
+    load: f64,
+    cycles: u32,
+    flit_moves: u64,
+    opt_secs: f64,
+    ref_secs: f64,
+}
+
+impl Sample {
+    fn opt_cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.opt_secs
+    }
+    fn ref_cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.ref_secs
+    }
+    fn opt_moves_per_sec(&self) -> f64 {
+        self.flit_moves as f64 / self.opt_secs
+    }
+    fn ref_moves_per_sec(&self) -> f64 {
+        self.flit_moves as f64 / self.ref_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.ref_secs / self.opt_secs
+    }
+}
+
+fn build_engine<'a, A: RoutingAlgorithm + ?Sized>(
+    algo: &'a A,
+    cfg: &SimConfig,
+) -> Engine<'a, A> {
+    let pattern = TrafficGen::new(cfg.pattern, algo.topology().num_nodes());
+    let rate = cfg.injection.mean_rate();
+    let mut eng = Engine::new(
+        algo,
+        cfg.buffer_depth,
+        cfg.flits_per_packet,
+        pattern,
+        &move |_| Box::new(Bernoulli::new(rate)) as Box<dyn InjectionProcess>,
+        cfg.seed,
+    );
+    eng.set_injection_limit(cfg.injection_limit);
+    eng.set_request_reply(cfg.request_reply);
+    eng
+}
+
+/// Time one engine run; returns (elapsed seconds, final counters).
+fn time_run<A: RoutingAlgorithm + ?Sized>(
+    algo: &A,
+    cfg: &SimConfig,
+    cycles: u32,
+    reference: bool,
+) -> (f64, Counters) {
+    let mut eng = build_engine(algo, cfg);
+    let start = Instant::now();
+    if reference {
+        eng.run_reference(cycles);
+    } else {
+        eng.run(cycles);
+    }
+    (start.elapsed().as_secs_f64(), eng.counters())
+}
+
+/// Times the optimized (active-set, monomorphized) stepper: the visitor
+/// receives the concrete algorithm type, so this measures the engine as
+/// `simulate_load` actually runs it.
+struct TimeOptimized<'c> {
+    cfg: &'c SimConfig,
+    cycles: u32,
+}
+
+impl SpecVisitor for TimeOptimized<'_> {
+    type Out = (f64, Counters);
+    fn visit<A: RoutingAlgorithm>(self, algo: A) -> (f64, Counters) {
+        // Warm the code path and the allocator once (first-touch page
+        // faults would otherwise land in the first timed run).
+        let _ = time_run(&algo, self.cfg, self.cycles.min(1_000), false);
+        time_run(&algo, self.cfg, self.cycles, false)
+    }
+}
+
+fn main() {
+    let mut cycles: u32 = 20_000; // the paper's full run length
+    let mut out = std::path::PathBuf::from("BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cycles" => {
+                cycles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid count after --cycles"));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| usage("missing path after --out")).into();
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut samples = Vec::new();
+    for spec in ExperimentSpec::paper_five() {
+        let algo = spec.build_algorithm();
+        for load in LOADS {
+            let cfg = spec.config_at(Pattern::Uniform, load, RunLength::paper());
+            // Optimized: active-set stepper, concrete algorithm type
+            // (the configuration `simulate_load` ships). Baseline:
+            // full-scan reference stepper behind dynamic dispatch (the
+            // pre-optimization configuration).
+            let (opt_secs, opt_counters) =
+                spec.with_algorithm(TimeOptimized { cfg: &cfg, cycles });
+            let (ref_secs, ref_counters) = time_run(algo.as_ref(), &cfg, cycles, true);
+            assert_eq!(
+                opt_counters,
+                ref_counters,
+                "{} at load {load}: steppers diverged — benchmark void",
+                spec.label()
+            );
+            let s = Sample {
+                label: spec.label().to_string(),
+                load,
+                cycles,
+                flit_moves: opt_counters.flit_moves,
+                opt_secs,
+                ref_secs,
+            };
+            eprintln!(
+                "{:22} load {:4.2}: {:>7.2} Mcycles/s vs {:>7.2} baseline ({:4.2}x), \
+                 {:>7.2} Mmoves/s",
+                s.label,
+                s.load,
+                s.opt_cycles_per_sec() / 1e6,
+                s.ref_cycles_per_sec() / 1e6,
+                s.speedup(),
+                s.opt_moves_per_sec() / 1e6,
+            );
+            samples.push(s);
+        }
+    }
+
+    let low: Vec<&Sample> = samples.iter().filter(|s| s.load <= 0.3).collect();
+    let low_speedup =
+        low.iter().map(|s| s.speedup()).sum::<f64>() / low.len() as f64;
+    eprintln!("mean speedup over low-load (<=0.3) points: {low_speedup:.2}x");
+
+    std::fs::write(&out, to_json(&samples, low_speedup)).expect("write benchmark json");
+    eprintln!("wrote {}", out.display());
+}
+
+fn to_json(samples: &[Sample], low_speedup: f64) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"benchmark\": \"engine active-set stepper vs naive full-scan baseline\",\n");
+    j.push_str("  \"workload\": \"paper-scale (256-node) configurations, uniform traffic\",\n");
+    j.push_str("  \"units\": { \"rates\": \"per wall-clock second\" },\n");
+    let _ = writeln!(j, "  \"mean_low_load_speedup\": {low_speedup:.3},");
+    j.push_str("  \"runs\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{ \"config\": {:?}, \"offered_load\": {}, \"cycles\": {}, \
+             \"flit_moves\": {}, \
+             \"optimized\": {{ \"seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \"flit_moves_per_sec\": {:.0} }}, \
+             \"baseline\": {{ \"seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \"flit_moves_per_sec\": {:.0} }}, \
+             \"speedup\": {:.3} }}",
+            s.label,
+            s.load,
+            s.cycles,
+            s.flit_moves,
+            s.opt_secs,
+            s.opt_cycles_per_sec(),
+            s.opt_moves_per_sec(),
+            s.ref_secs,
+            s.ref_cycles_per_sec(),
+            s.ref_moves_per_sec(),
+            s.speedup(),
+        );
+        j.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: bench_engine [--cycles N] [--out <path>]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

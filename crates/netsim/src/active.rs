@@ -1,0 +1,133 @@
+//! Active-set worklists: fixed-capacity bitsets over router/node ids.
+//!
+//! The engine's per-cycle cost must be proportional to *active* work,
+//! not network size: each pipeline phase keeps a bitset of the routers
+//! (or nodes) that can possibly do anything this cycle, and walks only
+//! the set bits with `trailing_zeros`. Because the words are scanned in
+//! ascending order, iteration visits members in ascending id order —
+//! exactly the order of the naive `for r in 0..n` scan it replaces,
+//! which is what keeps the optimized engine bit-identical to the
+//! reference step (the routing phase consumes a shared RNG stream, so
+//! visit *order* is observable).
+//!
+//! Membership updates during a phase are restricted by construction:
+//! a phase may remove the member it is currently visiting (it drained)
+//! and may insert into the worklists of *later* phases, but never
+//! inserts into the set it is iterating. [`ActiveSet::drain_ascending`]
+//! relies on this: it snapshots one word at a time, so removals of
+//! already-cleared bits and insertions elsewhere cannot be missed.
+
+/// A bitset over `0..capacity` ids supporting ascending iteration.
+#[derive(Clone, Debug)]
+pub struct ActiveSet {
+    words: Vec<u64>,
+}
+
+impl ActiveSet {
+    /// An empty set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        ActiveSet { words: vec![0; capacity.div_ceil(64)] }
+    }
+
+    /// Add `id` (idempotent).
+    #[inline]
+    pub fn insert(&mut self, id: usize) {
+        self.words[id >> 6] |= 1u64 << (id & 63);
+    }
+
+    /// Remove `id` (idempotent).
+    #[inline]
+    pub fn remove(&mut self, id: usize) {
+        self.words[id >> 6] &= !(1u64 << (id & 63));
+    }
+
+    /// Whether `id` is a member.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        self.words[id >> 6] & (1u64 << (id & 63)) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of words (used by the engine's iteration loops, which
+    /// cannot borrow `self` across the visit callback).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Snapshot of word `wi` (bits `wi*64 .. wi*64+64`).
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words[wi]
+    }
+
+    /// Visit every member in ascending order. The callback may mutate
+    /// the set through other references only per the module contract
+    /// (remove the current member / insert into *other* sets); this
+    /// method takes `&self` snapshots word by word.
+    pub fn for_each_ascending(&self, mut f: impl FnMut(usize)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let id = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ActiveSet::new(200);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(199);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(65));
+        s.remove(63);
+        s.remove(63); // idempotent
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let mut s = ActiveSet::new(300);
+        let members = [5usize, 0, 255, 64, 63, 128, 299];
+        for &m in &members {
+            s.insert(m);
+        }
+        let mut seen = Vec::new();
+        s.for_each_ascending(|id| seen.push(id));
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn word_snapshots_match() {
+        let mut s = ActiveSet::new(130);
+        s.insert(1);
+        s.insert(129);
+        assert_eq!(s.num_words(), 3);
+        assert_eq!(s.word(0), 2);
+        assert_eq!(s.word(2), 2);
+    }
+}

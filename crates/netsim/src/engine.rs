@@ -23,11 +23,45 @@
 //!    (source throttling) and streams one flit per cycle into the chosen
 //!    injection lane.
 //!
+//! # Performance architecture: active sets and lane masks
+//!
+//! The engine's per-cycle cost is proportional to *active* work, not to
+//! network size. Three mechanisms cooperate:
+//!
+//! * **Per-phase worklists** ([`crate::active::ActiveSet`]): the link,
+//!   crossbar and routing phases each walk a bitset of only the routers
+//!   that can possibly act this cycle. A router enters a worklist when
+//!   the enabling event occurs (a flit buffered on an output lane, an
+//!   input lane with an assigned crossbar path, an unrouted header) and
+//!   leaves when it drains, so idle routers cost exactly zero. The
+//!   injection-link loop keeps the analogous worklist over nodes.
+//! * **Occupancy lane masks**: alongside the pre-existing `pending`
+//!   (unrouted header at the front) and `out_bound` (crossbar path ends
+//!   here) masks, every router tracks `in_occ`/`out_occ` (non-empty
+//!   input/output lanes) and `routed` (lanes with an assigned output).
+//!   Phase inner loops walk set bits with `trailing_zeros` instead of
+//!   inspecting every `port × vc` lane.
+//! * **Monomorphized routing dispatch**: [`Engine`] is generic over the
+//!   routing algorithm (defaulting to `dyn RoutingAlgorithm`, so the
+//!   boxed API keeps working); constructing it with a concrete algorithm
+//!   type lets the per-header `route` call inline into the routing phase.
+//!
+//! The optimization is *observably equivalent* to the naive
+//! scan-everything stepper by construction: both step functions drive
+//! the identical per-router handlers, worklists iterate in ascending id
+//! order (the same order as the naive scans — visit order is observable
+//! through the shared selection-policy RNG), and the reference stepper
+//! [`Engine::step_reference`] (kept for tests and benchmark baselines
+//! behind the `reference-engine` feature) maintains the same masks so
+//! the two can even be interleaved. `tests/engine_equivalence.rs` and
+//! the unit tests below assert bit-identical outcomes.
+//!
 //! A watchdog panics if flits are in flight but nothing has moved for
 //! a long time — with the deadlock-free routing functions of the
 //! `routing` crate this must never fire, and the integration tests rely
 //! on it as a runtime deadlock detector.
 
+use crate::active::ActiveSet;
 use crate::flit::{Flit, PacketRec, HEAD, NEVER, TAIL};
 use crate::queue::FlitQueue;
 use crate::wiring::{Peer, Wiring};
@@ -62,6 +96,14 @@ struct RouterState {
     network_lanes: u64,
     /// Bitmask of input lanes holding an unrouted header at the front.
     pending: u64,
+    /// Bitmask of non-empty input lanes.
+    in_occ: u64,
+    /// Bitmask of non-empty output lanes.
+    out_occ: u64,
+    /// Bitmask of input lanes with an assigned route (mirror of
+    /// `in_route[l] != NO_ROUTE`, kept as a mask so the crossbar phase
+    /// can intersect it with `in_occ` and walk only live lanes).
+    routed: u64,
     /// Round-robin cursor for the routing phase.
     route_rr: u32,
     /// Round-robin cursor per port for the link arbiter.
@@ -79,6 +121,8 @@ struct NodeState {
     lanes: Vec<FlitQueue>,
     /// Credits towards the router's node-port input lanes.
     credits: Vec<u8>,
+    /// Bitmask of non-empty node-side lanes.
+    lane_occ: u64,
     /// Round-robin cursor for lane choice and the injection link arbiter.
     lane_rr: u8,
     /// Per-node random stream (destinations + injection process).
@@ -88,7 +132,7 @@ struct NodeState {
 }
 
 /// Aggregate counters updated as the simulation runs.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Total flits delivered to nodes.
     pub delivered_flits: u64,
@@ -104,11 +148,19 @@ pub struct Counters {
     pub routing_blocked: u64,
     /// Headers that had to take an escape (fallback) lane.
     pub escape_routings: u64,
+    /// Total flit movements executed (link + crossbar + injection
+    /// pushes) — the engine-throughput unit of the benchmark harness.
+    pub flit_moves: u64,
 }
 
 /// The flit-level simulation engine for one network + routing algorithm.
-pub struct Engine<'a> {
-    algo: &'a dyn RoutingAlgorithm,
+///
+/// Generic over the routing algorithm so concrete instantiations
+/// (`Engine<'_, CubeDuato>` etc.) inline the per-header route call; the
+/// default parameter keeps the historical boxed form `Engine<'_>`
+/// (= `Engine<'_, dyn RoutingAlgorithm>`) source-compatible.
+pub struct Engine<'a, A: RoutingAlgorithm + ?Sized = dyn RoutingAlgorithm> {
+    algo: &'a A,
     w: Wiring,
     vcs: usize,
     lanes_per_router: usize,
@@ -138,9 +190,20 @@ pub struct Engine<'a> {
     /// for spatial congestion analysis. Ejection channels included;
     /// injection channels are tracked per node separately.
     link_flits: Vec<u64>,
+    /// Routers with at least one non-empty output lane (`out_occ != 0`).
+    link_work: ActiveSet,
+    /// Routers with a forwardable input lane (`in_occ & routed != 0`).
+    xbar_work: ActiveSet,
+    /// Routers with an unrouted header (`pending != 0`).
+    route_work: ActiveSet,
+    /// Nodes with a non-empty injection lane (`lane_occ != 0`).
+    inject_work: ActiveSet,
+    /// Requests delivered this cycle awaiting reply creation
+    /// (request-reply mode); drained at the end of the link phase.
+    reply_buf: Vec<u32>,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
     /// Build an engine.
     ///
     /// * `buf` — lane depth in flits (4 in the paper).
@@ -149,7 +212,7 @@ impl<'a> Engine<'a> {
     /// * `make_proc` — factory for the per-node packet creation process.
     /// * `seed` — master seed; every node derives an independent stream.
     pub fn new(
-        algo: &'a dyn RoutingAlgorithm,
+        algo: &'a A,
         buf: usize,
         flits_per_packet: u16,
         pattern: TrafficGen,
@@ -173,6 +236,9 @@ impl<'a> Engine<'a> {
                 out_bound: 0,
                 network_lanes: 0,
                 pending: 0,
+                in_occ: 0,
+                out_occ: 0,
+                routed: 0,
                 route_rr: 0,
                 link_rr: vec![0; w.ports],
             })
@@ -191,6 +257,7 @@ impl<'a> Engine<'a> {
                 active_lane: 0,
                 lanes: (0..vcs).map(|_| FlitQueue::new(buf)).collect(),
                 credits: vec![buf as u8; vcs],
+                lane_occ: 0,
                 lane_rr: 0,
                 rng: master.derive(n as u64 + 1),
                 proc: make_proc(n),
@@ -198,6 +265,8 @@ impl<'a> Engine<'a> {
             .collect();
 
         let num_channels = w.num_routers * w.ports;
+        let num_routers = w.num_routers;
+        let num_nodes = w.num_nodes;
         Engine {
             algo,
             w,
@@ -217,6 +286,11 @@ impl<'a> Engine<'a> {
             injection_limit: None,
             request_reply: false,
             link_flits: vec![0; num_channels],
+            link_work: ActiveSet::new(num_routers),
+            xbar_work: ActiveSet::new(num_routers),
+            route_work: ActiveSet::new(num_routers),
+            inject_work: ActiveSet::new(num_nodes),
+            reply_buf: Vec::new(),
         }
     }
 
@@ -258,8 +332,10 @@ impl<'a> Engine<'a> {
 
     /// Total packets waiting in all source queues right now.
     pub fn source_queue_len(&self) -> usize {
-        self.nodes.iter().map(|n| n.src_queue.len()).sum::<usize>()
-            + self.nodes.iter().filter(|n| n.active.is_some()).count()
+        self.nodes
+            .iter()
+            .map(|n| n.src_queue.len() + usize::from(n.active.is_some()))
+            .sum()
     }
 
     /// Advance the simulation by `cycles` clocks.
@@ -269,13 +345,138 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Execute one clock cycle.
+    /// Execute one clock cycle (active-set stepper: only routers and
+    /// nodes on the phase worklists are touched).
     pub fn step(&mut self) {
         self.moves_this_cycle = 0;
-        self.phase_link();
-        self.phase_crossbar();
-        self.phase_routing();
+
+        // Phase 1: link. The worklists shrink only while their own
+        // phase runs (a drained router is dropped right after its
+        // visit), so word-snapshot iteration is safe; see `active.rs`.
+        for wi in 0..self.link_work.num_words() {
+            let mut bits = self.link_work.word(wi);
+            while bits != 0 {
+                let r = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.link_router::<true>(r);
+                if self.routers[r].out_occ == 0 {
+                    self.link_work.remove(r);
+                }
+            }
+        }
+        for wi in 0..self.inject_work.num_words() {
+            let mut bits = self.inject_work.word(wi);
+            while bits != 0 {
+                let n = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.link_node::<true>(n);
+                if self.nodes[n].lane_occ == 0 {
+                    self.inject_work.remove(n);
+                }
+            }
+        }
+        self.spawn_replies();
+
+        // Phase 2: crossbar.
+        for wi in 0..self.xbar_work.num_words() {
+            let mut bits = self.xbar_work.word(wi);
+            while bits != 0 {
+                let r = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.xbar_router::<true>(r);
+                let rs = &self.routers[r];
+                if rs.in_occ & rs.routed == 0 {
+                    self.xbar_work.remove(r);
+                }
+            }
+        }
+
+        // Phase 3: routing.
+        for wi in 0..self.route_work.num_words() {
+            let mut bits = self.route_work.word(wi);
+            while bits != 0 {
+                let r = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.route_router::<true>(r);
+                if self.routers[r].pending == 0 {
+                    self.route_work.remove(r);
+                }
+            }
+        }
+
+        // Phase 4: injection (inherently O(nodes): every creation
+        // process ticks its RNG every cycle).
         self.phase_injection();
+
+        self.end_cycle();
+    }
+
+    /// Execute one clock cycle with the naive scan-everything stepper:
+    /// every router and node is visited in every phase and every port
+    /// and lane is inspected through its queues directly, exactly like
+    /// the pre-optimization engine (the handlers take `MASKED = false`,
+    /// compiling out every mask-based early-out). The mutations are the
+    /// same per-lane bodies as [`Engine::step`] — masks and worklists
+    /// are still maintained — so the two steppers are bit-identical and
+    /// may even be interleaved. Kept as the equivalence oracle and the
+    /// benchmark baseline.
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub fn step_reference(&mut self) {
+        self.moves_this_cycle = 0;
+
+        // Phase 1: link.
+        for r in 0..self.w.num_routers {
+            self.link_router::<false>(r);
+            if self.routers[r].out_occ == 0 {
+                self.link_work.remove(r);
+            }
+        }
+        for n in 0..self.w.num_nodes {
+            self.link_node::<false>(n);
+            if self.nodes[n].lane_occ == 0 {
+                self.inject_work.remove(n);
+            }
+        }
+        self.spawn_replies();
+
+        // Phase 2: crossbar.
+        for r in 0..self.w.num_routers {
+            self.xbar_router::<false>(r);
+            let rs = &self.routers[r];
+            if rs.in_occ & rs.routed == 0 {
+                self.xbar_work.remove(r);
+            }
+        }
+
+        // Phase 3: routing.
+        for r in 0..self.w.num_routers {
+            if self.routers[r].pending == 0 {
+                continue;
+            }
+            self.route_router::<false>(r);
+            if self.routers[r].pending == 0 {
+                self.route_work.remove(r);
+            }
+        }
+
+        // Phase 4: injection.
+        self.phase_injection();
+
+        self.end_cycle();
+    }
+
+    /// Advance the simulation by `cycles` clocks using
+    /// [`Engine::step_reference`].
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub fn run_reference(&mut self, cycles: u32) {
+        for _ in 0..cycles {
+            self.step_reference();
+        }
+    }
+
+    /// Watchdog bookkeeping shared by both steppers.
+    fn end_cycle(&mut self) {
+        self.counters.flit_moves += self.moves_this_cycle;
         if self.moves_this_cycle == 0 && self.counters.in_flight_flits > 0 {
             self.idle_cycles += 1;
             if self.idle_cycles >= WATCHDOG_CYCLES {
@@ -294,115 +495,164 @@ impl<'a> Engine<'a> {
         self.cycle += 1;
     }
 
-    /// Phase 1: move flits across physical channels.
-    fn phase_link(&mut self) {
+    /// Link phase, one router: move at most one flit per physical
+    /// channel direction (router->router and router->node ports).
+    ///
+    /// `MASKED` selects the scan strategy only — `true` skips empty
+    /// directions/lanes via `out_occ`, `false` inspects every lane's
+    /// queue directly (the pre-optimization behaviour) — the mutations
+    /// are identical either way.
+    fn link_router<const MASKED: bool>(&mut self, r: usize) {
         let cycle = self.cycle;
         let vcs = self.vcs;
-        let mut replies: Vec<u32> = Vec::new();
-
-        // Router-side channels (router->router and router->node).
-        for r in 0..self.w.num_routers {
-            for p in 0..self.w.ports {
-                match self.w.peer(r, p) {
-                    Peer::None => {}
-                    Peer::Node(_) => {
-                        // Ejection: the node always sinks (no credits).
-                        let rs = &mut self.routers[r];
-                        let start = rs.link_rr[p] as usize;
-                        for i in 0..vcs {
-                            let v = (start + i) % vcs;
-                            let l = p * vcs + v;
-                            let ready = matches!(rs.out_q[l].front(),
-                                Some(f) if f.moved < cycle);
-                            if ready {
-                                let f = rs.out_q[l].pop().unwrap();
-                                rs.link_rr[p] = ((v + 1) % vcs) as u8;
-                                self.link_flits[r * self.w.ports + p] += 1;
-                                self.counters.delivered_flits += 1;
-                                self.counters.in_flight_flits -= 1;
-                                self.moves_this_cycle += 1;
-                                if f.is_tail() {
-                                    let rec = &mut self.packets[f.packet as usize];
-                                    debug_assert_eq!(rec.delivered, NEVER);
-                                    rec.delivered = cycle;
-                                    let reply = self.request_reply && !rec.is_reply();
-                                    self.counters.delivered_packets += 1;
-                                    if reply {
-                                        replies.push(f.packet);
-                                    }
-                                }
-                                break;
+        let ports = self.w.ports;
+        let port_lanes = (1u64 << vcs) - 1;
+        for p in 0..ports {
+            if MASKED && self.routers[r].out_occ & (port_lanes << (p * vcs)) == 0 {
+                continue; // nothing buffered towards this direction
+            }
+            match self.w.peer(r, p) {
+                Peer::None => {
+                    // Reachable only in the unmasked full scan: flits
+                    // are never routed towards an uncabled port.
+                    debug_assert!(!MASKED, "flit buffered on an uncabled port");
+                }
+                Peer::Node(_) => {
+                    // Ejection: the node always sinks (no credits).
+                    let rs = &mut self.routers[r];
+                    let start = rs.link_rr[p] as usize;
+                    for i in 0..vcs {
+                        let v = (start + i) % vcs;
+                        let l = p * vcs + v;
+                        if MASKED && rs.out_occ & (1u64 << l) == 0 {
+                            continue;
+                        }
+                        let ready = matches!(rs.out_q[l].front(),
+                            Some(f) if f.moved < cycle);
+                        if ready {
+                            let f = rs.out_q[l].pop().unwrap();
+                            if rs.out_q[l].is_empty() {
+                                rs.out_occ &= !(1u64 << l);
                             }
+                            rs.link_rr[p] = ((v + 1) % vcs) as u8;
+                            self.link_flits[r * ports + p] += 1;
+                            self.counters.delivered_flits += 1;
+                            self.counters.in_flight_flits -= 1;
+                            self.moves_this_cycle += 1;
+                            if f.is_tail() {
+                                let rec = &mut self.packets[f.packet as usize];
+                                debug_assert_eq!(rec.delivered, NEVER);
+                                rec.delivered = cycle;
+                                let reply = self.request_reply && !rec.is_reply();
+                                self.counters.delivered_packets += 1;
+                                if reply {
+                                    self.reply_buf.push(f.packet);
+                                }
+                            }
+                            break;
                         }
                     }
-                    Peer::Router { router: r2, port: p2 } => {
-                        let (r2, p2) = (r2 as usize, p2 as usize);
-                        debug_assert_ne!(r, r2);
-                        let [rs, dst] = self
-                            .routers
-                            .get_disjoint_mut([r, r2])
-                            .expect("distinct routers");
-                        let start = rs.link_rr[p] as usize;
-                        for i in 0..vcs {
-                            let v = (start + i) % vcs;
-                            let l = p * vcs + v;
-                            let ready = rs.out_credits[l] > 0
-                                && matches!(rs.out_q[l].front(), Some(f) if f.moved < cycle);
-                            if ready {
-                                let mut f = rs.out_q[l].pop().unwrap();
-                                rs.out_credits[l] -= 1;
-                                rs.link_rr[p] = ((v + 1) % vcs) as u8;
-                                self.link_flits[r * self.w.ports + p] += 1;
-                                f.moved = cycle;
-                                let dl = p2 * vcs + v;
-                                let was_empty = dst.in_q[dl].is_empty();
-                                dst.in_q[dl].push(f);
-                                if was_empty && f.is_head() {
-                                    debug_assert_eq!(dst.in_route[dl], NO_ROUTE);
-                                    dst.pending |= 1 << dl;
-                                }
-                                self.moves_this_cycle += 1;
-                                break;
+                }
+                Peer::Router { router: r2, port: p2 } => {
+                    let (r2, p2) = (r2 as usize, p2 as usize);
+                    debug_assert_ne!(r, r2);
+                    let [rs, dst] = self
+                        .routers
+                        .get_disjoint_mut([r, r2])
+                        .expect("distinct routers");
+                    let start = rs.link_rr[p] as usize;
+                    for i in 0..vcs {
+                        let v = (start + i) % vcs;
+                        let l = p * vcs + v;
+                        if MASKED && rs.out_occ & (1u64 << l) == 0 {
+                            continue;
+                        }
+                        let ready = rs.out_credits[l] > 0
+                            && matches!(rs.out_q[l].front(), Some(f) if f.moved < cycle);
+                        if ready {
+                            let mut f = rs.out_q[l].pop().unwrap();
+                            if rs.out_q[l].is_empty() {
+                                rs.out_occ &= !(1u64 << l);
                             }
+                            rs.out_credits[l] -= 1;
+                            rs.link_rr[p] = ((v + 1) % vcs) as u8;
+                            self.link_flits[r * ports + p] += 1;
+                            f.moved = cycle;
+                            let dl = p2 * vcs + v;
+                            let was_empty = dst.in_q[dl].is_empty();
+                            dst.in_q[dl].push(f);
+                            dst.in_occ |= 1u64 << dl;
+                            if was_empty && f.is_head() {
+                                debug_assert_eq!(dst.in_route[dl], NO_ROUTE);
+                                dst.pending |= 1 << dl;
+                                self.route_work.insert(r2);
+                            }
+                            if dst.routed & (1u64 << dl) != 0 {
+                                // Body/tail arriving on a lane whose head
+                                // already holds a crossbar path.
+                                self.xbar_work.insert(r2);
+                            }
+                            self.moves_this_cycle += 1;
+                            break;
                         }
                     }
                 }
             }
         }
+    }
 
-        // Node-side injection channels (node -> router).
-        for n in 0..self.w.num_nodes {
-            let (r, p) = self.w.node_ports[n];
-            let (r, p) = (r as usize, p as usize);
-            let ns = &mut self.nodes[n];
-            let rs = &mut self.routers[r];
-            let start = ns.lane_rr as usize;
-            for i in 0..vcs {
-                let v = (start + i) % vcs;
-                let ready = ns.credits[v] > 0
-                    && matches!(ns.lanes[v].front(), Some(f) if f.moved < cycle);
-                if ready {
-                    let mut f = ns.lanes[v].pop().unwrap();
-                    ns.credits[v] -= 1;
-                    ns.lane_rr = ((v + 1) % vcs) as u8;
-                    f.moved = cycle;
-                    let dl = p * vcs + v;
-                    let was_empty = rs.in_q[dl].is_empty();
-                    rs.in_q[dl].push(f);
-                    if was_empty && f.is_head() {
-                        rs.pending |= 1 << dl;
-                    }
-                    self.moves_this_cycle += 1;
-                    break;
+    /// Link phase, one node-side injection channel (node -> router).
+    /// `MASKED` as on [`Engine::link_router`].
+    fn link_node<const MASKED: bool>(&mut self, n: usize) {
+        let cycle = self.cycle;
+        let vcs = self.vcs;
+        let (r, p) = self.w.node_ports[n];
+        let (r, p) = (r as usize, p as usize);
+        let ns = &mut self.nodes[n];
+        let rs = &mut self.routers[r];
+        let start = ns.lane_rr as usize;
+        for i in 0..vcs {
+            let v = (start + i) % vcs;
+            if MASKED && ns.lane_occ & (1u64 << v) == 0 {
+                continue;
+            }
+            let ready = ns.credits[v] > 0
+                && matches!(ns.lanes[v].front(), Some(f) if f.moved < cycle);
+            if ready {
+                let mut f = ns.lanes[v].pop().unwrap();
+                if ns.lanes[v].is_empty() {
+                    ns.lane_occ &= !(1u64 << v);
                 }
+                ns.credits[v] -= 1;
+                ns.lane_rr = ((v + 1) % vcs) as u8;
+                f.moved = cycle;
+                let dl = p * vcs + v;
+                let was_empty = rs.in_q[dl].is_empty();
+                rs.in_q[dl].push(f);
+                rs.in_occ |= 1u64 << dl;
+                if was_empty && f.is_head() {
+                    rs.pending |= 1 << dl;
+                    self.route_work.insert(r);
+                }
+                if rs.routed & (1u64 << dl) != 0 {
+                    self.xbar_work.insert(r);
+                }
+                self.moves_this_cycle += 1;
+                break;
             }
         }
+    }
 
-        // Request-reply mode: delivered requests spawn replies at the
-        // receiving node (entering its normal source queue, so they
-        // share the single injection channel with that node's own
-        // traffic).
-        for req in replies {
+    /// Request-reply mode: delivered requests spawn replies at the
+    /// receiving node (entering its normal source queue, so they share
+    /// the single injection channel with that node's own traffic).
+    fn spawn_replies(&mut self) {
+        if self.reply_buf.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        let mut buf = std::mem::take(&mut self.reply_buf);
+        for req in buf.drain(..) {
             let rec = self.packets[req as usize];
             let id = self.packets.len() as u32;
             self.packets.push(PacketRec {
@@ -418,110 +668,177 @@ impl<'a> Engine<'a> {
             self.nodes[rec.dest as usize].src_queue.push_back(id);
             self.counters.created_packets += 1;
         }
+        self.reply_buf = buf; // return the allocation
     }
 
-    /// Phase 2: move flits through crossbars, return credits upstream.
-    fn phase_crossbar(&mut self) {
+    /// Crossbar phase, one router: forward one flit on every input lane
+    /// owning a crossbar path, returning credits upstream.
+    /// `MASKED` as on [`Engine::link_router`]: `true` walks only the
+    /// set bits of `in_occ & routed`, `false` scans every lane checking
+    /// `in_route` directly.
+    fn xbar_router<const MASKED: bool>(&mut self, r: usize) {
+        if MASKED {
+            // Snapshot: lanes of this router cannot become forwardable
+            // during the phase (routes are only assigned in the routing
+            // phase, arrivals only in the link phase).
+            let mut mask = {
+                let rs = &self.routers[r];
+                rs.in_occ & rs.routed
+            };
+            while mask != 0 {
+                let l = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.xbar_lane(r, l);
+            }
+        } else {
+            for l in 0..self.lanes_per_router {
+                if self.routers[r].in_route[l] == NO_ROUTE {
+                    continue;
+                }
+                self.xbar_lane(r, l);
+            }
+        }
+    }
+
+    /// One crossbar lane holding a path: forward a flit if the head is
+    /// movable and the output lane has room.
+    #[inline]
+    fn xbar_lane(&mut self, r: usize, l: usize) {
         let cycle = self.cycle;
         let vcs = self.vcs;
-        for r in 0..self.w.num_routers {
-            for l in 0..self.lanes_per_router {
-                let route = self.routers[r].in_route[l];
-                if route == NO_ROUTE {
+        {
+            let rs = &mut self.routers[r];
+            let route = rs.in_route[l];
+            debug_assert_ne!(route, NO_ROUTE);
+            let movable = matches!(rs.in_q[l].front(), Some(f) if f.moved < cycle)
+                && !rs.out_q[route as usize].is_full();
+            if !movable {
+                return;
+            }
+            let mut f = rs.in_q[l].pop().unwrap();
+            if rs.in_q[l].is_empty() {
+                rs.in_occ &= !(1u64 << l);
+            }
+            f.moved = cycle;
+            rs.out_q[route as usize].push(f);
+            rs.out_occ |= 1u64 << route;
+            self.link_work.insert(r);
+            self.moves_this_cycle += 1;
+            if f.is_tail() {
+                rs.in_route[l] = NO_ROUTE;
+                rs.routed &= !(1u64 << l);
+                rs.out_bound &= !(1u64 << route);
+                if matches!(rs.in_q[l].front(), Some(nf) if nf.is_head()) {
+                    rs.pending |= 1 << l;
+                    self.route_work.insert(r);
+                }
+            }
+            // Acknowledgment: one buffer freed in this input lane.
+            let (p, v) = (l / vcs, l % vcs);
+            match self.w.peer(r, p) {
+                Peer::Router { router: r2, port: p2 } => {
+                    let up = &mut self.routers[r2 as usize];
+                    let ul = p2 as usize * vcs + v;
+                    up.out_credits[ul] += 1;
+                    debug_assert!(up.out_credits[ul] as usize <= up.out_q[ul].capacity());
+                }
+                Peer::Node(nn) => {
+                    let node = &mut self.nodes[nn as usize];
+                    node.credits[v] += 1;
+                    debug_assert!(node.credits[v] as usize <= node.lanes[v].capacity());
+                }
+                Peer::None => unreachable!("flit arrived through an uncabled port"),
+            }
+        }
+    }
+
+    /// Routing phase, one router: route at most one header.
+    /// `MASKED` as on [`Engine::link_router`]: `true` walks the set
+    /// bits of `pending` in round-robin order (bits at and above the
+    /// cursor, then the wrap-around), `false` rotates through every
+    /// lane index — both visit the same lanes in the same order.
+    fn route_router<const MASKED: bool>(&mut self, r: usize) {
+        let lanes = self.lanes_per_router;
+        let pending = self.routers[r].pending;
+        debug_assert_ne!(pending, 0, "router on routing worklist without pending header");
+        let start = self.routers[r].route_rr as usize;
+        debug_assert!(start < lanes);
+        if MASKED {
+            let below_start = (1u64 << start) - 1;
+            'scan: for part in [pending & !below_start, pending & below_start] {
+                let mut bits = part;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if self.route_lane(r, l) {
+                        break 'scan;
+                    }
+                }
+            }
+        } else {
+            for i in 0..lanes {
+                let l = (start + i) % lanes;
+                if pending & (1u64 << l) == 0 {
                     continue;
                 }
-                let rs = &mut self.routers[r];
-                let movable = matches!(rs.in_q[l].front(), Some(f) if f.moved < cycle)
-                    && !rs.out_q[route as usize].is_full();
-                if !movable {
-                    continue;
-                }
-                let mut f = rs.in_q[l].pop().unwrap();
-                f.moved = cycle;
-                rs.out_q[route as usize].push(f);
-                self.moves_this_cycle += 1;
-                if f.is_tail() {
-                    rs.in_route[l] = NO_ROUTE;
-                    rs.out_bound &= !(1u64 << route);
-                    if matches!(rs.in_q[l].front(), Some(nf) if nf.is_head()) {
-                        rs.pending |= 1 << l;
-                    }
-                }
-                // Acknowledgment: one buffer freed in this input lane.
-                let (p, v) = (l / vcs, l % vcs);
-                match self.w.peer(r, p) {
-                    Peer::Router { router: r2, port: p2 } => {
-                        let up = &mut self.routers[r2 as usize];
-                        let ul = p2 as usize * vcs + v;
-                        up.out_credits[ul] += 1;
-                        debug_assert!(up.out_credits[ul] as usize <= up.out_q[ul].capacity());
-                    }
-                    Peer::Node(nn) => {
-                        let node = &mut self.nodes[nn as usize];
-                        node.credits[v] += 1;
-                        debug_assert!(node.credits[v] as usize <= node.lanes[v].capacity());
-                    }
-                    Peer::None => unreachable!("flit arrived through an uncabled port"),
+                if self.route_lane(r, l) {
+                    break;
                 }
             }
         }
     }
 
-    /// Phase 3: route at most one header per router.
-    fn phase_routing(&mut self) {
+    /// One pending lane: attempt the routing decision. Returns whether
+    /// a decision (successful or blocked) was made — the router's one
+    /// routing opportunity this cycle is then spent.
+    #[inline]
+    fn route_lane(&mut self, r: usize, l: usize) -> bool {
         let cycle = self.cycle;
-        for r in 0..self.w.num_routers {
-            if self.routers[r].pending == 0 {
-                continue;
+        let lanes = self.lanes_per_router;
+        let front = *self.routers[r].in_q[l]
+            .front()
+            .expect("pending lane must hold a flit");
+        debug_assert!(front.is_head(), "pending lane front must be a header");
+        if front.moved >= cycle {
+            // Arrived this very cycle; visible to the routing
+            // logic from the next cycle on.
+            return false;
+        }
+        let dest = self.packets[front.packet as usize].dest;
+        let in_port = l / self.vcs;
+        // Take the candidate buffer out to appease the borrow
+        // checker; it is returned below.
+        let mut cand = std::mem::take(&mut self.cand);
+        self.algo
+            .route(RouterId(r as u32), Some(in_port), NodeId(dest), &mut cand);
+        debug_assert!(!cand.is_empty(), "routing function returned no candidate");
+        let choice = self.select_output(r, &cand);
+        self.cand = cand;
+        match choice {
+            Some((ol, used_fallback)) => {
+                let rs = &mut self.routers[r];
+                rs.in_route[l] = ol as u32;
+                rs.routed |= 1u64 << l;
+                rs.out_bound |= 1u64 << ol;
+                rs.pending &= !(1 << l);
+                // The header is at the front and has not moved
+                // this cycle, so the lane is forwardable.
+                debug_assert_ne!(rs.in_occ & (1u64 << l), 0);
+                self.xbar_work.insert(r);
+                self.counters.routed_headers += 1;
+                self.packets[front.packet as usize].hops += 1;
+                if used_fallback {
+                    self.counters.escape_routings += 1;
+                }
             }
-            let lanes = self.lanes_per_router;
-            let start = self.routers[r].route_rr as usize;
-            for i in 0..lanes {
-                let l = (start + i) % lanes;
-                if self.routers[r].pending & (1 << l) == 0 {
-                    continue;
-                }
-                let front = *self.routers[r].in_q[l]
-                    .front()
-                    .expect("pending lane must hold a flit");
-                debug_assert!(front.is_head(), "pending lane front must be a header");
-                if front.moved >= cycle {
-                    // Arrived this very cycle; visible to the routing
-                    // logic from the next cycle on.
-                    continue;
-                }
-                let dest = self.packets[front.packet as usize].dest;
-                let in_port = l / self.vcs;
-                // Take the candidate buffer out to appease the borrow
-                // checker; it is returned below.
-                let mut cand = std::mem::take(&mut self.cand);
-                self.algo
-                    .route(RouterId(r as u32), Some(in_port), NodeId(dest), &mut cand);
-                debug_assert!(!cand.is_empty(), "routing function returned no candidate");
-                let choice = self.select_output(r, &cand);
-                self.cand = cand;
-                match choice {
-                    Some((ol, used_fallback)) => {
-                        let rs = &mut self.routers[r];
-                        rs.in_route[l] = ol as u32;
-                        rs.out_bound |= 1u64 << ol;
-                        rs.pending &= !(1 << l);
-                        self.counters.routed_headers += 1;
-                        self.packets[front.packet as usize].hops += 1;
-                        if used_fallback {
-                            self.counters.escape_routings += 1;
-                        }
-                    }
-                    None => {
-                        self.counters.routing_blocked += 1;
-                    }
-                }
-                // One routing decision per router per cycle, successful
-                // or not; advance the cursor for fairness either way.
-                self.routers[r].route_rr = ((l + 1) % lanes) as u32;
-                break;
+            None => {
+                self.counters.routing_blocked += 1;
             }
         }
+        // One routing decision per router per cycle, successful
+        // or not; advance the cursor for fairness either way.
+        self.routers[r].route_rr = ((l + 1) % lanes) as u32;
+        true
     }
 
     /// The selection policy: among admissible preferred lanes pick the
@@ -677,6 +994,8 @@ impl<'a> Engine<'a> {
                         flags |= TAIL;
                     }
                     ns.lanes[lane].push(Flit { packet: pkt, moved: cycle, flags });
+                    ns.lane_occ |= 1u64 << lane;
+                    self.inject_work.insert(n);
                     self.counters.in_flight_flits += 1;
                     self.moves_this_cycle += 1;
                     if remaining == 1 {
@@ -738,6 +1057,48 @@ impl<'a> Engine<'a> {
                 if credits as usize + occ != cap {
                     return Err((r as usize, p as usize, v, credits, occ));
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify the worklist/occupancy-mask invariants the active-set
+    /// stepper relies on: every occupancy mask mirrors its queues,
+    /// `routed` mirrors `in_route`, and each worklist contains exactly
+    /// the routers/nodes whose enabling condition holds. Returns the
+    /// first violation as a description.
+    pub fn check_worklist_invariant(&self) -> Result<(), String> {
+        for (r, rs) in self.routers.iter().enumerate() {
+            for l in 0..self.lanes_per_router {
+                let bit = 1u64 << l;
+                if (rs.in_occ & bit != 0) == rs.in_q[l].is_empty() {
+                    return Err(format!("router {r} lane {l}: in_occ mask desynced"));
+                }
+                if (rs.out_occ & bit != 0) == rs.out_q[l].is_empty() {
+                    return Err(format!("router {r} lane {l}: out_occ mask desynced"));
+                }
+                if (rs.routed & bit != 0) != (rs.in_route[l] != NO_ROUTE) {
+                    return Err(format!("router {r} lane {l}: routed mask desynced"));
+                }
+            }
+            if (rs.out_occ != 0) != self.link_work.contains(r) {
+                return Err(format!("router {r}: link worklist desynced"));
+            }
+            if (rs.in_occ & rs.routed != 0) != self.xbar_work.contains(r) {
+                return Err(format!("router {r}: crossbar worklist desynced"));
+            }
+            if (rs.pending != 0) != self.route_work.contains(r) {
+                return Err(format!("router {r}: routing worklist desynced"));
+            }
+        }
+        for (n, ns) in self.nodes.iter().enumerate() {
+            for (v, lane) in ns.lanes.iter().enumerate() {
+                if (ns.lane_occ & (1u64 << v) != 0) == lane.is_empty() {
+                    return Err(format!("node {n} lane {v}: lane_occ mask desynced"));
+                }
+            }
+            if (ns.lane_occ != 0) != self.inject_work.contains(n) {
+                return Err(format!("node {n}: injection worklist desynced"));
             }
         }
         Ok(())
@@ -848,7 +1209,7 @@ mod tests {
             .filter(|p| p.injected != NEVER)
             .map(|p| {
                 // flits already pushed into the network
-                
+
                 if p.delivered != NEVER {
                     p.flits as u64
                 } else {
@@ -898,6 +1259,9 @@ mod tests {
             assert_eq!(c.delivered_packets, c.created_packets, "{}", algo_box.name());
             assert_eq!(c.in_flight_flits, 0, "{}", algo_box.name());
             assert_eq!(eng.source_queue_len(), 0, "{}", algo_box.name());
+            // Everything drained: every worklist must be empty again.
+            assert_eq!(eng.check_worklist_invariant(), Ok(()));
+            assert!(eng.link_work.is_empty() && eng.route_work.is_empty());
         }
     }
 
@@ -1003,5 +1367,98 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// Build the pair of engines used by the step/step_reference
+    /// equivalence tests.
+    fn engine_pair<'a, Algo: RoutingAlgorithm>(
+        algo: &'a Algo,
+        rate: f64,
+        seed: u64,
+    ) -> (Engine<'a, Algo>, Engine<'a, Algo>) {
+        let n = algo.topology().num_nodes();
+        let mk = |_| -> Box<dyn InjectionProcess> { Box::new(Bernoulli::new(rate)) };
+        let a = Engine::new(algo, 4, 8, TrafficGen::new(Pattern::Uniform, n), &mk, seed);
+        let b = Engine::new(algo, 4, 8, TrafficGen::new(Pattern::Uniform, n), &mk, seed);
+        (a, b)
+    }
+
+    #[test]
+    fn active_step_matches_reference_step_exactly() {
+        // Cycle-by-cycle lockstep comparison on both network families,
+        // checking the full observable state every few cycles.
+        let cube = CubeDuato::new(KAryNCube::new(4, 2));
+        let tree = TreeAdaptive::new(KAryNTree::new(2, 3), 2);
+        fn check<Algo: RoutingAlgorithm>(algo: &Algo, rate: f64) {
+            let (mut opt, mut refr) = engine_pair(algo, rate, 77);
+            for cycle in 0..1500 {
+                opt.step();
+                refr.step_reference();
+                if cycle % 64 == 0 {
+                    assert_eq!(opt.counters(), refr.counters(), "cycle {cycle}");
+                    assert_eq!(opt.packets(), refr.packets(), "cycle {cycle}");
+                    assert_eq!(opt.check_worklist_invariant(), Ok(()), "cycle {cycle}");
+                }
+            }
+            assert_eq!(opt.counters(), refr.counters());
+            assert_eq!(opt.packets(), refr.packets());
+            assert_eq!(opt.buffered_flits(), refr.buffered_flits());
+        }
+        check(&cube, 0.01);
+        check(&cube, 0.08); // saturating
+        check(&tree, 0.02);
+    }
+
+    #[test]
+    fn steppers_can_interleave() {
+        // Both steppers maintain the same state, so alternating them
+        // must equal running either one alone.
+        let algo = CubeDuato::new(KAryNCube::new(4, 2));
+        let (mut pure, mut mixed) = engine_pair(&algo, 0.03, 5);
+        for cycle in 0..1000 {
+            pure.step();
+            if cycle % 3 == 0 {
+                mixed.step_reference();
+            } else {
+                mixed.step();
+            }
+        }
+        assert_eq!(pure.counters(), mixed.counters());
+        assert_eq!(pure.packets(), mixed.packets());
+    }
+
+    #[test]
+    fn worklist_invariants_hold_under_request_reply_and_throttle() {
+        let algo = CubeDuato::new(KAryNCube::new(4, 2));
+        let pattern = TrafficGen::new(Pattern::Uniform, 16);
+        let mut eng = Engine::new(
+            &algo,
+            4,
+            8,
+            pattern,
+            &|_| Box::new(Bernoulli::new(0.04)),
+            21,
+        );
+        eng.set_request_reply(true);
+        eng.set_injection_limit(Some(4));
+        for _ in 0..800 {
+            eng.step();
+            assert_eq!(eng.check_worklist_invariant(), Ok(()));
+        }
+        assert!(eng.counters().delivered_packets > 0);
+    }
+
+    #[test]
+    fn idle_network_has_empty_worklists() {
+        let algo = CubeDeterministic::new(KAryNCube::new(4, 2));
+        let pattern = TrafficGen::new(Pattern::Uniform, 16);
+        let mut eng =
+            Engine::new(&algo, 4, 16, pattern, &|_| Box::new(Bernoulli::new(0.0)), 1);
+        eng.run(100);
+        assert!(eng.link_work.is_empty());
+        assert!(eng.xbar_work.is_empty());
+        assert!(eng.route_work.is_empty());
+        assert!(eng.inject_work.is_empty());
+        assert_eq!(eng.counters().flit_moves, 0);
     }
 }

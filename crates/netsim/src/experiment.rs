@@ -150,6 +150,18 @@ impl ExperimentSpec {
         }
     }
 
+    /// Call `v` with this spec's routing algorithm as a *concrete* type
+    /// — the monomorphization point: everything downstream of
+    /// [`SpecVisitor::visit`] (engine, routing phase, per-header route
+    /// calls) is compiled per algorithm with static dispatch.
+    pub fn with_algorithm<V: SpecVisitor>(&self, v: V) -> V::Out {
+        match self.kind {
+            SpecKind::CubeDet(p) => v.visit(CubeDeterministic::new(p.build())),
+            SpecKind::CubeDuato(p) => v.visit(CubeDuato::new(p.build())),
+            SpecKind::Tree(p, vcs) => v.visit(TreeAdaptive::new(p.build(), vcs)),
+        }
+    }
+
     /// The physical normalization (flit width, capacity, Chien timing).
     pub fn normalization(&self) -> NetworkNormalization {
         match self.kind {
@@ -218,16 +230,38 @@ fn seed_for(label: &str, pattern: Pattern, fraction: f64) -> u64 {
     h
 }
 
+/// A generic callback for [`ExperimentSpec::with_algorithm`]: the trait
+/// method is generic over the algorithm type, so implementors receive
+/// the concrete `CubeDeterministic`/`CubeDuato`/`TreeAdaptive` value
+/// rather than a trait object.
+pub trait SpecVisitor {
+    /// Result produced from the algorithm.
+    type Out;
+
+    /// Called exactly once with the spec's algorithm.
+    fn visit<A: RoutingAlgorithm>(self, algo: A) -> Self::Out;
+}
+
 /// Simulate one configuration at one offered load.
+///
+/// Dispatches once on the spec kind to a fully monomorphized engine
+/// (`Engine<'_, CubeDuato>` etc.), so the per-header routing call is
+/// statically bound inside the cycle loop.
 pub fn simulate_load(
     spec: &ExperimentSpec,
     pattern: Pattern,
     fraction: f64,
     len: RunLength,
 ) -> SimOutcome {
-    let algo = spec.build_algorithm();
+    struct Run<'c>(&'c SimConfig);
+    impl SpecVisitor for Run<'_> {
+        type Out = SimOutcome;
+        fn visit<A: RoutingAlgorithm>(self, algo: A) -> SimOutcome {
+            run_simulation(&algo, self.0)
+        }
+    }
     let cfg = spec.config_at(pattern, fraction, len);
-    run_simulation(algo.as_ref(), &cfg)
+    spec.with_algorithm(Run(&cfg))
 }
 
 /// The default load grid used for the figures: 5% to 100% of capacity in
@@ -254,29 +288,59 @@ pub fn sweep(
     curve
 }
 
+/// Worker-thread count for [`sweep_outcomes`]: the `NETPERF_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("NETPERF_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        })
+}
+
 /// Like [`sweep`], but returning the full outcome at every load point.
+///
+/// Load points are distributed over worker threads by work stealing
+/// (each run is a pure function of the spec, so order does not matter);
+/// finished outcomes flow back over a channel tagged with their grid
+/// index and are placed without any shared mutable state. Thread count
+/// can be pinned with `NETPERF_THREADS`.
 pub fn sweep_outcomes(
     spec: &ExperimentSpec,
     pattern: Pattern,
     fractions: &[f64],
     len: RunLength,
 ) -> Vec<SimOutcome> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut results: Vec<Option<SimOutcome>> = vec![None; fractions.len()];
+    let threads = sweep_threads().min(fractions.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, SimOutcome)>();
     std::thread::scope(|s| {
-        for _ in 0..threads.min(fractions.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= fractions.len() {
-                    break;
+        for _ in 0..threads {
+            let tx = tx.clone();
+            s.spawn(|| {
+                let tx = tx; // move the clone, not the original
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= fractions.len() {
+                        break;
+                    }
+                    let out = simulate_load(spec, pattern, fractions[i], len);
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
                 }
-                let out = simulate_load(spec, pattern, fractions[i], len);
-                results_mutex.lock().unwrap()[i] = Some(out);
             });
         }
     });
+    drop(tx); // all worker clones are done; close the channel
+    let mut results: Vec<Option<SimOutcome>> = vec![None; fractions.len()];
+    for (i, out) in rx {
+        debug_assert!(results[i].is_none(), "load point {i} simulated twice");
+        results[i] = Some(out);
+    }
     results.into_iter().map(|o| o.expect("all points simulated")).collect()
 }
 

@@ -40,7 +40,7 @@ impl Flit {
 }
 
 /// Per-packet record: identity, timing, and size.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PacketRec {
     /// Source node index.
     pub src: u32,

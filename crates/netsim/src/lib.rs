@@ -40,6 +40,7 @@
 //! Figures 5–7.
 
 #![warn(missing_docs)]
+pub mod active;
 pub mod engine;
 pub mod experiment;
 pub mod flit;
@@ -47,5 +48,7 @@ pub mod queue;
 pub mod sim;
 pub mod wiring;
 
-pub use experiment::{simulate_load, sweep, CubeParams, ExperimentSpec, RunLength, TreeParams};
+pub use experiment::{
+    simulate_load, sweep, CubeParams, ExperimentSpec, RunLength, SpecVisitor, TreeParams,
+};
 pub use sim::{SimConfig, SimOutcome};

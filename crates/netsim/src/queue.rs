@@ -8,8 +8,10 @@
 
 use crate::flit::Flit;
 
-/// Maximum supported lane depth.
+/// Maximum supported lane depth. Must stay a power of two: the ring
+/// indices wrap with a mask instead of a division.
 pub const MAX_DEPTH: usize = 8;
+const _: () = assert!(MAX_DEPTH.is_power_of_two());
 
 /// An inline ring buffer of flits with a runtime capacity
 /// `1..=MAX_DEPTH`.
@@ -84,7 +86,7 @@ impl FlitQueue {
     #[inline]
     pub fn push(&mut self, flit: Flit) {
         assert!(!self.is_full(), "flit queue overflow: flow control violated");
-        let idx = (self.head as usize + self.len as usize) % MAX_DEPTH;
+        let idx = (self.head as usize + self.len as usize) & (MAX_DEPTH - 1);
         self.slots[idx] = flit;
         self.len += 1;
     }
@@ -96,7 +98,7 @@ impl FlitQueue {
             return None;
         }
         let f = self.slots[self.head as usize];
-        self.head = ((self.head as usize + 1) % MAX_DEPTH) as u8;
+        self.head = ((self.head as usize + 1) & (MAX_DEPTH - 1)) as u8;
         self.len -= 1;
         Some(f)
     }

@@ -166,10 +166,15 @@ impl SimOutcome {
 
 /// Run one simulation to completion under the given configuration.
 ///
+/// Generic over the routing algorithm: calling it with a concrete
+/// algorithm type monomorphizes the whole engine (the per-header route
+/// call inlines into the routing phase); the historical
+/// `&dyn RoutingAlgorithm` form still compiles unchanged.
+///
 /// # Panics
 /// Panics on flow-control violations or deadlock (watchdog) — both are
 /// bugs, not outcomes.
-pub fn run_simulation(algo: &dyn RoutingAlgorithm, cfg: &SimConfig) -> SimOutcome {
+pub fn run_simulation<A: RoutingAlgorithm + ?Sized>(algo: &A, cfg: &SimConfig) -> SimOutcome {
     assert!(cfg.warmup_cycles < cfg.total_cycles);
     let num_nodes = algo.topology().num_nodes();
     let pattern = TrafficGen::new(cfg.pattern, num_nodes);

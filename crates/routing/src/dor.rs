@@ -96,6 +96,7 @@ impl RoutingAlgorithm for CubeDeterministic {
         2 * self.vcs_per_network
     }
 
+    #[inline]
     fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
         out.clear();
         let cur = NodeId(r.0); // routers are co-located with nodes

@@ -74,6 +74,7 @@ impl RoutingAlgorithm for CubeDuato {
         self.adaptive_vcs + 2
     }
 
+    #[inline]
     fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
         out.clear();
         let cur = NodeId(r.0);

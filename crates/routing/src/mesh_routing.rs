@@ -54,6 +54,7 @@ impl RoutingAlgorithm for MeshDeterministic {
         self.vcs
     }
 
+    #[inline]
     fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
         out.clear();
         let cur = NodeId(r.0);
@@ -106,6 +107,7 @@ impl RoutingAlgorithm for MeshAdaptive {
         self.vcs
     }
 
+    #[inline]
     fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
         out.clear();
         let cur = NodeId(r.0);

@@ -54,6 +54,7 @@ impl RoutingAlgorithm for TreeAdaptive {
         self.vcs
     }
 
+    #[inline]
     fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
         out.clear();
         let tree = &self.tree;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,107 @@
+//! Observational equivalence of the active-set engine.
+//!
+//! The engine's worklist/bitmask fast path must be a pure optimization:
+//! for every one of the paper's five router configurations, at loads
+//! below, around, and above saturation, running the optimized
+//! [`Engine::step`] must produce *bit-identical* outcomes — counters
+//! and the full packet table — to the naive scan-everything
+//! [`Engine::step_reference`] (compiled under the `reference-engine`
+//! feature). This is the contract the benchmark harness relies on when
+//! it reports the two steppers' throughput as comparable.
+
+use netsim::engine::Engine;
+use netsim::sim::SimConfig;
+use netsim::{ExperimentSpec, RunLength};
+use routing::RoutingAlgorithm;
+use traffic::{Bernoulli, InjectionProcess, TrafficGen};
+
+/// Build one engine for a paper spec's config (the same construction
+/// `run_simulation` performs; `config_at` always yields a Bernoulli
+/// injection process).
+fn build_engine<'a>(
+    algo: &'a (dyn RoutingAlgorithm + 'static),
+    cfg: &SimConfig,
+) -> Engine<'a> {
+    let pattern = TrafficGen::new(cfg.pattern, algo.topology().num_nodes());
+    let rate = cfg.injection.mean_rate();
+    let mut eng = Engine::new(
+        algo,
+        cfg.buffer_depth,
+        cfg.flits_per_packet,
+        pattern,
+        &move |_| Box::new(Bernoulli::new(rate)) as Box<dyn InjectionProcess>,
+        cfg.seed,
+    );
+    eng.set_injection_limit(cfg.injection_limit);
+    eng.set_request_reply(cfg.request_reply);
+    eng
+}
+
+/// Run the optimized and the reference stepper side by side on one
+/// paper configuration and assert identical observable state, both
+/// mid-flight and at the end.
+fn assert_equivalent(spec: &ExperimentSpec, fraction: f64, cycles: u32) {
+    let len = RunLength { warmup: 500, total: cycles };
+    let cfg = spec.config_at(traffic::Pattern::Uniform, fraction, len);
+    let algo = spec.build_algorithm();
+    let mut opt = build_engine(algo.as_ref(), &cfg);
+    let mut refr = build_engine(algo.as_ref(), &cfg);
+    for cycle in 0..cycles {
+        opt.step();
+        refr.step_reference();
+        if cycle % 512 == 0 {
+            assert_eq!(
+                opt.counters(),
+                refr.counters(),
+                "{} at load {fraction}: counters diverged at cycle {cycle}",
+                spec.label()
+            );
+        }
+    }
+    assert_eq!(
+        opt.counters(),
+        refr.counters(),
+        "{} at load {fraction}: final counters diverged",
+        spec.label()
+    );
+    assert_eq!(
+        opt.packets(),
+        refr.packets(),
+        "{} at load {fraction}: packet tables diverged",
+        spec.label()
+    );
+    assert_eq!(opt.check_worklist_invariant(), Ok(()), "{}", spec.label());
+    assert_eq!(opt.check_credit_invariant(), Ok(()), "{}", spec.label());
+    // The run must have actually exercised the network.
+    assert!(
+        opt.counters().delivered_packets > 0,
+        "{} at load {fraction}: nothing delivered",
+        spec.label()
+    );
+}
+
+/// Low load: mostly idle network — the regime where the active sets
+/// skip almost all routers.
+#[test]
+fn paper_configs_low_load() {
+    for spec in ExperimentSpec::paper_five() {
+        assert_equivalent(&spec, 0.15, 2_500);
+    }
+}
+
+/// Medium load: busy but below saturation.
+#[test]
+fn paper_configs_medium_load() {
+    for spec in ExperimentSpec::paper_five() {
+        assert_equivalent(&spec, 0.5, 2_500);
+    }
+}
+
+/// Past saturation: every lane contended, worklists near-full, limited
+/// injection active on the cubes.
+#[test]
+fn paper_configs_saturation_load() {
+    for spec in ExperimentSpec::paper_five() {
+        assert_equivalent(&spec, 1.2, 2_000);
+    }
+}
