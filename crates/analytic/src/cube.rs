@@ -42,7 +42,10 @@ impl CubeModel {
     /// Model a `k`-ary `n`-cube carrying `flits_per_packet`-flit worms.
     pub fn new(k: usize, n: usize, flits_per_packet: usize) -> Self {
         assert!(flits_per_packet >= 1);
-        CubeModel { cube: KAryNCube::new(k, n), flits_per_packet }
+        CubeModel {
+            cube: KAryNCube::new(k, n),
+            flits_per_packet,
+        }
     }
 
     /// The modelled topology.

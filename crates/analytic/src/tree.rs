@@ -29,7 +29,10 @@ impl TreeModel {
     /// Model a `k`-ary `n`-tree carrying `flits_per_packet`-flit worms.
     pub fn new(k: usize, n: usize, flits_per_packet: usize) -> Self {
         assert!(flits_per_packet >= 1);
-        TreeModel { tree: KAryNTree::new(k, n), flits_per_packet }
+        TreeModel {
+            tree: KAryNTree::new(k, n),
+            flits_per_packet,
+        }
     }
 
     /// The modelled topology.

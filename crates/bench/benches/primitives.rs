@@ -5,7 +5,9 @@
 //! throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use routing::{build_cdg, CandidateSet, CubeDeterministic, CubeDuato, RoutingAlgorithm, TreeAdaptive};
+use routing::{
+    build_cdg, CandidateSet, CubeDeterministic, CubeDuato, RoutingAlgorithm, TreeAdaptive,
+};
 use std::hint::black_box;
 use topology::{KAryNCube, KAryNTree, NodeId, RouterId};
 use traffic::{Pattern, Rng64, TrafficGen};
@@ -26,7 +28,12 @@ fn routing_functions(c: &mut Criterion) {
             b.iter(|| {
                 i = (i + 97) % (n * n);
                 let (r, d) = (i / n, i % n);
-                algo.route(RouterId(r % algo.topology().num_routers() as u32), None, NodeId(d), &mut cand);
+                algo.route(
+                    RouterId(r % algo.topology().num_routers() as u32),
+                    None,
+                    NodeId(d),
+                    &mut cand,
+                );
                 black_box(cand.len())
             });
         });
@@ -36,7 +43,12 @@ fn routing_functions(c: &mut Criterion) {
 
 fn destination_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("pattern_dest");
-    for p in [Pattern::Uniform, Pattern::Complement, Pattern::BitReversal, Pattern::Transpose] {
+    for p in [
+        Pattern::Uniform,
+        Pattern::Complement,
+        Pattern::BitReversal,
+        Pattern::Transpose,
+    ] {
         group.bench_function(BenchmarkId::from_parameter(p.name()), |b| {
             let g = TrafficGen::new(p, 256);
             let mut rng = Rng64::seed_from(1);

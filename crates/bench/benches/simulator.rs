@@ -18,8 +18,11 @@ fn bench_config(c: &mut Criterion, group_name: &str, spec: &ExperimentSpec, load
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
         let algo = spec.build_algorithm();
-        let mut cfg =
-            spec.config_at(Pattern::Uniform, load, netsim::experiment::RunLength::quick());
+        let mut cfg = spec.config_at(
+            Pattern::Uniform,
+            load,
+            netsim::experiment::RunLength::quick(),
+        );
         cfg.warmup_cycles = CYCLES / 3;
         cfg.total_cycles = CYCLES;
         b.iter(|| run_simulation(algo.as_ref(), &cfg));
@@ -40,8 +43,11 @@ fn load_scaling(c: &mut Criterion) {
     for load in [0.1, 0.5, 0.9] {
         group.bench_function(BenchmarkId::from_parameter(format!("{load}")), |b| {
             let algo = spec.build_algorithm();
-            let mut cfg =
-                spec.config_at(Pattern::Uniform, load, netsim::experiment::RunLength::quick());
+            let mut cfg = spec.config_at(
+                Pattern::Uniform,
+                load,
+                netsim::experiment::RunLength::quick(),
+            );
             cfg.warmup_cycles = CYCLES / 3;
             cfg.total_cycles = CYCLES;
             b.iter(|| run_simulation(algo.as_ref(), &cfg));
@@ -51,7 +57,12 @@ fn load_scaling(c: &mut Criterion) {
 }
 
 fn small_networks(c: &mut Criterion) {
-    bench_config(c, "tiny_network_cycles", &ExperimentSpec::cube_duato(CubeParams::tiny()), 0.5);
+    bench_config(
+        c,
+        "tiny_network_cycles",
+        &ExperimentSpec::cube_duato(CubeParams::tiny()),
+        0.5,
+    );
     bench_config(
         c,
         "tiny_network_cycles",

@@ -7,23 +7,28 @@
 //! * **Virtual channels on the tree** — extends Figure 5's 1/2/4 sweep
 //!   with 3, 6 and 8 VCs to expose the diminishing returns predicted in
 //!   Section 11 (with the matching Chien clock for each).
+//! * **Torus vs mesh** — the wrap-around links, via the scenario
+//!   registry's mesh entries.
 //!
 //! Each ablation drives the paper network at a fixed stress load and
 //! reports sustained accepted bandwidth.
 
-use bench::{write_csv, Options};
+use bench::{run_manifest, write_artifact, Options};
 use costmodel::chien::tree_adaptive_timing;
 use netsim::experiment::{CubeParams, ExperimentSpec, TreeParams};
 use netsim::sim::run_simulation;
 use netstats::Table;
+use std::time::Instant;
 use traffic::Pattern;
 
 fn main() {
     let opts = Options::from_args();
     let len = opts.run_length();
+    let salt = opts.seed_salt();
 
     // Buffer depth ablation (both networks, uniform, moderately above
     // each network's saturation).
+    let start = Instant::now();
     let mut t = Table::with_columns(["configuration", "buffer_depth", "accepted_fraction"]);
     for (spec, load) in [
         (ExperimentSpec::cube_duato(CubeParams::paper()), 0.9),
@@ -33,6 +38,7 @@ fn main() {
             let algo = spec.build_algorithm();
             let mut cfg = spec.config_at(Pattern::Uniform, load, len);
             cfg.buffer_depth = depth;
+            cfg.seed ^= salt;
             let out = run_simulation(algo.as_ref(), &cfg);
             t.push_row(vec![
                 spec.label().into(),
@@ -43,10 +49,24 @@ fn main() {
     }
     println!("Ablation: lane depth (paper fixes 4 flits)");
     println!("{}", t.to_pretty());
-    write_csv(&t, opts.out_dir.join("ablation_buffer_depth.csv")).expect("write csv");
+    write_artifact(
+        &t,
+        &opts.out_dir,
+        "ablation_buffer_depth.csv",
+        &run_manifest(
+            "ablation",
+            "ablation_buffer_depth.csv",
+            &opts,
+            &[],
+            Some(Pattern::Uniform),
+            &[],
+            start.elapsed().as_secs_f64(),
+        ),
+    );
 
     // Injection-limit ablation on the cube (uniform at full offered
     // load; the default is 8 of the 16 network lanes).
+    let start = Instant::now();
     let mut t = Table::with_columns(["algorithm", "limit", "accepted_fraction"]);
     for spec in [
         ExperimentSpec::cube_deterministic(CubeParams::paper()),
@@ -56,6 +76,7 @@ fn main() {
             let algo = spec.build_algorithm();
             let mut cfg = spec.config_at(Pattern::Uniform, 1.0, len);
             cfg.injection_limit = limit;
+            cfg.seed ^= salt;
             let out = run_simulation(algo.as_ref(), &cfg);
             t.push_row(vec![
                 spec.label().into(),
@@ -66,11 +87,25 @@ fn main() {
     }
     println!("Ablation: limited-injection threshold (offered = 100%)");
     println!("{}", t.to_pretty());
-    write_csv(&t, opts.out_dir.join("ablation_injection_limit.csv")).expect("write csv");
+    write_artifact(
+        &t,
+        &opts.out_dir,
+        "ablation_injection_limit.csv",
+        &run_manifest(
+            "ablation",
+            "ablation_injection_limit.csv",
+            &opts,
+            &[],
+            Some(Pattern::Uniform),
+            &[],
+            start.elapsed().as_secs_f64(),
+        ),
+    );
 
     // Virtual-channel count on the tree, with the matching clock from
     // the cost model: diminishing (and eventually negative) returns once
     // the router becomes routing-limited.
+    let start = Instant::now();
     let mut t = Table::with_columns([
         "virtual_channels",
         "accepted_fraction",
@@ -79,7 +114,9 @@ fn main() {
     ]);
     for vcs in [1usize, 2, 3, 4, 6, 8] {
         let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), vcs);
-        let out = netsim::experiment::simulate_load(&spec, Pattern::Uniform, 0.95, len);
+        let outs =
+            netsim::experiment::sweep_outcomes_salted(&spec, Pattern::Uniform, &[0.95], len, salt);
+        let out = &outs[0];
         let timing = tree_adaptive_timing(4, vcs);
         // Aggregate absolute throughput with this VC count's own clock.
         let bits_ns = out.accepted_fraction * 256.0 * 1.0 * 16.0 / timing.clock_ns();
@@ -92,7 +129,20 @@ fn main() {
     }
     println!("Ablation: tree virtual channels at 95% offered load");
     println!("{}", t.to_pretty());
-    write_csv(&t, opts.out_dir.join("ablation_tree_vcs.csv")).expect("write csv");
+    write_artifact(
+        &t,
+        &opts.out_dir,
+        "ablation_tree_vcs.csv",
+        &run_manifest(
+            "ablation",
+            "ablation_tree_vcs.csv",
+            &opts,
+            &[],
+            Some(Pattern::Uniform),
+            &[],
+            start.elapsed().as_secs_f64(),
+        ),
+    );
 
     // Torus vs mesh: what do the wrap-around links (and the dateline
     // machinery they force) actually buy? Same 256-node grid, same
@@ -101,38 +151,36 @@ fn main() {
 }
 
 fn torus_vs_mesh(opts: &Options, len: netsim::experiment::RunLength) {
-    use netsim::sim::SimConfig;
-    use routing::{CubeDeterministic, MeshDeterministic, RoutingAlgorithm};
-    use topology::{KAryNCube, KAryNMesh};
+    use netsim::scenario::{named, Scenario};
 
+    let start = Instant::now();
     let mut t = Table::with_columns([
         "topology",
         "flits_per_node_cycle",
         "accepted_flits_per_node_cycle",
         "latency_cycles",
     ]);
-    let torus: Box<dyn RoutingAlgorithm> = Box::new(CubeDeterministic::new(KAryNCube::new(16, 2)));
-    let mesh: Box<dyn RoutingAlgorithm> = Box::new(MeshDeterministic::new(KAryNMesh::new(16, 2), 4));
-    for (label, algo, capacity) in [
-        ("16-ary 2-cube (torus)", &torus, 0.5),
-        ("16-ary 2-mesh", &mesh, 0.25),
-    ] {
+    // The mesh configurations come straight from the scenario registry;
+    // the torus is its cube-det sibling. Both run deterministic routing
+    // with the cube's throttle rule so only the wrap-around links (and
+    // halved bisection) differ.
+    let torus: Scenario = named("cube-det").expect("registry entry");
+    let mesh: Scenario = named("mesh-det").expect("registry entry");
+    for scenario in [&torus, &mesh] {
+        let scenario = scenario.clone().with_run_length(len);
+        let capacity = scenario.normalization().capacity_flits_per_cycle();
+        let label = match scenario.label() {
+            "cube, deterministic" => "16-ary 2-cube (torus)",
+            _ => "16-ary 2-mesh",
+        };
         for rate_flits in [0.1, 0.2, 0.3] {
-            let cfg = SimConfig {
-                seed: 99,
-                warmup_cycles: len.warmup,
-                total_cycles: len.total,
-                buffer_depth: 4,
-                flits_per_packet: 16,
-                capacity_flits_per_cycle: capacity,
-                injection: netsim::sim::InjectionSpec::Bernoulli {
-                    packets_per_cycle: rate_flits / 16.0,
-                },
-                pattern: Pattern::Uniform,
-                injection_limit: Some(8),
-                request_reply: false,
-            };
-            let out = netsim::sim::run_simulation(algo.as_ref(), &cfg);
+            // Fixed per-node flit rate, so the fraction of capacity
+            // differs between the two networks by design.
+            let fraction = rate_flits / capacity;
+            let mut cfg = scenario.config_at(fraction);
+            cfg.seed = 99 ^ opts.seed_salt();
+            cfg.injection_limit = Some(8);
+            let out = scenario.with_algorithm(RunWith { cfg: &cfg });
             t.push_row(vec![
                 label.into(),
                 rate_flits.into(),
@@ -143,5 +191,29 @@ fn torus_vs_mesh(opts: &Options, len: netsim::experiment::RunLength) {
     }
     println!("Ablation: torus vs mesh (same grid, wrap-around links removed)");
     println!("{}", t.to_pretty());
-    write_csv(&t, opts.out_dir.join("ablation_torus_vs_mesh.csv")).expect("write csv");
+    write_artifact(
+        &t,
+        &opts.out_dir,
+        "ablation_torus_vs_mesh.csv",
+        &run_manifest(
+            "ablation",
+            "ablation_torus_vs_mesh.csv",
+            opts,
+            &[],
+            Some(Pattern::Uniform),
+            &[],
+            start.elapsed().as_secs_f64(),
+        ),
+    );
+}
+
+struct RunWith<'c> {
+    cfg: &'c netsim::sim::SimConfig,
+}
+
+impl netsim::experiment::SpecVisitor for RunWith<'_> {
+    type Out = netsim::sim::SimOutcome;
+    fn visit<A: routing::RoutingAlgorithm>(self, algo: A) -> Self::Out {
+        run_simulation(&algo, self.cfg)
+    }
 }

@@ -56,10 +56,7 @@ impl Sample {
     }
 }
 
-fn build_engine<'a, A: RoutingAlgorithm + ?Sized>(
-    algo: &'a A,
-    cfg: &SimConfig,
-) -> Engine<'a, A> {
+fn build_engine<'a, A: RoutingAlgorithm + ?Sized>(algo: &'a A, cfg: &SimConfig) -> Engine<'a, A> {
     let pattern = TrafficGen::new(cfg.pattern, algo.topology().num_nodes());
     let rate = cfg.injection.mean_rate();
     let mut eng = Engine::new(
@@ -113,6 +110,7 @@ impl SpecVisitor for TimeOptimized<'_> {
 fn main() {
     let mut cycles: u32 = 20_000; // the paper's full run length
     let mut out = std::path::PathBuf::from("BENCH_engine.json");
+    let mut seed_salt: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -123,7 +121,17 @@ fn main() {
                     .unwrap_or_else(|| usage("missing/invalid count after --cycles"));
             }
             "--out" => {
-                out = args.next().unwrap_or_else(|| usage("missing path after --out")).into();
+                out = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing path after --out"))
+                    .into();
+            }
+            "--seed" => {
+                seed_salt = args
+                    .next()
+                    .as_deref()
+                    .and_then(bench::parse_seed)
+                    .unwrap_or_else(|| usage("missing/invalid value after --seed"));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
@@ -134,13 +142,13 @@ fn main() {
     for spec in ExperimentSpec::paper_five() {
         let algo = spec.build_algorithm();
         for load in LOADS {
-            let cfg = spec.config_at(Pattern::Uniform, load, RunLength::paper());
+            let mut cfg = spec.config_at(Pattern::Uniform, load, RunLength::paper());
+            cfg.seed ^= seed_salt;
             // Optimized: active-set stepper, concrete algorithm type
             // (the configuration `simulate_load` ships). Baseline:
             // full-scan reference stepper behind dynamic dispatch (the
             // pre-optimization configuration).
-            let (opt_secs, opt_counters) =
-                spec.with_algorithm(TimeOptimized { cfg: &cfg, cycles });
+            let (opt_secs, opt_counters) = spec.with_algorithm(TimeOptimized { cfg: &cfg, cycles });
             let (ref_secs, ref_counters) = time_run(algo.as_ref(), &cfg, cycles, true);
             assert_eq!(
                 opt_counters,
@@ -171,20 +179,20 @@ fn main() {
     }
 
     let low: Vec<&Sample> = samples.iter().filter(|s| s.load <= 0.3).collect();
-    let low_speedup =
-        low.iter().map(|s| s.speedup()).sum::<f64>() / low.len() as f64;
+    let low_speedup = low.iter().map(|s| s.speedup()).sum::<f64>() / low.len() as f64;
     eprintln!("mean speedup over low-load (<=0.3) points: {low_speedup:.2}x");
 
-    std::fs::write(&out, to_json(&samples, low_speedup)).expect("write benchmark json");
+    std::fs::write(&out, to_json(&samples, low_speedup, seed_salt)).expect("write benchmark json");
     eprintln!("wrote {}", out.display());
 }
 
-fn to_json(samples: &[Sample], low_speedup: f64) -> String {
+fn to_json(samples: &[Sample], low_speedup: f64, seed_salt: u64) -> String {
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"benchmark\": \"engine active-set stepper vs naive full-scan baseline\",\n");
     j.push_str("  \"workload\": \"paper-scale (256-node) configurations, uniform traffic\",\n");
     j.push_str("  \"units\": { \"rates\": \"per wall-clock second\" },\n");
+    let _ = writeln!(j, "  \"seed_salt\": \"0x{seed_salt:016x}\",");
     let _ = writeln!(j, "  \"mean_low_load_speedup\": {low_speedup:.3},");
     j.push_str("  \"runs\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -217,6 +225,6 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: bench_engine [--cycles N] [--out <path>]");
+    eprintln!("usage: bench_engine [--cycles N] [--seed <salt>] [--out <path>]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

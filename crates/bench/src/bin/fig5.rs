@@ -5,8 +5,11 @@
 //! Chaos Normal Form (offered load normalized to the uniform-traffic
 //! capacity, latency in cycles).
 
-use bench::{cnf_table, paper_patterns, run_panel, saturation_table, write_csv, Options};
+use bench::{
+    cnf_table, paper_patterns, run_manifest, run_panel, saturation_table, write_artifact, Options,
+};
 use netsim::experiment::{ExperimentSpec, TreeParams};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::from_args();
@@ -18,13 +21,24 @@ fn main() {
 
     for (pattern, panels) in paper_patterns() {
         eprintln!("Figure 5 {panels}) — {}", pattern.title());
-        let series = run_panel(&specs, pattern, len);
+        let start = Instant::now();
+        let series = run_panel(&specs, pattern, len, opts.seed_salt());
+        let secs = start.elapsed().as_secs_f64();
         let table = cnf_table(&series);
         println!("\nFigure 5 {panels}) {}", pattern.title());
         println!("{}", table.to_pretty());
         println!("{}", saturation_table(&series).to_pretty());
-        let path = opts.out_dir.join(format!("fig5_{}.csv", pattern.name()));
-        write_csv(&table, &path).expect("write panel csv");
+        let artifact = format!("fig5_{}.csv", pattern.name());
+        let manifest = run_manifest(
+            "fig5",
+            &artifact,
+            &opts,
+            &specs,
+            Some(pattern),
+            &series,
+            secs,
+        );
+        let path = write_artifact(&table, &opts.out_dir, &artifact, &manifest);
         eprintln!("wrote {}", path.display());
     }
 

@@ -3,8 +3,11 @@
 //! eight panels (accepted bandwidth and network latency under uniform,
 //! complement, transpose and bit-reversal traffic) in Chaos Normal Form.
 
-use bench::{cnf_table, paper_patterns, run_panel, saturation_table, write_csv, Options};
+use bench::{
+    cnf_table, paper_patterns, run_manifest, run_panel, saturation_table, write_artifact, Options,
+};
 use netsim::experiment::{CubeParams, ExperimentSpec};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::from_args();
@@ -16,19 +19,32 @@ fn main() {
 
     for (pattern, panels) in paper_patterns() {
         eprintln!("Figure 6 {panels}) — {}", pattern.title());
-        let series = run_panel(&specs, pattern, len);
+        let start = Instant::now();
+        let series = run_panel(&specs, pattern, len, opts.seed_salt());
+        let secs = start.elapsed().as_secs_f64();
         let table = cnf_table(&series);
         println!("\nFigure 6 {panels}) {}", pattern.title());
         println!("{}", table.to_pretty());
         println!("{}", saturation_table(&series).to_pretty());
-        let path = opts.out_dir.join(format!("fig6_{}.csv", pattern.name()));
-        write_csv(&table, &path).expect("write panel csv");
+        let artifact = format!("fig6_{}.csv", pattern.name());
+        let manifest = run_manifest(
+            "fig6",
+            &artifact,
+            &opts,
+            &specs,
+            Some(pattern),
+            &series,
+            secs,
+        );
+        let path = write_artifact(&table, &opts.out_dir, &artifact, &manifest);
         eprintln!("wrote {}", path.display());
     }
 
     println!("paper reference points (saturation, fraction of capacity):");
     println!("  uniform:    80% (Duato), 60% (deterministic); latency ~70 cycles pre-saturation");
-    println!("  complement: 47% (deterministic, near the 50% bound), 35% (Duato, early saturation)");
+    println!(
+        "  complement: 47% (deterministic, near the 50% bound), 35% (Duato, early saturation)"
+    );
     println!("  transpose:  50% (Duato), less than half of that deterministic");
     println!("  bitrev:     60% (Duato), 20% (deterministic)");
 }

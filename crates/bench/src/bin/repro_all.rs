@@ -5,49 +5,55 @@
 //! * `fig5_<pattern>.csv`, `fig6_<pattern>.csv` — the CNF panels;
 //! * `fig7_<pattern>.csv` — the absolute-unit panels;
 //! * `saturation.csv` — saturation summary of every (config, pattern);
-//! * `report.md` — a human-readable digest.
+//! * `report.md` — a human-readable digest;
+//! * a `*.manifest.json` run manifest next to each CSV.
 //!
 //! Because the load sweeps of Figures 5 and 6 are subsets of Figure 7's
 //! (identical seeds, identical simulations), everything is measured in a
 //! single collection pass: 5 configurations x 4 patterns x 20 loads.
+//!
+//! All tables, sweeps and the gnuplot script come from the shared
+//! helpers in the `bench` library (the same ones the per-artifact
+//! binaries use); the CSV bytes are identical to what the pre-shared
+//! implementation wrote.
 
-use bench::{absolute_table, cnf_table, paper_patterns, run_panel, saturation_table, write_csv, Options, PanelSeries};
-use costmodel::chien::{cube_deterministic_timing, cube_duato_timing, tree_adaptive_timing};
+use bench::{
+    absolute_table, cnf_table, gnuplot_script, paper_patterns, run_manifest, run_panel,
+    saturation_table, table1_table, table2_table, write_artifact, Options, PanelSeries,
+};
 use netsim::experiment::ExperimentSpec;
 use netstats::Table;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 fn main() {
     let opts = Options::from_args();
     let len = opts.run_length();
     let specs = ExperimentSpec::paper_five();
     let mut report = String::new();
-    let _ = writeln!(report, "# Reproduction run ({} cycles, warm-up {})\n", len.total, len.warmup);
+    let _ = writeln!(
+        report,
+        "# Reproduction run ({} cycles, warm-up {})\n",
+        len.total, len.warmup
+    );
 
-    // Tables 1 and 2.
-    let mut t1 = Table::with_columns(["algorithm", "T_routing", "T_crossbar", "T_link", "T_clock"]);
-    for (name, tm) in [("Det.", cube_deterministic_timing()), ("Duato", cube_duato_timing())] {
-        t1.push_row(vec![
-            name.into(),
-            tm.t_routing_ns.into(),
-            tm.t_crossbar_ns.into(),
-            tm.t_link_ns.into(),
-            tm.clock_ns().into(),
-        ]);
-    }
-    write_csv(&t1, opts.out_dir.join("table1.csv")).expect("table1");
-    let mut t2 = Table::with_columns(["vcs", "T_routing", "T_crossbar", "T_link", "T_clock"]);
-    for v in [1usize, 2, 4] {
-        let tm = tree_adaptive_timing(4, v);
-        t2.push_row(vec![
-            (v as f64).into(),
-            tm.t_routing_ns.into(),
-            tm.t_crossbar_ns.into(),
-            tm.t_link_ns.into(),
-            tm.clock_ns().into(),
-        ]);
-    }
-    write_csv(&t2, opts.out_dir.join("table2.csv")).expect("table2");
+    // Tables 1 and 2 (compact presentation, unrounded).
+    let table_start = Instant::now();
+    let t1 = table1_table(false);
+    let t2 = table2_table(false);
+    let table_secs = table_start.elapsed().as_secs_f64();
+    write_artifact(
+        &t1,
+        &opts.out_dir,
+        "table1.csv",
+        &run_manifest("repro_all", "table1.csv", &opts, &[], None, &[], table_secs),
+    );
+    write_artifact(
+        &t2,
+        &opts.out_dir,
+        "table2.csv",
+        &run_manifest("repro_all", "table2.csv", &opts, &[], None, &[], table_secs),
+    );
     let _ = writeln!(report, "## Table 1\n\n```\n{}```\n", t1.to_pretty());
     let _ = writeln!(report, "## Table 2\n\n```\n{}```\n", t2.to_pretty());
 
@@ -61,9 +67,12 @@ fn main() {
         "sustained_accepted",
         "stability",
     ]);
+    let run_start = Instant::now();
     for (pattern, panels) in paper_patterns() {
         eprintln!("collecting {} traffic...", pattern.name());
-        let series = run_panel(&specs, pattern, len);
+        let pass_start = Instant::now();
+        let series = run_panel(&specs, pattern, len, opts.seed_salt());
+        let pass_secs = pass_start.elapsed().as_secs_f64();
 
         let slice = |idx: &[usize]| -> Vec<PanelSeries> {
             idx.iter()
@@ -74,18 +83,57 @@ fn main() {
                 })
                 .collect()
         };
+        let slice_specs = |idx: &[usize]| -> Vec<ExperimentSpec> {
+            idx.iter().map(|&i| specs[i].clone()).collect()
+        };
 
         let tree_series = slice(&tree_idx);
         let cube_series = slice(&cube_idx);
-        write_csv(&cnf_table(&tree_series), opts.out_dir.join(format!("fig5_{}.csv", pattern.name())))
-            .expect("fig5 csv");
-        write_csv(&cnf_table(&cube_series), opts.out_dir.join(format!("fig6_{}.csv", pattern.name())))
-            .expect("fig6 csv");
-        write_csv(
+        let fig5 = format!("fig5_{}.csv", pattern.name());
+        write_artifact(
+            &cnf_table(&tree_series),
+            &opts.out_dir,
+            &fig5,
+            &run_manifest(
+                "repro_all",
+                &fig5,
+                &opts,
+                &slice_specs(&tree_idx),
+                Some(pattern),
+                &tree_series,
+                pass_secs,
+            ),
+        );
+        let fig6 = format!("fig6_{}.csv", pattern.name());
+        write_artifact(
+            &cnf_table(&cube_series),
+            &opts.out_dir,
+            &fig6,
+            &run_manifest(
+                "repro_all",
+                &fig6,
+                &opts,
+                &slice_specs(&cube_idx),
+                Some(pattern),
+                &cube_series,
+                pass_secs,
+            ),
+        );
+        let fig7 = format!("fig7_{}.csv", pattern.name());
+        write_artifact(
             &absolute_table(&series, &specs),
-            opts.out_dir.join(format!("fig7_{}.csv", pattern.name())),
-        )
-        .expect("fig7 csv");
+            &opts.out_dir,
+            &fig7,
+            &run_manifest(
+                "repro_all",
+                &fig7,
+                &opts,
+                &specs,
+                Some(pattern),
+                &series,
+                pass_secs,
+            ),
+        );
 
         let sat = saturation_table(&series);
         let _ = writeln!(
@@ -100,57 +148,27 @@ fn main() {
             sat_all.push_row(r);
         }
     }
-    write_csv(&sat_all, opts.out_dir.join("saturation.csv")).expect("saturation csv");
+    write_artifact(
+        &sat_all,
+        &opts.out_dir,
+        "saturation.csv",
+        &run_manifest(
+            "repro_all",
+            "saturation.csv",
+            &opts,
+            &specs,
+            None,
+            &[],
+            run_start.elapsed().as_secs_f64(),
+        ),
+    );
 
     std::fs::write(opts.out_dir.join("report.md"), &report).expect("report.md");
     std::fs::write(opts.out_dir.join("plot.gp"), gnuplot_script()).expect("plot.gp");
     println!("{report}");
     eprintln!("all artifacts written to {}", opts.out_dir.display());
-    eprintln!("plot with: cd {} && gnuplot plot.gp", opts.out_dir.display());
-}
-
-/// A gnuplot script rendering all 24 panels of Figures 5-7 from the
-/// CSVs into `figures.png` panels (requires gnuplot, not a crate
-/// dependency — the CSVs are the primary artifact).
-fn gnuplot_script() -> String {
-    let mut s = String::from(
-        "set datafile separator ','\nset key autotitle columnhead\nset grid\n\
-         set term pngcairo size 1400,900\n",
+    eprintln!(
+        "plot with: cd {} && gnuplot plot.gp",
+        opts.out_dir.display()
     );
-    for (fig, cols) in [("fig5", 3), ("fig6", 2), ("fig7", 5)] {
-        for pat in ["uniform", "complement", "transpose", "bitrev"] {
-            let (xlab, aylab, lylab, acol0, lcol0, step) = if fig == "fig7" {
-                ("offered (bits/ns)", "accepted (bits/ns)", "latency (ns)", 3, 4, 3)
-            } else {
-                ("offered (fraction of capacity)", "accepted (fraction)", "latency (cycles)", 2, 3, 2)
-            };
-            let _ = writeln!(s, "set output '{fig}_{pat}.png'");
-            let _ = writeln!(s, "set multiplot layout 1,2 title '{fig} {pat}'");
-            let _ = writeln!(s, "set xlabel '{xlab}'; set ylabel '{aylab}'");
-            let xcol = if fig == "fig7" { "2".to_string() } else { "1".to_string() };
-            let mut plots: Vec<String> = Vec::new();
-            for i in 0..cols {
-                let xc = if fig == "fig7" { format!("{}", 2 + i * step) } else { xcol.clone() };
-                plots.push(format!(
-                    "'{fig}_{pat}.csv' using {}:{} with linespoints",
-                    xc,
-                    acol0 + i * step
-                ));
-            }
-            let _ = writeln!(s, "plot {}", plots.join(", "));
-            let _ = writeln!(s, "set xlabel '{xlab}'; set ylabel '{lylab}'");
-            let mut plots: Vec<String> = Vec::new();
-            for i in 0..cols {
-                let xc = if fig == "fig7" { format!("{}", 2 + i * step) } else { xcol.clone() };
-                plots.push(format!(
-                    "'{fig}_{pat}.csv' using {}:{} with linespoints",
-                    xc,
-                    lcol0 + i * step
-                ));
-            }
-            let _ = writeln!(s, "plot {}", plots.join(", "));
-            let _ = writeln!(s, "unset multiplot");
-        }
-    }
-    s
 }

@@ -4,9 +4,10 @@
 //! 8–11, in both normalized (fraction of capacity) and absolute
 //! (bits/ns) units. This is the data EXPERIMENTS.md records.
 
-use bench::{paper_patterns, run_panel, write_csv, Options, PanelSeries};
+use bench::{paper_patterns, run_manifest, run_panel, write_artifact, Options, PanelSeries};
 use netsim::experiment::ExperimentSpec;
 use netstats::Table;
+use std::time::Instant;
 use traffic::Pattern;
 
 /// Paper-reported saturation fractions (Sections 8–10), where stated.
@@ -40,7 +41,11 @@ fn paper_saturation(label: &str, pattern: Pattern) -> Option<f64> {
 fn measured_saturation(s: &PanelSeries) -> (f64, f64) {
     let sat = bench::saturation_of(s, 0.05);
     // Never saturated within the grid: report the last point.
-    (sat.offered.unwrap_or_else(|| *s.offered.last().expect("non-empty sweep")), sat.sustained)
+    (
+        sat.offered
+            .unwrap_or_else(|| *s.offered.last().expect("non-empty sweep")),
+        sat.sustained,
+    )
 }
 
 fn main() {
@@ -59,8 +64,9 @@ fn main() {
         "latency_at_30pct_ns",
     ]);
 
+    let start = Instant::now();
     for (pattern, _) in paper_patterns() {
-        let series = run_panel(&specs, pattern, len);
+        let series = run_panel(&specs, pattern, len, opts.seed_salt());
         for (s, spec) in series.iter().zip(&specs) {
             let (sat_off, sat_acc) = measured_saturation(s);
             let norm = spec.normalization();
@@ -71,7 +77,9 @@ fn main() {
             t.push_row(vec![
                 pattern.name().into(),
                 s.label.clone().into(),
-                paper_saturation(&s.label, pattern).unwrap_or(f64::NAN).into(),
+                paper_saturation(&s.label, pattern)
+                    .unwrap_or(f64::NAN)
+                    .into(),
                 sat_off.into(),
                 sat_acc.into(),
                 norm.fraction_to_bits_per_ns(sat_acc).into(),
@@ -82,7 +90,15 @@ fn main() {
     }
 
     println!("{}", t.to_pretty());
-    let path = opts.out_dir.join("summary.csv");
-    write_csv(&t, &path).expect("write summary.csv");
+    let manifest = run_manifest(
+        "summary",
+        "summary.csv",
+        &opts,
+        &specs,
+        None,
+        &[],
+        start.elapsed().as_secs_f64(),
+    );
+    let path = write_artifact(&t, &opts.out_dir, "summary.csv", &manifest);
     eprintln!("wrote {}", path.display());
 }

@@ -1,46 +1,31 @@
 //! Regenerates **Table 1** of the paper: "Delays of the two routing
 //! algorithms for the cube, expressed in nanoseconds".
 //!
-//! The rows are produced by Chien's cost model with the parameters of
-//! Section 5: `V = 4` virtual channels, `P = 17` crossbar ports (four
-//! lanes on each of the four links plus the injection channel), short
-//! wires, and `F = 2` (deterministic) vs `F = 6` (Duato).
+//! The rows come from Chien's cost model through the derived
+//! [`costmodel::chien::RouterClass`] parameters: `V = 4` virtual
+//! channels, `P = 2nV + 1 = 17` crossbar ports (four lanes on each of
+//! the four links plus the injection channel), short wires, and
+//! `F = 2` (deterministic) vs `F = n(V-2) + 2 = 6` (Duato).
 
-use bench::{write_csv, Options};
-use costmodel::chien::{cube_deterministic_timing, cube_duato_timing};
-use netstats::Table;
+use bench::{run_manifest, table1_table, write_artifact, Options};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::from_args();
-    let mut t = Table::with_columns([
-        "algorithm",
-        "T_routing",
-        "T_crossbar",
-        "T_link_s",
-        "T_clock",
-        "bottleneck",
-    ]);
-    for (name, timing) in [
-        ("Det.", cube_deterministic_timing()),
-        ("Duato", cube_duato_timing()),
-    ] {
-        t.push_row(vec![
-            name.into(),
-            round2(timing.t_routing_ns).into(),
-            round2(timing.t_crossbar_ns).into(),
-            round2(timing.t_link_ns).into(),
-            round2(timing.clock_ns()).into(),
-            timing.bottleneck().into(),
-        ]);
-    }
+    let start = Instant::now();
+    let t = table1_table(true);
     println!("Table 1: delays of the two routing algorithms for the cube (ns)");
     println!("{}", t.to_pretty());
     println!("paper prints: Det. 5.9 / 5.85 / 6.34 / 6.34  —  Duato 7.8 / 5.85 / 6.34 / 7.8");
-    let path = opts.out_dir.join("table1.csv");
-    write_csv(&t, &path).expect("write table1.csv");
+    let manifest = run_manifest(
+        "table1",
+        "table1.csv",
+        &opts,
+        &[],
+        None,
+        &[],
+        start.elapsed().as_secs_f64(),
+    );
+    let path = write_artifact(&t, &opts.out_dir, "table1.csv", &manifest);
     eprintln!("wrote {}", path.display());
-}
-
-fn round2(x: f64) -> f64 {
-    (x * 100.0).round() / 100.0
 }

@@ -3,37 +3,20 @@
 //! nanoseconds", plus the Equation (5) mean-distance value quoted in
 //! Section 8.
 //!
-//! Parameters from Section 5: for a quaternary tree (`k = 4`) with `V`
-//! virtual channels the ascending degree of freedom is `F = (2k-1)·V`,
-//! the crossbar has `P = 2k·V` ports, and the 256-node embedding forces
-//! medium-length wires.
+//! The rows come from Chien's cost model through the derived
+//! [`costmodel::chien::RouterClass`] parameters: for a quaternary tree
+//! (`k = 4`) with `V` virtual channels the ascending degree of freedom
+//! is `F = (2k-1)·V`, the crossbar has `P = 2k·V` ports, and the
+//! 256-node embedding forces medium-length wires.
 
-use bench::{write_csv, Options};
-use costmodel::chien::tree_adaptive_timing;
-use netstats::Table;
+use bench::{run_manifest, table2_table, write_artifact, Options};
+use std::time::Instant;
 use topology::KAryNTree;
 
 fn main() {
     let opts = Options::from_args();
-    let mut t = Table::with_columns([
-        "virtual_channels",
-        "T_routing",
-        "T_crossbar",
-        "T_link_m",
-        "T_clock",
-        "bottleneck",
-    ]);
-    for v in [1usize, 2, 4] {
-        let timing = tree_adaptive_timing(4, v);
-        t.push_row(vec![
-            format!("{v} vc").into(),
-            round2(timing.t_routing_ns).into(),
-            round2(timing.t_crossbar_ns).into(),
-            round2(timing.t_link_ns).into(),
-            round2(timing.clock_ns()).into(),
-            timing.bottleneck().into(),
-        ]);
-    }
+    let start = Instant::now();
+    let t = table2_table(true);
     println!("Table 2: delays of the adaptive algorithm variants for the fat-tree (ns)");
     println!("{}", t.to_pretty());
     println!("paper prints: 1vc 8.06/5.2/9.64/9.64 — 2vc 9.26/5.8/10.24/10.24 — 4vc 10.46/6.4/10.84/10.84");
@@ -42,11 +25,15 @@ fn main() {
     let dm = KAryNTree::eq5_mean_distance(4, 4);
     println!("\nEquation (5): d_m = {dm:.3} for the 4-ary 4-tree (paper: 7.125; diameter 8)");
 
-    let path = opts.out_dir.join("table2.csv");
-    write_csv(&t, &path).expect("write table2.csv");
+    let manifest = run_manifest(
+        "table2",
+        "table2.csv",
+        &opts,
+        &[],
+        None,
+        &[],
+        start.elapsed().as_secs_f64(),
+    );
+    let path = write_artifact(&t, &opts.out_dir, "table2.csv", &manifest);
     eprintln!("wrote {}", path.display());
-}
-
-fn round2(x: f64) -> f64 {
-    (x * 100.0).round() / 100.0
 }

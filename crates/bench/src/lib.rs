@@ -14,18 +14,23 @@
 //! | `repro_all`| all      | Runs everything above and writes `results/` |
 //!
 //! Every binary accepts `--quick` (shorter, noisier runs for smoke
-//! testing) and `--out <dir>` (default `results`).
+//! testing), `--seed <salt>` (rerun everything under an independent
+//! noise realization; 0, the default, reproduces the committed numbers
+//! bit-for-bit) and `--out <dir>` (default `results`). Next to each CSV
+//! the binaries write a `<name>.manifest.json` run manifest recording
+//! the scenario descriptions, seed salt, run length, engine feature
+//! flags, wall-clock time and headline counters of the run that
+//! produced it.
 
 #![warn(missing_docs)]
 
-use netsim::experiment::{
-    default_load_grid, sweep_outcomes, ExperimentSpec, RunLength,
-};
+use netsim::experiment::{default_load_grid, sweep_outcomes_salted, ExperimentSpec, RunLength};
 use netsim::sim::SimOutcome;
+use netstats::export::{Manifest, ManifestValue};
 use netstats::{Cell, SweepCurve, Table};
 use traffic::Pattern;
 
-pub use netstats::export::{write_csv, write_json};
+pub use netstats::export::{write_csv, write_json, write_manifest};
 
 /// Command-line options shared by all regenerator binaries.
 #[derive(Clone, Debug)]
@@ -34,13 +39,19 @@ pub struct Options {
     pub quick: bool,
     /// Output directory for CSV files.
     pub out_dir: std::path::PathBuf,
+    /// Seed salt: XOR'd into every derived per-run seed. `None`/0 keeps
+    /// the historical (committed) realization.
+    pub seed: Option<u64>,
 }
 
 impl Options {
     /// Parse from `std::env::args`. Unknown flags abort with usage help.
     pub fn from_args() -> Options {
-        let mut opts =
-            Options { quick: false, out_dir: std::path::PathBuf::from("results") };
+        let mut opts = Options {
+            quick: false,
+            out_dir: std::path::PathBuf::from("results"),
+            seed: None,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -50,6 +61,14 @@ impl Options {
                         .next()
                         .unwrap_or_else(|| usage("missing directory after --out"))
                         .into();
+                }
+                "--seed" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("missing value after --seed"));
+                    opts.seed = Some(
+                        parse_seed(&v).unwrap_or_else(|| usage(&format!("invalid seed {v:?}"))),
+                    );
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -66,13 +85,28 @@ impl Options {
             RunLength::paper()
         }
     }
+
+    /// The seed salt implied by the options (0 when `--seed` is absent:
+    /// bit-identical to the committed artifacts).
+    pub fn seed_salt(&self) -> u64 {
+        self.seed.unwrap_or(0)
+    }
+}
+
+/// Parse a decimal or `0x`-prefixed hexadecimal seed.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
 }
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--quick] [--out <dir>]");
+    eprintln!("usage: <bin> [--quick] [--seed <salt>] [--out <dir>]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -94,26 +128,40 @@ impl PanelSeries {
         let mut c = SweepCurve::new(self.label.clone());
         for (f, o) in self.offered.iter().zip(&self.outcomes) {
             let lat = o.mean_latency_cycles();
-            c.push(*f, o.accepted_fraction, if lat.is_nan() { 0.0 } else { lat });
+            c.push(
+                *f,
+                o.accepted_fraction,
+                if lat.is_nan() { 0.0 } else { lat },
+            );
         }
         c
     }
 }
 
 /// Run the load sweep of one figure panel: every `spec` under `pattern`
-/// over the default 5%–100% grid.
+/// over the default 5%–100% grid, with the derived per-point seeds
+/// XOR'd by `salt` (0 = the committed realization, bit-for-bit).
 pub fn run_panel(
     specs: &[ExperimentSpec],
     pattern: Pattern,
     len: RunLength,
+    salt: u64,
 ) -> Vec<PanelSeries> {
     let grid = default_load_grid();
     specs
         .iter()
         .map(|spec| {
-            eprintln!("  sweeping {} under {} traffic...", spec.label(), pattern.name());
-            let outcomes = sweep_outcomes(spec, pattern, &grid, len);
-            PanelSeries { label: spec.label().to_string(), offered: grid.clone(), outcomes }
+            eprintln!(
+                "  sweeping {} under {} traffic...",
+                spec.label(),
+                pattern.name()
+            );
+            let outcomes = sweep_outcomes_salted(spec, pattern, &grid, len, salt);
+            PanelSeries {
+                label: spec.label().to_string(),
+                offered: grid.clone(),
+                outcomes,
+            }
         })
         .collect()
 }
@@ -162,7 +210,11 @@ pub fn absolute_table(series: &[PanelSeries], specs: &[ExperimentSpec]) -> Table
             row.push(norm.fraction_to_bits_per_ns(f).into());
             row.push(norm.fraction_to_bits_per_ns(o.accepted_fraction).into());
             let lat = o.mean_latency_cycles();
-            row.push(if lat.is_nan() { 0.0.into() } else { norm.cycles_to_ns(lat).into() });
+            row.push(if lat.is_nan() {
+                0.0.into()
+            } else {
+                norm.cycles_to_ns(lat).into()
+            });
         }
         t.push_row(row);
     }
@@ -191,11 +243,18 @@ pub fn saturation_of(s: &PanelSeries, tol: f64) -> SaturationSummary {
     match idx {
         None => SaturationSummary {
             offered: None,
-            sustained: s.outcomes.last().map(|o| o.accepted_fraction).unwrap_or(0.0),
+            sustained: s
+                .outcomes
+                .last()
+                .map(|o| o.accepted_fraction)
+                .unwrap_or(0.0),
             stability: 1.0,
         },
         Some(i) => {
-            let tail: Vec<f64> = s.outcomes[i..].iter().map(|o| o.accepted_fraction).collect();
+            let tail: Vec<f64> = s.outcomes[i..]
+                .iter()
+                .map(|o| o.accepted_fraction)
+                .collect();
             let sustained = tail.iter().sum::<f64>() / tail.len() as f64;
             let min = tail.iter().copied().fold(f64::INFINITY, f64::min);
             let max = tail.iter().copied().fold(0.0f64, f64::max);
@@ -241,6 +300,271 @@ pub fn paper_patterns() -> [(Pattern, &'static str); 4] {
     ]
 }
 
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Build Table 1 (Chien delays of the two cube algorithms).
+///
+/// `detailed` selects the presentation: `false` is the compact
+/// unrounded layout `repro_all` has always written (columns
+/// `algorithm,T_routing,T_crossbar,T_link,T_clock`); `true` is the
+/// `table1` binary's layout with values rounded to the paper's two
+/// decimals, the wire class spelled out (`T_link_s`) and the clock
+/// bottleneck named.
+pub fn table1_table(detailed: bool) -> Table {
+    use costmodel::chien::RouterClass;
+    let rows = [
+        (
+            "Det.",
+            RouterClass::CubeDeterministic { n: 2, vcs: 4 }.timing(),
+        ),
+        ("Duato", RouterClass::CubeDuato { n: 2, vcs: 4 }.timing()),
+    ];
+    if detailed {
+        let mut t = Table::with_columns([
+            "algorithm",
+            "T_routing",
+            "T_crossbar",
+            "T_link_s",
+            "T_clock",
+            "bottleneck",
+        ]);
+        for (name, tm) in rows {
+            t.push_row(vec![
+                name.into(),
+                round2(tm.t_routing_ns).into(),
+                round2(tm.t_crossbar_ns).into(),
+                round2(tm.t_link_ns).into(),
+                round2(tm.clock_ns()).into(),
+                tm.bottleneck().into(),
+            ]);
+        }
+        t
+    } else {
+        let mut t =
+            Table::with_columns(["algorithm", "T_routing", "T_crossbar", "T_link", "T_clock"]);
+        for (name, tm) in rows {
+            t.push_row(vec![
+                name.into(),
+                tm.t_routing_ns.into(),
+                tm.t_crossbar_ns.into(),
+                tm.t_link_ns.into(),
+                tm.clock_ns().into(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Build Table 2 (Chien delays of the tree algorithm with 1/2/4 VCs).
+///
+/// `detailed` selects the presentation exactly as in [`table1_table`].
+pub fn table2_table(detailed: bool) -> Table {
+    use costmodel::chien::RouterClass;
+    let rows = [1usize, 2, 4].map(|v| (v, RouterClass::TreeAdaptive { k: 4, vcs: v }.timing()));
+    if detailed {
+        let mut t = Table::with_columns([
+            "virtual_channels",
+            "T_routing",
+            "T_crossbar",
+            "T_link_m",
+            "T_clock",
+            "bottleneck",
+        ]);
+        for (v, tm) in rows {
+            t.push_row(vec![
+                format!("{v} vc").into(),
+                round2(tm.t_routing_ns).into(),
+                round2(tm.t_crossbar_ns).into(),
+                round2(tm.t_link_ns).into(),
+                round2(tm.clock_ns()).into(),
+                tm.bottleneck().into(),
+            ]);
+        }
+        t
+    } else {
+        let mut t = Table::with_columns(["vcs", "T_routing", "T_crossbar", "T_link", "T_clock"]);
+        for (v, tm) in rows {
+            t.push_row(vec![
+                (v as f64).into(),
+                tm.t_routing_ns.into(),
+                tm.t_crossbar_ns.into(),
+                tm.t_link_ns.into(),
+                tm.clock_ns().into(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Build the run manifest written next to one artifact. Records the
+/// full scenario descriptions behind the data, the options that shaped
+/// the run (seed salt, run length), the engine build flags, wall-clock
+/// time, and aggregate packet counters.
+pub fn run_manifest(
+    generator: &str,
+    artifact: &str,
+    opts: &Options,
+    specs: &[ExperimentSpec],
+    pattern: Option<Pattern>,
+    series: &[PanelSeries],
+    wall_secs: f64,
+) -> Manifest {
+    let len = opts.run_length();
+    let mut m = Manifest::new();
+    m.push("schema", "netperf-run-manifest/1");
+    m.push("generator", generator);
+    m.push("artifact", artifact);
+    m.push("quick", opts.quick);
+    let mut rl = Manifest::new();
+    rl.push("warmup", len.warmup as f64);
+    rl.push("total", len.total as f64);
+    m.push("run_length", rl);
+    m.push("seed_salt", format!("0x{:016x}", opts.seed_salt()));
+    m.push("threads", netsim::experiment::sweep_threads() as f64);
+    let mut engine = Manifest::new();
+    for (feature, enabled) in netsim::engine_features() {
+        engine.push(feature, enabled);
+    }
+    m.push("engine", engine);
+    if let Some(p) = pattern {
+        m.push("pattern", p.name());
+    }
+    m.push(
+        "scenarios",
+        ManifestValue::List(
+            specs
+                .iter()
+                .map(|s| ManifestValue::Object(s.scenario().manifest()))
+                .collect(),
+        ),
+    );
+    m.push("wall_clock_secs", wall_secs);
+    let mut counters = Manifest::new();
+    counters.push(
+        "simulations",
+        series.iter().map(|s| s.outcomes.len()).sum::<usize>() as f64,
+    );
+    counters.push(
+        "created_packets",
+        series
+            .iter()
+            .flat_map(|s| &s.outcomes)
+            .map(|o| o.created_packets)
+            .sum::<u64>() as f64,
+    );
+    counters.push(
+        "delivered_packets",
+        series
+            .iter()
+            .flat_map(|s| &s.outcomes)
+            .map(|o| o.delivered_packets)
+            .sum::<u64>() as f64,
+    );
+    m.push("counters", counters);
+    m
+}
+
+/// The manifest path for an artifact file: `fig5_uniform.csv` →
+/// `fig5_uniform.manifest.json`.
+pub fn manifest_path(dir: &std::path::Path, artifact: &str) -> std::path::PathBuf {
+    let stem = artifact
+        .rsplit_once('.')
+        .map(|(s, _)| s)
+        .unwrap_or(artifact);
+    dir.join(format!("{stem}.manifest.json"))
+}
+
+/// Write one artifact (CSV + its run manifest) into `dir`, returning
+/// the CSV path. The CSV bytes are unchanged from the pre-manifest
+/// harness; the manifest is a new sibling file.
+pub fn write_artifact(
+    table: &Table,
+    dir: &std::path::Path,
+    artifact: &str,
+    manifest: &Manifest,
+) -> std::path::PathBuf {
+    let path = dir.join(artifact);
+    write_csv(table, &path).unwrap_or_else(|e| panic!("write {artifact}: {e}"));
+    write_manifest(manifest, manifest_path(dir, artifact))
+        .unwrap_or_else(|e| panic!("write {artifact} manifest: {e}"));
+    path
+}
+
+/// A gnuplot script rendering all 24 panels of Figures 5-7 from the
+/// CSVs into `figures.png` panels (requires gnuplot, not a crate
+/// dependency — the CSVs are the primary artifact).
+pub fn gnuplot_script() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from(
+        "set datafile separator ','\nset key autotitle columnhead\nset grid\n\
+         set term pngcairo size 1400,900\n",
+    );
+    for (fig, cols) in [("fig5", 3), ("fig6", 2), ("fig7", 5)] {
+        for pat in ["uniform", "complement", "transpose", "bitrev"] {
+            let (xlab, aylab, lylab, acol0, lcol0, step) = if fig == "fig7" {
+                (
+                    "offered (bits/ns)",
+                    "accepted (bits/ns)",
+                    "latency (ns)",
+                    3,
+                    4,
+                    3,
+                )
+            } else {
+                (
+                    "offered (fraction of capacity)",
+                    "accepted (fraction)",
+                    "latency (cycles)",
+                    2,
+                    3,
+                    2,
+                )
+            };
+            let _ = writeln!(s, "set output '{fig}_{pat}.png'");
+            let _ = writeln!(s, "set multiplot layout 1,2 title '{fig} {pat}'");
+            let _ = writeln!(s, "set xlabel '{xlab}'; set ylabel '{aylab}'");
+            let xcol = if fig == "fig7" {
+                "2".to_string()
+            } else {
+                "1".to_string()
+            };
+            let mut plots: Vec<String> = Vec::new();
+            for i in 0..cols {
+                let xc = if fig == "fig7" {
+                    format!("{}", 2 + i * step)
+                } else {
+                    xcol.clone()
+                };
+                plots.push(format!(
+                    "'{fig}_{pat}.csv' using {}:{} with linespoints",
+                    xc,
+                    acol0 + i * step
+                ));
+            }
+            let _ = writeln!(s, "plot {}", plots.join(", "));
+            let _ = writeln!(s, "set xlabel '{xlab}'; set ylabel '{lylab}'");
+            let mut plots: Vec<String> = Vec::new();
+            for i in 0..cols {
+                let xc = if fig == "fig7" {
+                    format!("{}", 2 + i * step)
+                } else {
+                    xcol.clone()
+                };
+                plots.push(format!(
+                    "'{fig}_{pat}.csv' using {}:{} with linespoints",
+                    xc,
+                    lcol0 + i * step
+                ));
+            }
+            let _ = writeln!(s, "plot {}", plots.join(", "));
+            let _ = writeln!(s, "unset multiplot");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,7 +574,8 @@ mod tests {
     fn cnf_table_shape() {
         let specs = [ExperimentSpec::cube_duato(CubeParams::tiny())];
         let grid = [0.3, 0.8];
-        let outcomes = sweep_outcomes(&specs[0], Pattern::Uniform, &grid, RunLength::quick());
+        let outcomes =
+            sweep_outcomes_salted(&specs[0], Pattern::Uniform, &grid, RunLength::quick(), 0);
         let series = vec![PanelSeries {
             label: specs[0].label().to_string(),
             offered: grid.to_vec(),
@@ -263,5 +588,80 @@ mod tests {
         assert_eq!(abs.columns.len(), 4);
         let sat = saturation_table(&series);
         assert_eq!(sat.rows.len(), 1);
+
+        let opts = Options {
+            quick: true,
+            out_dir: std::path::PathBuf::from("results"),
+            seed: Some(7),
+        };
+        let m = run_manifest(
+            "test",
+            "fig6_uniform.csv",
+            &opts,
+            &specs,
+            Some(Pattern::Uniform),
+            &series,
+            1.25,
+        );
+        let json = m.to_json();
+        for needle in [
+            "\"schema\": \"netperf-run-manifest/1\"",
+            "\"artifact\": \"fig6_uniform.csv\"",
+            "\"seed_salt\": \"0x0000000000000007\"",
+            "\"pattern\": \"uniform\"",
+            "\"label\": \"cube, Duato\"",
+            "\"simulations\": 2",
+        ] {
+            assert!(json.contains(needle), "manifest missing {needle}:\n{json}");
+        }
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xDEAD"), Some(0xDEAD));
+        assert_eq!(parse_seed("0Xdead"), Some(0xDEAD));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn table_builders_have_both_presentations() {
+        let compact = table1_table(false);
+        assert_eq!(
+            compact.columns,
+            vec!["algorithm", "T_routing", "T_crossbar", "T_link", "T_clock"]
+        );
+        let detailed = table1_table(true);
+        assert_eq!(detailed.columns.last().unwrap(), "bottleneck");
+        // The paper's headline clocks survive the rounding.
+        assert_eq!(detailed.rows[0][4], Cell::Num(6.34));
+        assert_eq!(detailed.rows[1][4], Cell::Num(7.8));
+
+        let t2 = table2_table(true);
+        assert_eq!(t2.rows.len(), 3);
+        assert_eq!(t2.rows[0][0], Cell::Text("1 vc".into()));
+        assert_eq!(table2_table(false).columns[0], "vcs");
+    }
+
+    #[test]
+    fn manifest_paths_substitute_the_extension() {
+        let dir = std::path::Path::new("results");
+        assert_eq!(
+            manifest_path(dir, "fig5_uniform.csv"),
+            dir.join("fig5_uniform.manifest.json")
+        );
+        assert_eq!(manifest_path(dir, "noext"), dir.join("noext.manifest.json"));
+    }
+
+    #[test]
+    fn gnuplot_script_covers_all_panels() {
+        let s = gnuplot_script();
+        for fig in ["fig5", "fig6", "fig7"] {
+            for pat in ["uniform", "complement", "transpose", "bitrev"] {
+                assert!(s.contains(&format!("{fig}_{pat}.png")));
+                assert!(s.contains(&format!("{fig}_{pat}.csv")));
+            }
+        }
     }
 }

@@ -103,7 +103,9 @@ impl RouterTiming {
     /// cycle, which is set to the maximum of the three delays"
     /// (Section 5).
     pub fn clock_ns(&self) -> f64 {
-        self.t_routing_ns.max(self.t_crossbar_ns).max(self.t_link_ns)
+        self.t_routing_ns
+            .max(self.t_crossbar_ns)
+            .max(self.t_link_ns)
     }
 
     /// Which stage limits the clock.
@@ -119,23 +121,123 @@ impl RouterTiming {
     }
 }
 
+/// A router configuration whose Chien parameters — degrees of freedom
+/// `F`, crossbar ports `P`, virtual channels `V` and wire class — are
+/// **derived** from the topology shape and routing algorithm rather
+/// than hand-picked per experiment.
+///
+/// The paper instantiates the model only for its five configurations
+/// (Tables 1 and 2); this enum generalizes the same derivations so a
+/// scenario at any radix/dimension/VC count gets a consistent clock:
+///
+/// * cube, deterministic: `F = 2` (the dateline choice between the two
+///   virtual networks), `P = 2n·V + 1` (every lane of the `2n` links
+///   plus the injection channel);
+/// * cube, Duato: `V - 2` adaptive lanes usable in any of the `n`
+///   minimal dimensions plus the two escape lanes, `F = n·(V-2) + 2`,
+///   same crossbar;
+/// * tree, adaptive: `F = (2k-1)·V`, `P = 2k·V` (Section 5);
+/// * mesh, deterministic: `F = 1` (dimension order leaves no choice),
+///   `P = 2n·V + 1`;
+/// * mesh, adaptive: `V - 1` adaptive lanes in any of the `n` minimal
+///   dimensions plus one escape lane, `F = n·(V-1) + 1`.
+///
+/// Cubes and meshes embed in 3-space with short constant-length wires;
+/// 256-node-class fat-trees need medium wires (Section 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterClass {
+    /// Dimension-order routing on a k-ary n-cube (dateline scheme).
+    CubeDeterministic {
+        /// Cube dimension.
+        n: usize,
+        /// Virtual channels per physical link direction.
+        vcs: usize,
+    },
+    /// Duato's minimal adaptive routing on a k-ary n-cube.
+    CubeDuato {
+        /// Cube dimension.
+        n: usize,
+        /// Virtual channels (two of them escape lanes); must be >= 3.
+        vcs: usize,
+    },
+    /// Minimal adaptive routing on a k-ary n-tree.
+    TreeAdaptive {
+        /// Tree arity.
+        k: usize,
+        /// Virtual channels.
+        vcs: usize,
+    },
+    /// Dimension-order routing on a k-ary n-mesh.
+    MeshDeterministic {
+        /// Mesh dimension.
+        n: usize,
+        /// Virtual channels.
+        vcs: usize,
+    },
+    /// Minimal adaptive routing on a k-ary n-mesh (last lane = escape).
+    MeshAdaptive {
+        /// Mesh dimension.
+        n: usize,
+        /// Virtual channels (the last is the escape); must be >= 2.
+        vcs: usize,
+    },
+}
+
+impl RouterClass {
+    /// The derived Chien parameters `(F, P, V, wire class)`.
+    ///
+    /// # Panics
+    /// Panics if the VC count is too small for the algorithm (Duato
+    /// needs at least three lanes, mesh-adaptive at least two).
+    pub fn chien_parameters(&self) -> (usize, usize, usize, WireClass) {
+        match *self {
+            RouterClass::CubeDeterministic { n, vcs } => {
+                (2, 2 * n * vcs + 1, vcs, WireClass::Short)
+            }
+            RouterClass::CubeDuato { n, vcs } => {
+                assert!(
+                    vcs >= 3,
+                    "Duato needs adaptive lanes besides the two escapes"
+                );
+                (n * (vcs - 2) + 2, 2 * n * vcs + 1, vcs, WireClass::Short)
+            }
+            RouterClass::TreeAdaptive { k, vcs } => {
+                ((2 * k - 1) * vcs, 2 * k * vcs, vcs, WireClass::Medium)
+            }
+            RouterClass::MeshDeterministic { n, vcs } => {
+                (1, 2 * n * vcs + 1, vcs, WireClass::Short)
+            }
+            RouterClass::MeshAdaptive { n, vcs } => {
+                assert!(vcs >= 2, "mesh-adaptive needs an escape lane");
+                (n * (vcs - 1) + 1, 2 * n * vcs + 1, vcs, WireClass::Short)
+            }
+        }
+    }
+
+    /// The router timing implied by the derived parameters.
+    pub fn timing(&self) -> RouterTiming {
+        let (f, p, v, wires) = self.chien_parameters();
+        ChienModel::timing(f, p, v, wires)
+    }
+}
+
 /// Table 1: timing of the deterministic algorithm on the cube
 /// (`F = 2`, `P = 17`, `V = 4`, short wires).
 pub fn cube_deterministic_timing() -> RouterTiming {
-    ChienModel::timing(2, 17, 4, WireClass::Short)
+    RouterClass::CubeDeterministic { n: 2, vcs: 4 }.timing()
 }
 
 /// Table 1: timing of Duato's adaptive algorithm on the cube
 /// (`F = 6`, `P = 17`, `V = 4`, short wires).
 pub fn cube_duato_timing() -> RouterTiming {
-    ChienModel::timing(6, 17, 4, WireClass::Short)
+    RouterClass::CubeDuato { n: 2, vcs: 4 }.timing()
 }
 
 /// Table 2: timing of the fat-tree adaptive algorithm with `v` virtual
 /// channels on a k-ary n-tree of arity `k`
 /// (`F = (2k-1)·V`, `P = 2k·V`, medium wires).
 pub fn tree_adaptive_timing(k: usize, v: usize) -> RouterTiming {
-    ChienModel::timing((2 * k - 1) * v, 2 * k * v, v, WireClass::Medium)
+    RouterClass::TreeAdaptive { k, vcs: v }.timing()
 }
 
 #[cfg(test)]
@@ -200,12 +302,8 @@ mod tests {
 
     #[test]
     fn delays_grow_logarithmically() {
-        assert!(
-            ChienModel::routing_delay_ns(4) - ChienModel::routing_delay_ns(2) - 1.2 < 1e-9
-        );
-        assert!(
-            ChienModel::crossbar_delay_ns(32) - ChienModel::crossbar_delay_ns(16) - 0.6 < 1e-9
-        );
+        assert!(ChienModel::routing_delay_ns(4) - ChienModel::routing_delay_ns(2) - 1.2 < 1e-9);
+        assert!(ChienModel::crossbar_delay_ns(32) - ChienModel::crossbar_delay_ns(16) - 0.6 < 1e-9);
         let d = ChienModel::link_delay_ns(8, WireClass::Short)
             - ChienModel::link_delay_ns(4, WireClass::Short);
         assert!((d - 0.6).abs() < 1e-9);
@@ -224,5 +322,42 @@ mod tests {
     #[should_panic]
     fn zero_freedom_rejected() {
         let _ = ChienModel::routing_delay_ns(0);
+    }
+
+    #[test]
+    fn derived_parameters_match_the_papers_hand_picked_values() {
+        // Section 5 quotes F/P/V directly for the paper's five
+        // configurations; the derivations must reproduce them exactly.
+        assert_eq!(
+            RouterClass::CubeDeterministic { n: 2, vcs: 4 }.chien_parameters(),
+            (2, 17, 4, WireClass::Short)
+        );
+        assert_eq!(
+            RouterClass::CubeDuato { n: 2, vcs: 4 }.chien_parameters(),
+            (6, 17, 4, WireClass::Short)
+        );
+        for v in [1usize, 2, 4] {
+            assert_eq!(
+                RouterClass::TreeAdaptive { k: 4, vcs: v }.chien_parameters(),
+                (7 * v, 8 * v, v, WireClass::Medium)
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_classes_have_sane_timings() {
+        // A mesh router is never slower than the equivalent adaptive
+        // cube router (fewer degrees of freedom, same crossbar).
+        let mesh = RouterClass::MeshDeterministic { n: 2, vcs: 4 }.timing();
+        let cube = RouterClass::CubeDuato { n: 2, vcs: 4 }.timing();
+        assert!(mesh.clock_ns() <= cube.clock_ns());
+        let ma = RouterClass::MeshAdaptive { n: 2, vcs: 4 }.timing();
+        assert!(ma.t_routing_ns > mesh.t_routing_ns);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duato_rejects_too_few_lanes() {
+        let _ = RouterClass::CubeDuato { n: 2, vcs: 2 }.chien_parameters();
     }
 }

@@ -27,7 +27,7 @@
 //! ns).
 
 use crate::chien::RouterTiming;
-use topology::{KAryNCube, KAryNTree};
+use topology::{KAryNCube, KAryNMesh, KAryNTree};
 
 /// Which family a normalization describes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,6 +36,9 @@ pub enum NetworkKind {
     Cube,
     /// k-ary n-tree with 2-byte flits.
     Tree,
+    /// k-ary n-mesh with 4-byte flits (extension: a cube without the
+    /// wrap-around links, same router pin count as the cube).
+    Mesh,
 }
 
 /// Physical normalization of one network configuration.
@@ -72,6 +75,19 @@ impl NetworkNormalization {
             num_nodes: tree.num_nodes(),
             flit_bytes: 2,
             capacity_flits_per_cycle: tree.uniform_capacity_flits_per_cycle(),
+            timing,
+        }
+    }
+
+    /// Normalization for a k-ary n-mesh (extension; 4-byte flits like
+    /// the cube, whose router it shares pin-for-pin).
+    pub fn mesh(mesh: &KAryNMesh, timing: RouterTiming) -> Self {
+        use topology::Topology;
+        NetworkNormalization {
+            kind: NetworkKind::Mesh,
+            num_nodes: mesh.num_nodes(),
+            flit_bytes: 4,
+            capacity_flits_per_cycle: mesh.uniform_capacity_flits_per_cycle(),
             timing,
         }
     }
@@ -179,7 +195,10 @@ mod tests {
         // absolute terms is ~440 bits/ns.
         let duato = NetworkNormalization::cube(&paper_cube(), cube_duato_timing());
         let at80 = duato.fraction_to_bits_per_ns(0.80);
-        assert!((at80 - 420.0).abs() < 25.0, "Duato at 80%: {at80:.0} bits/ns");
+        assert!(
+            (at80 - 420.0).abs() < 25.0,
+            "Duato at 80%: {at80:.0} bits/ns"
+        );
 
         let det = NetworkNormalization::cube(&paper_cube(), cube_deterministic_timing());
         let at60 = det.fraction_to_bits_per_ns(0.60);
@@ -187,11 +206,17 @@ mod tests {
 
         let t4 = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 4));
         let at72 = t4.fraction_to_bits_per_ns(0.72);
-        assert!((at72 - 272.0).abs() < 20.0, "tree-4vc at 72%: {at72:.0} bits/ns");
+        assert!(
+            (at72 - 272.0).abs() < 20.0,
+            "tree-4vc at 72%: {at72:.0} bits/ns"
+        );
 
         let t1 = NetworkNormalization::tree(&paper_tree(), tree_adaptive_timing(4, 1));
         let at36 = t1.fraction_to_bits_per_ns(0.36);
-        assert!((at36 - 153.0).abs() < 15.0, "tree-1vc at 36%: {at36:.0} bits/ns");
+        assert!(
+            (at36 - 153.0).abs() < 15.0,
+            "tree-1vc at 36%: {at36:.0} bits/ns"
+        );
     }
 
     #[test]
@@ -201,6 +226,20 @@ mod tests {
         let duato = NetworkNormalization::cube(&paper_cube(), cube_duato_timing());
         let ns = duato.cycles_to_ns(70.0);
         assert!((400.0..700.0).contains(&ns), "{ns} ns");
+    }
+
+    #[test]
+    fn mesh_normalization_mirrors_the_cube() {
+        use crate::chien::RouterClass;
+        let m = NetworkNormalization::mesh(
+            &KAryNMesh::new(16, 2),
+            RouterClass::MeshDeterministic { n: 2, vcs: 4 }.timing(),
+        );
+        assert_eq!(m.kind(), NetworkKind::Mesh);
+        assert_eq!(m.flit_bytes(), 4);
+        assert_eq!(m.flits_per_packet(), 16);
+        // Half the bisection of the torus: half the uniform capacity.
+        assert!((m.capacity_flits_per_cycle() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl Criterion {
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.to_string() }
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -149,7 +152,11 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
-    let mut b = Bencher { iters_done: 0, total: Duration::ZERO, min: Duration::MAX };
+    let mut b = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+    };
     f(&mut b);
     if b.iters_done == 0 {
         println!("{id:<50} (no iterations)");

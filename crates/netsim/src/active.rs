@@ -26,7 +26,9 @@ pub struct ActiveSet {
 impl ActiveSet {
     /// An empty set able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        ActiveSet { words: vec![0; capacity.div_ceil(64)] }
+        ActiveSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
     }
 
     /// Add `id` (idempotent).

@@ -222,8 +222,15 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
         let w = Wiring::from_topology(algo.topology());
         let vcs = algo.num_vcs();
         let lanes = w.ports * vcs;
-        assert!(lanes <= 64, "pending bitmask supports at most 64 lanes per router");
-        assert_eq!(pattern.num_nodes(), w.num_nodes, "pattern bound to wrong network size");
+        assert!(
+            lanes <= 64,
+            "pending bitmask supports at most 64 lanes per router"
+        );
+        assert_eq!(
+            pattern.num_nodes(),
+            w.num_nodes,
+            "pattern bound to wrong network size"
+        );
         assert!(flits_per_packet >= 1);
 
         let master = Rng64::seed_from(seed);
@@ -553,7 +560,10 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                         }
                     }
                 }
-                Peer::Router { router: r2, port: p2 } => {
+                Peer::Router {
+                    router: r2,
+                    port: p2,
+                } => {
                     let (r2, p2) = (r2 as usize, p2 as usize);
                     debug_assert_ne!(r, r2);
                     let [rs, dst] = self
@@ -616,8 +626,8 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
             if MASKED && ns.lane_occ & (1u64 << v) == 0 {
                 continue;
             }
-            let ready = ns.credits[v] > 0
-                && matches!(ns.lanes[v].front(), Some(f) if f.moved < cycle);
+            let ready =
+                ns.credits[v] > 0 && matches!(ns.lanes[v].front(), Some(f) if f.moved < cycle);
             if ready {
                 let mut f = ns.lanes[v].pop().unwrap();
                 if ns.lanes[v].is_empty() {
@@ -736,7 +746,10 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
             // Acknowledgment: one buffer freed in this input lane.
             let (p, v) = (l / vcs, l % vcs);
             match self.w.peer(r, p) {
-                Peer::Router { router: r2, port: p2 } => {
+                Peer::Router {
+                    router: r2,
+                    port: p2,
+                } => {
                     let up = &mut self.routers[r2 as usize];
                     let ul = p2 as usize * vcs + v;
                     up.out_credits[ul] += 1;
@@ -760,7 +773,10 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
     fn route_router<const MASKED: bool>(&mut self, r: usize) {
         let lanes = self.lanes_per_router;
         let pending = self.routers[r].pending;
-        debug_assert_ne!(pending, 0, "router on routing worklist without pending header");
+        debug_assert_ne!(
+            pending, 0,
+            "router on routing worklist without pending header"
+        );
         let start = self.routers[r].route_rr as usize;
         debug_assert!(start < lanes);
         if MASKED {
@@ -993,7 +1009,11 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                     if remaining == 1 {
                         flags |= TAIL;
                     }
-                    ns.lanes[lane].push(Flit { packet: pkt, moved: cycle, flags });
+                    ns.lanes[lane].push(Flit {
+                        packet: pkt,
+                        moved: cycle,
+                        flags,
+                    });
                     ns.lane_occ |= 1u64 << lane;
                     self.inject_work.insert(n);
                     self.counters.in_flight_flits += 1;
@@ -1034,7 +1054,11 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
     pub fn check_credit_invariant(&self) -> Result<(), (usize, usize, usize, u8, usize)> {
         for r in 0..self.w.num_routers {
             for p in 0..self.w.ports {
-                if let Peer::Router { router: r2, port: p2 } = self.w.peer(r, p) {
+                if let Peer::Router {
+                    router: r2,
+                    port: p2,
+                } = self.w.peer(r, p)
+                {
                     for v in 0..self.vcs {
                         let l = p * self.vcs + v;
                         let credits = self.routers[r].out_credits[l];
@@ -1256,7 +1280,12 @@ mod tests {
             eng.run(300 + 3000);
             let c = eng.counters();
             assert!(c.created_packets > 10, "{}", algo_box.name());
-            assert_eq!(c.delivered_packets, c.created_packets, "{}", algo_box.name());
+            assert_eq!(
+                c.delivered_packets,
+                c.created_packets,
+                "{}",
+                algo_box.name()
+            );
             assert_eq!(c.in_flight_flits, 0, "{}", algo_box.name());
             assert_eq!(eng.source_queue_len(), 0, "{}", algo_box.name());
             // Everything drained: every worklist must be empty again.
@@ -1284,8 +1313,7 @@ mod tests {
         for vcs in [1usize, 2, 4] {
             let algo = TreeAdaptive::new(KAryNTree::new(2, 3), vcs);
             let pattern = TrafficGen::new(Pattern::Uniform, 8);
-            let mut eng =
-                Engine::new(&algo, 4, 32, pattern, &|_| Box::new(Window(400)), 11);
+            let mut eng = Engine::new(&algo, 4, 32, pattern, &|_| Box::new(Window(400)), 11);
             eng.run(400 + 4000);
             let c = eng.counters();
             assert!(c.created_packets > 5);
@@ -1345,7 +1373,10 @@ mod tests {
         eng.run(5000);
         let c = eng.counters();
         assert!(c.escape_routings > 0, "escape channels never used");
-        assert!(c.routed_headers > c.escape_routings, "adaptive channels never used");
+        assert!(
+            c.routed_headers > c.escape_routings,
+            "adaptive channels never used"
+        );
     }
 
     #[test]
@@ -1363,7 +1394,12 @@ mod tests {
             );
             eng.run(2000);
             let c = eng.counters();
-            (c.created_packets, c.delivered_packets, c.delivered_flits, c.routed_headers)
+            (
+                c.created_packets,
+                c.delivered_packets,
+                c.delivered_flits,
+                c.routed_headers,
+            )
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
@@ -1452,8 +1488,7 @@ mod tests {
     fn idle_network_has_empty_worklists() {
         let algo = CubeDeterministic::new(KAryNCube::new(4, 2));
         let pattern = TrafficGen::new(Pattern::Uniform, 16);
-        let mut eng =
-            Engine::new(&algo, 4, 16, pattern, &|_| Box::new(Bernoulli::new(0.0)), 1);
+        let mut eng = Engine::new(&algo, 4, 16, pattern, &|_| Box::new(Bernoulli::new(0.0)), 1);
         eng.run(100);
         assert!(eng.link_work.is_empty());
         assert!(eng.xbar_work.is_empty());

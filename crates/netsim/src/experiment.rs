@@ -1,26 +1,28 @@
-//! The paper's experiment harness: the five router configurations,
-//! load sweeps, and CNF curve generation.
+//! The historical experiment harness, now a thin wrapper over the
+//! [`crate::scenario`] plane.
 //!
-//! Figures 5–7 all derive from the same experiment shape: fix a network
-//! and routing algorithm, sweep the offered load from a few percent of
-//! capacity up to (and past) 100%, and record accepted bandwidth and
-//! mean network latency at each point. This module packages the five
-//! configurations of the paper —
+//! `ExperimentSpec` predates [`Scenario`] and is kept for API stability:
+//! every constructor, accessor and sweep helper here delegates to an
+//! underlying scenario, and the five paper configurations come from the
+//! scenario registry rather than an enum. New code should use
+//! [`Scenario`] / [`ScenarioBuilder`](crate::scenario::ScenarioBuilder)
+//! directly — they expose the full design space (meshes, injection
+//! models, seeding policies) that this wrapper does not.
 //!
-//! * 16-ary 2-cube with deterministic routing,
-//! * 16-ary 2-cube with Duato's minimal adaptive routing,
-//! * 4-ary 4-tree with adaptive routing and 1, 2 or 4 virtual channels —
-//!
-//! together with their Chien-model timings and normalizations, and runs
-//! sweeps in parallel with `std::thread::scope`.
+//! Bit-compatibility: for the five paper configurations,
+//! [`ExperimentSpec::config_at`] produces configs — including FNV-derived
+//! seeds — identical to the pre-scenario implementation, so counters and
+//! artifacts are unchanged. `tests/scenario_equivalence.rs` pins this.
 
-use crate::sim::{run_simulation, InjectionSpec, SimConfig, SimOutcome};
-use costmodel::chien::{cube_deterministic_timing, cube_duato_timing, tree_adaptive_timing};
+use crate::scenario::{RoutingKind, Scenario, SeedMode, TopologySpec};
+use crate::sim::{SimConfig, SimOutcome};
 use costmodel::normalize::NetworkNormalization;
 use netstats::SweepCurve;
-use routing::{CubeDeterministic, CubeDuato, RoutingAlgorithm, TreeAdaptive};
+use routing::RoutingAlgorithm;
 use topology::{KAryNCube, KAryNTree};
 use traffic::Pattern;
+
+pub use crate::scenario::{default_load_grid, sweep_threads, RunLength, SpecVisitor};
 
 /// Parameters of a k-ary n-cube experiment network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +44,8 @@ impl CubeParams {
         CubeParams { k: 4, n: 2 }
     }
 
-    fn build(&self) -> KAryNCube {
+    /// Build the topology.
+    pub fn build(&self) -> KAryNCube {
         KAryNCube::new(self.k, self.n)
     }
 }
@@ -67,184 +70,124 @@ impl TreeParams {
         TreeParams { k: 4, n: 2 }
     }
 
-    fn build(&self) -> KAryNTree {
+    /// Build the topology.
+    pub fn build(&self) -> KAryNTree {
         KAryNTree::new(self.k, self.n)
     }
 }
 
 /// One of the paper's router configurations, bound to a network size.
+///
+/// Deprecated in spirit (kept as a stable alias): this is a view over
+/// [`Scenario`] restricted to the cube/tree configurations the paper
+/// evaluates. Use [`Scenario::builder`] for anything richer.
 #[derive(Clone, Debug)]
 pub struct ExperimentSpec {
-    label: String,
-    kind: SpecKind,
-}
-
-#[derive(Clone, Copy, Debug)]
-enum SpecKind {
-    CubeDet(CubeParams),
-    CubeDuato(CubeParams),
-    Tree(TreeParams, usize),
-}
-
-/// Run-length of a simulation.
-#[derive(Clone, Copy, Debug)]
-pub struct RunLength {
-    /// Warm-up cycles excluded from measurement.
-    pub warmup: u32,
-    /// Total cycles.
-    pub total: u32,
-}
-
-impl RunLength {
-    /// The paper's protocol: 2000 warm-up, halt at 20000.
-    pub fn paper() -> Self {
-        RunLength { warmup: 2_000, total: 20_000 }
-    }
-
-    /// A shorter protocol for tests and quick looks (noisier).
-    pub fn quick() -> Self {
-        RunLength { warmup: 1_000, total: 6_000 }
-    }
+    scenario: Scenario,
 }
 
 impl ExperimentSpec {
     /// Cube with dimension-order deterministic routing.
     pub fn cube_deterministic(p: CubeParams) -> Self {
-        ExperimentSpec { label: "cube, deterministic".into(), kind: SpecKind::CubeDet(p) }
+        ExperimentSpec {
+            scenario: Scenario::builder()
+                .topology(TopologySpec::cube(p.k, p.n))
+                .routing(RoutingKind::Deterministic)
+                .build()
+                .expect("legal cube configuration"),
+        }
     }
 
     /// Cube with Duato's minimal adaptive routing.
     pub fn cube_duato(p: CubeParams) -> Self {
-        ExperimentSpec { label: "cube, Duato".into(), kind: SpecKind::CubeDuato(p) }
+        ExperimentSpec {
+            scenario: Scenario::builder()
+                .topology(TopologySpec::cube(p.k, p.n))
+                .routing(RoutingKind::Duato)
+                .build()
+                .expect("legal cube configuration"),
+        }
     }
 
     /// Fat-tree with adaptive routing and `vcs` virtual channels.
     pub fn tree_adaptive(p: TreeParams, vcs: usize) -> Self {
         assert!(vcs >= 1);
-        ExperimentSpec { label: format!("fat tree, {vcs} vc"), kind: SpecKind::Tree(p, vcs) }
+        ExperimentSpec {
+            scenario: Scenario::builder()
+                .topology(TopologySpec::tree(p.k, p.n))
+                .routing(RoutingKind::Adaptive)
+                .vcs(vcs)
+                .build()
+                .expect("legal tree configuration"),
+        }
     }
 
     /// The five configurations of the paper's evaluation, bound to the
-    /// paper's 256-node networks.
+    /// paper's 256-node networks (the scenario registry's paper
+    /// entries).
     pub fn paper_five() -> Vec<ExperimentSpec> {
-        vec![
-            ExperimentSpec::cube_deterministic(CubeParams::paper()),
-            ExperimentSpec::cube_duato(CubeParams::paper()),
-            ExperimentSpec::tree_adaptive(TreeParams::paper(), 1),
-            ExperimentSpec::tree_adaptive(TreeParams::paper(), 2),
-            ExperimentSpec::tree_adaptive(TreeParams::paper(), 4),
-        ]
+        crate::scenario::paper_scenarios()
+            .into_iter()
+            .map(ExperimentSpec::from_scenario)
+            .collect()
+    }
+
+    /// Wrap an arbitrary scenario in the legacy interface.
+    ///
+    /// The wrapper's `config_at`/sweep helpers override the scenario's
+    /// pattern and run length with their own arguments; everything else
+    /// (topology, routing, VCs, seeding, throttle) is taken from the
+    /// scenario.
+    pub fn from_scenario(scenario: Scenario) -> Self {
+        ExperimentSpec { scenario }
+    }
+
+    /// The underlying scenario (with the spec's default pattern and run
+    /// length).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
     }
 
     /// Display label matching the paper's figure legends.
     pub fn label(&self) -> &str {
-        &self.label
+        self.scenario.label()
     }
 
     /// Instantiate the routing algorithm (and with it the network).
     pub fn build_algorithm(&self) -> Box<dyn RoutingAlgorithm> {
-        match self.kind {
-            SpecKind::CubeDet(p) => Box::new(CubeDeterministic::new(p.build())),
-            SpecKind::CubeDuato(p) => Box::new(CubeDuato::new(p.build())),
-            SpecKind::Tree(p, vcs) => Box::new(TreeAdaptive::new(p.build(), vcs)),
-        }
+        self.scenario.build_algorithm()
     }
 
     /// Call `v` with this spec's routing algorithm as a *concrete* type
-    /// — the monomorphization point: everything downstream of
-    /// [`SpecVisitor::visit`] (engine, routing phase, per-header route
-    /// calls) is compiled per algorithm with static dispatch.
+    /// — see [`Scenario::with_algorithm`].
     pub fn with_algorithm<V: SpecVisitor>(&self, v: V) -> V::Out {
-        match self.kind {
-            SpecKind::CubeDet(p) => v.visit(CubeDeterministic::new(p.build())),
-            SpecKind::CubeDuato(p) => v.visit(CubeDuato::new(p.build())),
-            SpecKind::Tree(p, vcs) => v.visit(TreeAdaptive::new(p.build(), vcs)),
-        }
+        self.scenario.with_algorithm(v)
     }
 
     /// The physical normalization (flit width, capacity, Chien timing).
     pub fn normalization(&self) -> NetworkNormalization {
-        match self.kind {
-            SpecKind::CubeDet(p) => {
-                NetworkNormalization::cube(&p.build(), cube_deterministic_timing())
-            }
-            SpecKind::CubeDuato(p) => {
-                NetworkNormalization::cube(&p.build(), cube_duato_timing())
-            }
-            SpecKind::Tree(p, vcs) => {
-                NetworkNormalization::tree(&p.build(), tree_adaptive_timing(p.k, vcs))
-            }
-        }
+        self.scenario.normalization()
+    }
+
+    /// The scenario at a given pattern and run length (the legacy
+    /// call-shape: pattern and length as arguments, not state).
+    fn at(&self, pattern: Pattern, len: RunLength) -> Scenario {
+        self.scenario
+            .clone()
+            .with_pattern(pattern)
+            .with_run_length(len)
     }
 
     /// A simulation config for this spec at the given offered load
     /// (fraction of capacity).
     pub fn config_at(&self, pattern: Pattern, fraction: f64, len: RunLength) -> SimConfig {
-        let norm = self.normalization();
-        let mut cfg = SimConfig::paper_protocol(
-            pattern,
-            InjectionSpec::Bernoulli { packets_per_cycle: norm.packet_rate(fraction) },
-            norm.flits_per_packet() as u16,
-            norm.capacity_flits_per_cycle(),
-        );
-        cfg.warmup_cycles = len.warmup;
-        cfg.total_cycles = len.total;
-        // Source throttling for the cube algorithms, after the paper's
-        // reference [28]: a node holds new packets back while half or
-        // more of its router's network output lanes are allocated. This
-        // is what keeps throughput stable above saturation (Section 3);
-        // the tree needs no such mechanism — its saturation is
-        // intrinsically stable.
-        cfg.injection_limit = match self.kind {
-            SpecKind::CubeDet(p) | SpecKind::CubeDuato(p) => {
-                // Half of the 2n*V network lanes (8 of 16 for the
-                // paper's cube). Large enough not to cap pre-saturation
-                // throughput for any pattern, small enough to keep the
-                // uniform and complement curves flat after saturation
-                // and to preserve Section 9's complement inversion
-                // (deterministic > Duato). A tighter threshold would
-                // also stabilize bit-reversal above saturation but
-                // over-corrects complement — see
-                // `ablation_injection_limit.csv` and EXPERIMENTS.md.
-                let algo = self.build_algorithm();
-                Some((p.n * algo.num_vcs()) as u32)
-            }
-            SpecKind::Tree(..) => None,
-        };
-        // Independent but reproducible seed per (spec, pattern, load).
-        cfg.seed = seed_for(&self.label, pattern, fraction);
-        cfg
+        self.at(pattern, len).config_at(fraction)
     }
-}
-
-fn seed_for(label: &str, pattern: Pattern, fraction: f64) -> u64 {
-    // FNV-1a over the identifying data: stable across runs and platforms.
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut eat = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    label.bytes().for_each(&mut eat);
-    pattern.name().bytes().for_each(&mut eat);
-    fraction.to_bits().to_le_bytes().iter().copied().for_each(&mut eat);
-    h
-}
-
-/// A generic callback for [`ExperimentSpec::with_algorithm`]: the trait
-/// method is generic over the algorithm type, so implementors receive
-/// the concrete `CubeDeterministic`/`CubeDuato`/`TreeAdaptive` value
-/// rather than a trait object.
-pub trait SpecVisitor {
-    /// Result produced from the algorithm.
-    type Out;
-
-    /// Called exactly once with the spec's algorithm.
-    fn visit<A: RoutingAlgorithm>(self, algo: A) -> Self::Out;
 }
 
 /// Simulate one configuration at one offered load.
 ///
-/// Dispatches once on the spec kind to a fully monomorphized engine
+/// Dispatches once on the scenario to a fully monomorphized engine
 /// (`Engine<'_, CubeDuato>` etc.), so the per-header routing call is
 /// statically bound inside the cycle loop.
 pub fn simulate_load(
@@ -253,21 +196,7 @@ pub fn simulate_load(
     fraction: f64,
     len: RunLength,
 ) -> SimOutcome {
-    struct Run<'c>(&'c SimConfig);
-    impl SpecVisitor for Run<'_> {
-        type Out = SimOutcome;
-        fn visit<A: RoutingAlgorithm>(self, algo: A) -> SimOutcome {
-            run_simulation(&algo, self.0)
-        }
-    }
-    let cfg = spec.config_at(pattern, fraction, len);
-    spec.with_algorithm(Run(&cfg))
-}
-
-/// The default load grid used for the figures: 5% to 100% of capacity in
-/// 5% steps.
-pub fn default_load_grid() -> Vec<f64> {
-    (1..=20).map(|i| i as f64 * 0.05).collect()
+    spec.at(pattern, len).simulate(fraction)
 }
 
 /// Sweep a configuration over a load grid, in parallel, returning the
@@ -279,74 +208,40 @@ pub fn sweep(
     fractions: &[f64],
     len: RunLength,
 ) -> SweepCurve {
-    let outcomes = sweep_outcomes(spec, pattern, fractions, len);
-    let mut curve = SweepCurve::new(spec.label());
-    for (f, out) in fractions.iter().zip(&outcomes) {
-        let lat = out.mean_latency_cycles();
-        curve.push(*f, out.accepted_fraction, if lat.is_nan() { 0.0 } else { lat });
-    }
-    curve
-}
-
-/// Worker-thread count for [`sweep_outcomes`]: the `NETPERF_THREADS`
-/// environment variable if set to a positive integer, otherwise the
-/// machine's available parallelism.
-pub fn sweep_threads() -> usize {
-    std::env::var("NETPERF_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        })
+    spec.at(pattern, len).sweep_curve(fractions)
 }
 
 /// Like [`sweep`], but returning the full outcome at every load point.
 ///
-/// Load points are distributed over worker threads by work stealing
-/// (each run is a pure function of the spec, so order does not matter);
-/// finished outcomes flow back over a channel tagged with their grid
-/// index and are placed without any shared mutable state. Thread count
-/// can be pinned with `NETPERF_THREADS`.
+/// See [`Scenario::sweep_outcomes`] for the scheduling details.
 pub fn sweep_outcomes(
     spec: &ExperimentSpec,
     pattern: Pattern,
     fractions: &[f64],
     len: RunLength,
 ) -> Vec<SimOutcome> {
-    let threads = sweep_threads().min(fractions.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, SimOutcome)>();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            s.spawn(|| {
-                let tx = tx; // move the clone, not the original
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= fractions.len() {
-                        break;
-                    }
-                    let out = simulate_load(spec, pattern, fractions[i], len);
-                    if tx.send((i, out)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-    });
-    drop(tx); // all worker clones are done; close the channel
-    let mut results: Vec<Option<SimOutcome>> = vec![None; fractions.len()];
-    for (i, out) in rx {
-        debug_assert!(results[i].is_none(), "load point {i} simulated twice");
-        results[i] = Some(out);
-    }
-    results.into_iter().map(|o| o.expect("all points simulated")).collect()
+    spec.at(pattern, len).sweep_outcomes(fractions)
+}
+
+/// Like [`sweep_outcomes`], with the derived per-point seeds XOR'd with
+/// `salt`. Salt 0 is bit-identical to [`sweep_outcomes`]; any other
+/// value reruns the same sweep under an independent noise realization.
+pub fn sweep_outcomes_salted(
+    spec: &ExperimentSpec,
+    pattern: Pattern,
+    fractions: &[f64],
+    len: RunLength,
+    salt: u64,
+) -> Vec<SimOutcome> {
+    spec.at(pattern, len)
+        .with_seed(SeedMode::Derived { salt })
+        .sweep_outcomes(fractions)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::derived_seed;
 
     #[test]
     fn paper_five_shapes() {
@@ -387,14 +282,21 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct_and_stable() {
-        let a = seed_for("x", Pattern::Uniform, 0.5);
-        let b = seed_for("x", Pattern::Uniform, 0.55);
-        let c = seed_for("y", Pattern::Uniform, 0.5);
-        let d = seed_for("x", Pattern::Transpose, 0.5);
+        let a = derived_seed("x", Pattern::Uniform, 0.5);
+        let b = derived_seed("x", Pattern::Uniform, 0.55);
+        let c = derived_seed("y", Pattern::Uniform, 0.5);
+        let d = derived_seed("x", Pattern::Transpose, 0.5);
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
-        assert_eq!(a, seed_for("x", Pattern::Uniform, 0.5));
+        assert_eq!(a, derived_seed("x", Pattern::Uniform, 0.5));
+    }
+
+    #[test]
+    fn config_seed_comes_from_the_label() {
+        let spec = ExperimentSpec::cube_duato(CubeParams::paper());
+        let cfg = spec.config_at(Pattern::Uniform, 0.5, RunLength::paper());
+        assert_eq!(cfg.seed, derived_seed("cube, Duato", Pattern::Uniform, 0.5));
     }
 
     #[test]
@@ -427,6 +329,23 @@ mod tests {
             assert_eq!(p.created_packets, s.created_packets);
             assert!((p.accepted_fraction - s.accepted_fraction).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn salted_sweep_differs_but_salt_zero_matches() {
+        let spec = ExperimentSpec::cube_duato(CubeParams::tiny());
+        let grid = [0.5];
+        let len = RunLength::quick();
+        let base = sweep_outcomes(&spec, Pattern::Uniform, &grid, len);
+        let zero = sweep_outcomes_salted(&spec, Pattern::Uniform, &grid, len, 0);
+        assert_eq!(base[0].created_packets, zero[0].created_packets);
+        assert_eq!(base[0].delivered_packets, zero[0].delivered_packets);
+        let salted = sweep_outcomes_salted(&spec, Pattern::Uniform, &grid, len, 0xA5A5);
+        assert_ne!(
+            (base[0].created_packets, base[0].delivered_packets),
+            (salted[0].created_packets, salted[0].delivered_packets),
+            "different salt should change the realization"
+        );
     }
 
     #[test]

@@ -91,10 +91,26 @@ mod tests {
 
     #[test]
     fn flags() {
-        let h = Flit { packet: 0, moved: 0, flags: HEAD };
-        let b = Flit { packet: 0, moved: 0, flags: 0 };
-        let t = Flit { packet: 0, moved: 0, flags: TAIL };
-        let ht = Flit { packet: 0, moved: 0, flags: HEAD | TAIL };
+        let h = Flit {
+            packet: 0,
+            moved: 0,
+            flags: HEAD,
+        };
+        let b = Flit {
+            packet: 0,
+            moved: 0,
+            flags: 0,
+        };
+        let t = Flit {
+            packet: 0,
+            moved: 0,
+            flags: TAIL,
+        };
+        let ht = Flit {
+            packet: 0,
+            moved: 0,
+            flags: HEAD | TAIL,
+        };
         assert!(h.is_head() && !h.is_tail());
         assert!(!b.is_head() && !b.is_tail());
         assert!(!t.is_head() && t.is_tail());

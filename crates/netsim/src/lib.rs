@@ -34,10 +34,13 @@
 //! injection lane to the reception of the tail flit (source queueing
 //! time excluded).
 //!
-//! The [`experiment`] module packages the five configurations of the
-//! paper (cube deterministic / cube Duato / tree with 1, 2, 4 VCs) and
-//! runs multi-threaded load sweeps producing the CNF curves of
-//! Figures 5–7.
+//! The [`scenario`] module is the compositional experiment layer: a
+//! validated [`Scenario`](scenario::Scenario) per design point
+//! (topology × routing × VCs × pattern × injection × seeding), a
+//! named-scenario registry holding the paper's five configurations, and
+//! multi-threaded load sweeps producing the CNF curves of Figures 5–7.
+//! The [`experiment`] module is the historical harness interface, now a
+//! thin wrapper over scenarios.
 
 #![warn(missing_docs)]
 pub mod active;
@@ -45,10 +48,23 @@ pub mod engine;
 pub mod experiment;
 pub mod flit;
 pub mod queue;
+pub mod scenario;
 pub mod sim;
 pub mod wiring;
 
 pub use experiment::{
-    simulate_load, sweep, CubeParams, ExperimentSpec, RunLength, SpecVisitor, TreeParams,
+    simulate_load, sweep, sweep_outcomes, sweep_outcomes_salted, CubeParams, ExperimentSpec,
+    RunLength, SpecVisitor, TreeParams,
+};
+pub use scenario::{
+    derived_seed, named, paper_scenarios, registry, InjectionModel, NamedScenario, RoutingKind,
+    Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
 };
 pub use sim::{SimConfig, SimOutcome};
+
+/// Engine build-configuration flags, for run manifests: feature name →
+/// enabled. Currently the only engine-affecting feature is
+/// `reference-engine` (the pre-active-set cycle loop).
+pub fn engine_features() -> Vec<(&'static str, bool)> {
+    vec![("reference-engine", cfg!(feature = "reference-engine"))]
+}

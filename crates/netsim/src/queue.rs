@@ -29,9 +29,16 @@ impl FlitQueue {
     /// # Panics
     /// Panics unless `1 <= cap <= MAX_DEPTH`.
     pub fn new(cap: usize) -> Self {
-        assert!((1..=MAX_DEPTH).contains(&cap), "lane depth {cap} unsupported");
+        assert!(
+            (1..=MAX_DEPTH).contains(&cap),
+            "lane depth {cap} unsupported"
+        );
         FlitQueue {
-            slots: [Flit { packet: 0, moved: 0, flags: 0 }; MAX_DEPTH],
+            slots: [Flit {
+                packet: 0,
+                moved: 0,
+                flags: 0,
+            }; MAX_DEPTH],
             head: 0,
             len: 0,
             cap: cap as u8,
@@ -85,7 +92,10 @@ impl FlitQueue {
     /// into a full lane is a flow-control bug, not a recoverable event).
     #[inline]
     pub fn push(&mut self, flit: Flit) {
-        assert!(!self.is_full(), "flit queue overflow: flow control violated");
+        assert!(
+            !self.is_full(),
+            "flit queue overflow: flow control violated"
+        );
         let idx = (self.head as usize + self.len as usize) & (MAX_DEPTH - 1);
         self.slots[idx] = flit;
         self.len += 1;
@@ -110,7 +120,11 @@ mod tests {
     use crate::flit::{HEAD, TAIL};
 
     fn f(p: u32) -> Flit {
-        Flit { packet: p, moved: 0, flags: 0 }
+        Flit {
+            packet: p,
+            moved: 0,
+            flags: 0,
+        }
     }
 
     #[test]
@@ -141,7 +155,11 @@ mod tests {
     #[test]
     fn front_peeks_without_removing() {
         let mut q = FlitQueue::new(2);
-        q.push(Flit { packet: 9, moved: 3, flags: HEAD | TAIL });
+        q.push(Flit {
+            packet: 9,
+            moved: 3,
+            flags: HEAD | TAIL,
+        });
         assert_eq!(q.front().unwrap().packet, 9);
         assert_eq!(q.len(), 1);
         assert!(q.front().unwrap().is_head());

@@ -1,0 +1,1260 @@
+//! The scenario plane: one compositional description of an experiment.
+//!
+//! The paper's method is a sweep of a *design space* — topology ×
+//! routing algorithm × virtual-channel count × traffic pattern × offered
+//! load — under a common physical normalization. A [`Scenario`] captures
+//! one point of that space (everything except the offered load, which
+//! stays a sweep variable) and is the single source of truth behind
+//! every frontend: the `netperf` CLI, the [`crate::experiment`] harness
+//! and the `bench` regenerator binaries all build their [`SimConfig`]s
+//! through it.
+//!
+//! The pieces:
+//!
+//! * [`TopologySpec`] / [`RoutingKind`] — the discrete axes, with
+//!   parse/name round-trips for CLI use;
+//! * [`ScenarioBuilder`] — validating construction: only meaningful
+//!   (topology, routing, VC) combinations are accepted, Chien timings
+//!   are *derived* from the shape via [`costmodel::chien::RouterClass`]
+//!   rather than hand-picked, and bit-pattern traffic is rejected on
+//!   non-power-of-two node counts before the simulator can panic;
+//! * the **named-scenario registry** ([`registry`], [`named`]) — the
+//!   five paper configurations are plain entries here (plus a few
+//!   extension entries), not enum arms;
+//! * run helpers — [`Scenario::simulate`] and
+//!   [`Scenario::sweep_outcomes`] monomorphize the engine per routing
+//!   algorithm and fan load points out over worker threads;
+//! * [`Scenario::manifest`] — the machine-readable description embedded
+//!   in every run manifest artifact.
+//!
+//! Reproducibility contract: with [`SeedMode::Derived`] and salt 0 a
+//! scenario labelled like one of the paper's configurations produces
+//! **bit-identical** counters to the historical `ExperimentSpec` path
+//! (the seed is an FNV-1a hash of label, pattern and load, the timing
+//! derivations reproduce Tables 1 and 2 exactly, and the injection
+//! throttle follows the same rule). `tests/scenario_equivalence.rs`
+//! pins this against goldens captured before the refactor.
+
+use crate::sim::{run_simulation, InjectionSpec, SimConfig, SimOutcome};
+use costmodel::chien::RouterClass;
+use costmodel::normalize::NetworkNormalization;
+use netstats::export::{Manifest, ManifestValue};
+use netstats::SweepCurve;
+use routing::{
+    CubeDeterministic, CubeDuato, MeshAdaptive, MeshDeterministic, RoutingAlgorithm, TreeAdaptive,
+};
+use topology::{KAryNCube, KAryNMesh, KAryNTree};
+use traffic::Pattern;
+
+/// One axis of the design space: the network family and its shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// k-ary n-cube (torus): `k^n` nodes, 4-byte flits.
+    Cube {
+        /// Radix (nodes per dimension).
+        k: usize,
+        /// Dimension.
+        n: usize,
+    },
+    /// k-ary n-tree (fat-tree): `k^n` processing nodes, 2-byte flits.
+    Tree {
+        /// Arity.
+        k: usize,
+        /// Levels.
+        n: usize,
+    },
+    /// k-ary n-mesh (torus without wrap-around links), 4-byte flits.
+    Mesh {
+        /// Radix.
+        k: usize,
+        /// Dimension.
+        n: usize,
+    },
+}
+
+impl TopologySpec {
+    /// A k-ary n-cube.
+    pub fn cube(k: usize, n: usize) -> Self {
+        TopologySpec::Cube { k, n }
+    }
+
+    /// A k-ary n-tree.
+    pub fn tree(k: usize, n: usize) -> Self {
+        TopologySpec::Tree { k, n }
+    }
+
+    /// A k-ary n-mesh.
+    pub fn mesh(k: usize, n: usize) -> Self {
+        TopologySpec::Mesh { k, n }
+    }
+
+    /// Family name as used by the CLI (`cube`, `tree`, `mesh`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            TopologySpec::Cube { .. } => "cube",
+            TopologySpec::Tree { .. } => "tree",
+            TopologySpec::Mesh { .. } => "mesh",
+        }
+    }
+
+    /// Build a spec from a CLI family name plus shape.
+    pub fn parse(family: &str, k: usize, n: usize) -> Option<Self> {
+        Some(match family {
+            "cube" | "torus" => TopologySpec::cube(k, n),
+            "tree" | "fat-tree" | "fattree" => TopologySpec::tree(k, n),
+            "mesh" => TopologySpec::mesh(k, n),
+            _ => return None,
+        })
+    }
+
+    /// The radix/arity.
+    pub fn k(&self) -> usize {
+        match *self {
+            TopologySpec::Cube { k, .. }
+            | TopologySpec::Tree { k, .. }
+            | TopologySpec::Mesh { k, .. } => k,
+        }
+    }
+
+    /// The dimension/level count.
+    pub fn n(&self) -> usize {
+        match *self {
+            TopologySpec::Cube { n, .. }
+            | TopologySpec::Tree { n, .. }
+            | TopologySpec::Mesh { n, .. } => n,
+        }
+    }
+
+    /// Number of processing nodes (`k^n` for all three families).
+    pub fn num_nodes(&self) -> usize {
+        self.k().pow(self.n() as u32)
+    }
+
+    /// Short human-readable description, e.g. `16-ary 2-cube`.
+    pub fn describe(&self) -> String {
+        match self {
+            TopologySpec::Cube { k, n } => format!("{k}-ary {n}-cube"),
+            TopologySpec::Tree { k, n } => format!("{k}-ary {n}-tree"),
+            TopologySpec::Mesh { k, n } => format!("{k}-ary {n}-mesh"),
+        }
+    }
+}
+
+/// The routing-algorithm axis of the design space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Dimension-order deterministic routing (cube or mesh).
+    Deterministic,
+    /// Duato's minimal adaptive routing (cube only).
+    Duato,
+    /// Minimal adaptive routing (tree ascending-phase or mesh escape
+    /// scheme).
+    Adaptive,
+}
+
+impl RoutingKind {
+    /// Stable lowercase name as used by the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingKind::Deterministic => "det",
+            RoutingKind::Duato => "duato",
+            RoutingKind::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parse a CLI algorithm name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "det" | "deterministic" | "dor" => RoutingKind::Deterministic,
+            "duato" => RoutingKind::Duato,
+            "adaptive" => RoutingKind::Adaptive,
+            _ => return None,
+        })
+    }
+}
+
+/// Run-length of a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLength {
+    /// Warm-up cycles excluded from measurement.
+    pub warmup: u32,
+    /// Total cycles.
+    pub total: u32,
+}
+
+impl RunLength {
+    /// The paper's protocol: 2000 warm-up, halt at 20000.
+    pub fn paper() -> Self {
+        RunLength {
+            warmup: 2_000,
+            total: 20_000,
+        }
+    }
+
+    /// A shorter protocol for tests and quick looks (noisier).
+    pub fn quick() -> Self {
+        RunLength {
+            warmup: 1_000,
+            total: 6_000,
+        }
+    }
+}
+
+/// How the per-run RNG seed is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Derived from (label, pattern, load) by FNV-1a, XOR'd with a
+    /// caller-chosen salt. Salt 0 reproduces the historical
+    /// `ExperimentSpec` seeds bit-for-bit; any other salt yields an
+    /// independent but equally reproducible noise realization.
+    Derived {
+        /// XOR'd into the derived seed.
+        salt: u64,
+    },
+    /// One fixed seed for every load point (the CLI's historical
+    /// behavior).
+    Fixed(u64),
+}
+
+impl Default for SeedMode {
+    fn default() -> Self {
+        SeedMode::Derived { salt: 0 }
+    }
+}
+
+/// Source-throttling policy (the limited-injection mechanism of the
+/// paper's reference \[28\]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throttle {
+    /// The paper's rule: on cubes, hold new packets while `n · V` (half)
+    /// of the router's `2n·V` network output lanes are allocated; trees
+    /// and meshes run unthrottled.
+    Auto,
+    /// Never throttle.
+    Off,
+    /// Throttle at an explicit lane-allocation threshold.
+    Limit(u32),
+}
+
+/// The packet-creation process, parameterized by the offered load at
+/// sweep time (the long-run rate always matches the load; the shape of
+/// the arrival process is what varies).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InjectionModel {
+    /// Bernoulli arrivals (the paper's choice).
+    Bernoulli,
+    /// Deterministic arrivals: one packet every `round(1/rate)` cycles.
+    Periodic,
+    /// Two-state bursty arrivals with the given mean on/off durations in
+    /// cycles; the on-state peak rate is scaled so the long-run mean
+    /// equals the offered load.
+    OnOff {
+        /// Mean on-state duration in cycles.
+        mean_on: f64,
+        /// Mean off-state duration in cycles.
+        mean_off: f64,
+    },
+}
+
+impl InjectionModel {
+    fn spec_at(&self, packets_per_cycle: f64) -> InjectionSpec {
+        match *self {
+            InjectionModel::Bernoulli => InjectionSpec::Bernoulli { packets_per_cycle },
+            InjectionModel::Periodic => InjectionSpec::Periodic {
+                period: (1.0 / packets_per_cycle).round().max(1.0) as u64,
+            },
+            InjectionModel::OnOff { mean_on, mean_off } => InjectionSpec::OnOff {
+                peak_rate: packets_per_cycle * (mean_on + mean_off) / mean_on,
+                mean_on,
+                mean_off,
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            InjectionModel::Bernoulli => "bernoulli",
+            InjectionModel::Periodic => "periodic",
+            InjectionModel::OnOff { .. } => "onoff",
+        }
+    }
+}
+
+/// Why a [`ScenarioBuilder`] refused to build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// No topology was given.
+    MissingTopology,
+    /// The topology shape is degenerate.
+    BadShape(String),
+    /// The (topology, routing) pair has no implementation.
+    UnsupportedCombination(String),
+    /// The VC count is illegal for the chosen algorithm.
+    BadVcs(String),
+    /// The traffic pattern cannot run on this node count.
+    BadPattern(String),
+    /// Packet size, buffer depth or run length is out of range.
+    BadParameter(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::MissingTopology => write!(f, "no topology given"),
+            ScenarioError::BadShape(m)
+            | ScenarioError::UnsupportedCombination(m)
+            | ScenarioError::BadVcs(m)
+            | ScenarioError::BadPattern(m)
+            | ScenarioError::BadParameter(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One point of the design space, minus the offered load (which stays a
+/// sweep variable). Build with [`Scenario::builder`] or look one up in
+/// the [`registry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    label: String,
+    topology: TopologySpec,
+    routing: RoutingKind,
+    vcs: usize,
+    pattern: Pattern,
+    injection: InjectionModel,
+    run_length: RunLength,
+    seed: SeedMode,
+    buffer_depth: usize,
+    packet_bytes: usize,
+    throttle: Throttle,
+}
+
+/// Validating builder for [`Scenario`].
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioBuilder {
+    label: Option<String>,
+    topology: Option<TopologySpec>,
+    routing: Option<RoutingKind>,
+    vcs: Option<usize>,
+    pattern: Option<Pattern>,
+    injection: Option<InjectionModel>,
+    run_length: Option<RunLength>,
+    seed: Option<SeedMode>,
+    buffer_depth: Option<usize>,
+    packet_bytes: Option<usize>,
+    throttle: Option<Throttle>,
+}
+
+impl ScenarioBuilder {
+    /// Start from all defaults (everything optional except the topology).
+    pub fn new() -> Self {
+        ScenarioBuilder::default()
+    }
+
+    /// Set the network topology (required).
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Set the routing algorithm. Default: the family's paper algorithm
+    /// (Duato on cubes, adaptive on trees, deterministic on meshes).
+    pub fn routing(mut self, r: RoutingKind) -> Self {
+        self.routing = Some(r);
+        self
+    }
+
+    /// Set the virtual-channel count. Default: 4.
+    pub fn vcs(mut self, vcs: usize) -> Self {
+        self.vcs = Some(vcs);
+        self
+    }
+
+    /// Set the traffic pattern. Default: uniform.
+    pub fn pattern(mut self, p: Pattern) -> Self {
+        self.pattern = Some(p);
+        self
+    }
+
+    /// Set the injection process shape. Default: Bernoulli.
+    pub fn injection(mut self, i: InjectionModel) -> Self {
+        self.injection = Some(i);
+        self
+    }
+
+    /// Set the run length. Default: the paper protocol.
+    pub fn run_length(mut self, len: RunLength) -> Self {
+        self.run_length = Some(len);
+        self
+    }
+
+    /// Set the seeding policy. Default: derived, salt 0.
+    pub fn seed(mut self, s: SeedMode) -> Self {
+        self.seed = Some(s);
+        self
+    }
+
+    /// Set the lane depth in flits. Default: 4 (the paper's).
+    pub fn buffer_depth(mut self, d: usize) -> Self {
+        self.buffer_depth = Some(d);
+        self
+    }
+
+    /// Set the packet size in bytes. Default: 64 (the paper's).
+    pub fn packet_bytes(mut self, b: usize) -> Self {
+        self.packet_bytes = Some(b);
+        self
+    }
+
+    /// Set the source-throttling policy. Default: the paper's rule.
+    pub fn throttle(mut self, t: Throttle) -> Self {
+        self.throttle = Some(t);
+        self
+    }
+
+    /// Override the display label (defaults to the paper's legend text
+    /// for the chosen configuration). The label feeds the derived seed,
+    /// so two scenarios differing only in label get independent noise.
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = Some(l.into());
+        self
+    }
+
+    /// Validate and build the scenario.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let topology = self.topology.ok_or(ScenarioError::MissingTopology)?;
+        let (k, n) = (topology.k(), topology.n());
+        if k < 2 || n < 1 {
+            return Err(ScenarioError::BadShape(format!(
+                "degenerate {} shape: k = {k}, n = {n} (need k >= 2, n >= 1)",
+                topology.family()
+            )));
+        }
+        let routing = self.routing.unwrap_or(match topology {
+            TopologySpec::Cube { .. } => RoutingKind::Duato,
+            TopologySpec::Tree { .. } => RoutingKind::Adaptive,
+            TopologySpec::Mesh { .. } => RoutingKind::Deterministic,
+        });
+        let vcs = self.vcs.unwrap_or(4);
+        match (topology, routing) {
+            (TopologySpec::Cube { .. }, RoutingKind::Deterministic | RoutingKind::Duato) => {
+                // The cube routers implement the paper's fixed 4-lane
+                // design (two virtual networks / 2+2 adaptive-escape).
+                if vcs != 4 {
+                    return Err(ScenarioError::BadVcs(format!(
+                        "cube routing is defined for exactly 4 virtual channels, got {vcs}"
+                    )));
+                }
+            }
+            (TopologySpec::Tree { .. }, RoutingKind::Adaptive) => {
+                if vcs < 1 {
+                    return Err(ScenarioError::BadVcs(
+                        "tree-adaptive needs at least one virtual channel".into(),
+                    ));
+                }
+            }
+            (TopologySpec::Mesh { .. }, RoutingKind::Deterministic) => {
+                if vcs < 1 {
+                    return Err(ScenarioError::BadVcs(
+                        "mesh-deterministic needs at least one virtual channel".into(),
+                    ));
+                }
+            }
+            (TopologySpec::Mesh { .. }, RoutingKind::Adaptive) => {
+                if vcs < 2 {
+                    return Err(ScenarioError::BadVcs(
+                        "mesh-adaptive needs an escape lane: at least 2 virtual channels".into(),
+                    ));
+                }
+            }
+            (t, r) => {
+                return Err(ScenarioError::UnsupportedCombination(format!(
+                    "no {} routing on the {}; supported: cube+det, cube+duato, \
+                     tree+adaptive, mesh+det, mesh+adaptive",
+                    r.name(),
+                    t.family()
+                )));
+            }
+        }
+        let pattern = self.pattern.unwrap_or(Pattern::Uniform);
+        let nodes = topology.num_nodes();
+        let bit_defined = matches!(
+            pattern,
+            Pattern::Complement
+                | Pattern::BitReversal
+                | Pattern::Transpose
+                | Pattern::Shuffle
+                | Pattern::Butterfly
+        );
+        if bit_defined && !nodes.is_power_of_two() {
+            return Err(ScenarioError::BadPattern(format!(
+                "{} traffic needs a power-of-two node count, got {nodes}",
+                pattern.name()
+            )));
+        }
+        if let Pattern::HotSpot { hot, .. } = pattern {
+            if hot as usize >= nodes {
+                return Err(ScenarioError::BadPattern(format!(
+                    "hot-spot node {hot} out of range for {nodes} nodes"
+                )));
+            }
+        }
+        let run_length = self.run_length.unwrap_or_else(RunLength::paper);
+        if run_length.warmup >= run_length.total {
+            return Err(ScenarioError::BadParameter(format!(
+                "warm-up ({}) must be shorter than the run ({})",
+                run_length.warmup, run_length.total
+            )));
+        }
+        let buffer_depth = self.buffer_depth.unwrap_or(4);
+        if buffer_depth == 0 {
+            return Err(ScenarioError::BadParameter(
+                "buffer depth must be >= 1".into(),
+            ));
+        }
+        let packet_bytes = self
+            .packet_bytes
+            .unwrap_or(costmodel::normalize::PACKET_BYTES);
+        if packet_bytes == 0 {
+            return Err(ScenarioError::BadParameter(
+                "packet size must be >= 1 byte".into(),
+            ));
+        }
+        let label = self.label.unwrap_or_else(|| match (topology, routing) {
+            (TopologySpec::Cube { .. }, RoutingKind::Deterministic) => "cube, deterministic".into(),
+            // Cube + adaptive was rejected by the combination check
+            // above, so Duato is the only remaining cube arm.
+            (TopologySpec::Cube { .. }, _) => "cube, Duato".into(),
+            (TopologySpec::Tree { .. }, _) => format!("fat tree, {vcs} vc"),
+            (TopologySpec::Mesh { .. }, RoutingKind::Deterministic) => "mesh, deterministic".into(),
+            (TopologySpec::Mesh { .. }, _) => "mesh, adaptive".into(),
+        });
+        Ok(Scenario {
+            label,
+            topology,
+            routing,
+            vcs,
+            pattern,
+            injection: self.injection.unwrap_or(InjectionModel::Bernoulli),
+            run_length,
+            seed: self.seed.unwrap_or_default(),
+            buffer_depth,
+            packet_bytes,
+            throttle: self.throttle.unwrap_or(Throttle::Auto),
+        })
+    }
+}
+
+impl Scenario {
+    /// Start building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    /// Display label (figure legend entry; also feeds the derived seed).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The topology axis.
+    pub fn topology(&self) -> TopologySpec {
+        self.topology
+    }
+
+    /// The routing axis.
+    pub fn routing(&self) -> RoutingKind {
+        self.routing
+    }
+
+    /// The virtual-channel count.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// The traffic pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// The run length.
+    pub fn run_length(&self) -> RunLength {
+        self.run_length
+    }
+
+    /// The seeding policy.
+    pub fn seed_mode(&self) -> SeedMode {
+        self.seed
+    }
+
+    /// The packet size in bytes.
+    pub fn packet_bytes(&self) -> usize {
+        self.packet_bytes
+    }
+
+    /// The lane depth in flits.
+    pub fn buffer_depth(&self) -> usize {
+        self.buffer_depth
+    }
+
+    /// Same scenario under a different traffic pattern.
+    ///
+    /// # Panics
+    /// Panics if the pattern is illegal for this topology (the builder
+    /// would have rejected it).
+    pub fn with_pattern(mut self, pattern: Pattern) -> Self {
+        self.pattern = pattern;
+        let rebuilt = scenario_to_builder(&self)
+            .build()
+            .expect("pattern legal here");
+        debug_assert_eq!(rebuilt, self);
+        self
+    }
+
+    /// Same scenario with a different run length.
+    pub fn with_run_length(mut self, len: RunLength) -> Self {
+        assert!(len.warmup < len.total);
+        self.run_length = len;
+        self
+    }
+
+    /// Same scenario with a different seeding policy.
+    pub fn with_seed(mut self, seed: SeedMode) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The derived Chien router class for this configuration.
+    pub fn router_class(&self) -> RouterClass {
+        let (k, n, vcs) = (self.topology.k(), self.topology.n(), self.vcs);
+        match (self.topology, self.routing) {
+            (TopologySpec::Cube { .. }, RoutingKind::Deterministic) => {
+                RouterClass::CubeDeterministic { n, vcs }
+            }
+            (TopologySpec::Cube { .. }, _) => RouterClass::CubeDuato { n, vcs },
+            (TopologySpec::Tree { .. }, _) => RouterClass::TreeAdaptive { k, vcs },
+            (TopologySpec::Mesh { .. }, RoutingKind::Deterministic) => {
+                RouterClass::MeshDeterministic { n, vcs }
+            }
+            (TopologySpec::Mesh { .. }, _) => RouterClass::MeshAdaptive { n, vcs },
+        }
+    }
+
+    /// The physical normalization (flit width, capacity, derived Chien
+    /// timing).
+    pub fn normalization(&self) -> NetworkNormalization {
+        let timing = self.router_class().timing();
+        match self.topology {
+            TopologySpec::Cube { k, n } => {
+                NetworkNormalization::cube(&KAryNCube::new(k, n), timing)
+            }
+            TopologySpec::Tree { k, n } => {
+                NetworkNormalization::tree(&KAryNTree::new(k, n), timing)
+            }
+            TopologySpec::Mesh { k, n } => {
+                NetworkNormalization::mesh(&KAryNMesh::new(k, n), timing)
+            }
+        }
+    }
+
+    /// Instantiate the routing algorithm (and with it the network) as a
+    /// trait object.
+    pub fn build_algorithm(&self) -> Box<dyn RoutingAlgorithm> {
+        struct Boxed;
+        impl SpecVisitor for Boxed {
+            type Out = Box<dyn RoutingAlgorithm>;
+            fn visit<A: RoutingAlgorithm + 'static>(self, algo: A) -> Self::Out {
+                Box::new(algo)
+            }
+        }
+        self.with_algorithm(Boxed)
+    }
+
+    /// Call `v` with this scenario's routing algorithm as a *concrete*
+    /// type — the monomorphization point: everything downstream of
+    /// [`SpecVisitor::visit`] (engine, routing phase, per-header route
+    /// calls) is compiled per algorithm with static dispatch.
+    pub fn with_algorithm<V: SpecVisitor>(&self, v: V) -> V::Out {
+        let (k, n, vcs) = (self.topology.k(), self.topology.n(), self.vcs);
+        match (self.topology, self.routing) {
+            (TopologySpec::Cube { .. }, RoutingKind::Deterministic) => {
+                v.visit(CubeDeterministic::new(KAryNCube::new(k, n)))
+            }
+            (TopologySpec::Cube { .. }, _) => v.visit(CubeDuato::new(KAryNCube::new(k, n))),
+            (TopologySpec::Tree { .. }, _) => v.visit(TreeAdaptive::new(KAryNTree::new(k, n), vcs)),
+            (TopologySpec::Mesh { .. }, RoutingKind::Deterministic) => {
+                v.visit(MeshDeterministic::new(KAryNMesh::new(k, n), vcs))
+            }
+            (TopologySpec::Mesh { .. }, _) => v.visit(MeshAdaptive::new(KAryNMesh::new(k, n), vcs)),
+        }
+    }
+
+    /// The seed used at one offered load under the current policy.
+    pub fn seed_at(&self, fraction: f64) -> u64 {
+        match self.seed {
+            SeedMode::Derived { salt } => derived_seed(&self.label, self.pattern, fraction) ^ salt,
+            SeedMode::Fixed(s) => s,
+        }
+    }
+
+    /// A simulation config for this scenario at the given offered load
+    /// (fraction of capacity).
+    pub fn config_at(&self, fraction: f64) -> SimConfig {
+        let norm = self.normalization();
+        let flits = (self.packet_bytes / norm.flit_bytes()).max(1);
+        let rate = fraction * norm.capacity_flits_per_cycle() / flits as f64;
+        let mut cfg = SimConfig::paper_protocol(
+            self.pattern,
+            self.injection.spec_at(rate),
+            flits as u16,
+            norm.capacity_flits_per_cycle(),
+        );
+        cfg.warmup_cycles = self.run_length.warmup;
+        cfg.total_cycles = self.run_length.total;
+        cfg.buffer_depth = self.buffer_depth;
+        cfg.injection_limit = match self.throttle {
+            // Source throttling for the cube algorithms, after the
+            // paper's reference [28]: a node holds new packets back
+            // while half or more of its router's 2n·V network output
+            // lanes are allocated (8 of 16 for the paper's cube). This
+            // is what keeps throughput stable above saturation
+            // (Section 3); the tree needs no such mechanism — its
+            // saturation is intrinsically stable. See
+            // `ablation_injection_limit.csv` and EXPERIMENTS.md for the
+            // threshold sensitivity.
+            Throttle::Auto => match self.topology {
+                TopologySpec::Cube { n, .. } => Some((n * self.vcs) as u32),
+                TopologySpec::Tree { .. } | TopologySpec::Mesh { .. } => None,
+            },
+            Throttle::Off => None,
+            Throttle::Limit(l) => Some(l),
+        };
+        cfg.seed = self.seed_at(fraction);
+        cfg
+    }
+
+    /// Simulate one offered load, monomorphized per routing algorithm.
+    pub fn simulate(&self, fraction: f64) -> SimOutcome {
+        struct Run<'c>(&'c SimConfig);
+        impl SpecVisitor for Run<'_> {
+            type Out = SimOutcome;
+            fn visit<A: RoutingAlgorithm>(self, algo: A) -> SimOutcome {
+                run_simulation(&algo, self.0)
+            }
+        }
+        let cfg = self.config_at(fraction);
+        self.with_algorithm(Run(&cfg))
+    }
+
+    /// Sweep a load grid in parallel, returning the full outcome at
+    /// every point.
+    ///
+    /// Load points are distributed over worker threads by work stealing
+    /// (each run is a pure function of the scenario, so order does not
+    /// matter); finished outcomes flow back over a channel tagged with
+    /// their grid index and are placed without any shared mutable
+    /// state. Thread count can be pinned with `NETPERF_THREADS`.
+    pub fn sweep_outcomes(&self, fractions: &[f64]) -> Vec<SimOutcome> {
+        let threads = sweep_threads().min(fractions.len());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, SimOutcome)>();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                s.spawn(|| {
+                    let tx = tx; // move the clone, not the original
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= fractions.len() {
+                            break;
+                        }
+                        let out = self.simulate(fractions[i]);
+                        if tx.send((i, out)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        drop(tx); // all worker clones are done; close the channel
+        let mut results: Vec<Option<SimOutcome>> = vec![None; fractions.len()];
+        for (i, out) in rx {
+            debug_assert!(results[i].is_none(), "load point {i} simulated twice");
+            results[i] = Some(out);
+        }
+        results
+            .into_iter()
+            .map(|o| o.expect("all points simulated"))
+            .collect()
+    }
+
+    /// Sweep a load grid and return the accepted-bandwidth and latency
+    /// curves (x = offered fraction of capacity).
+    pub fn sweep_curve(&self, fractions: &[f64]) -> SweepCurve {
+        let outcomes = self.sweep_outcomes(fractions);
+        let mut curve = SweepCurve::new(self.label());
+        for (f, out) in fractions.iter().zip(&outcomes) {
+            let lat = out.mean_latency_cycles();
+            curve.push(
+                *f,
+                out.accepted_fraction,
+                if lat.is_nan() { 0.0 } else { lat },
+            );
+        }
+        curve
+    }
+
+    /// The machine-readable description embedded in run manifests.
+    pub fn manifest(&self) -> Manifest {
+        let norm = self.normalization();
+        let timing = norm.timing();
+        let mut m = Manifest::new();
+        m.push("label", self.label.as_str());
+        m.push("topology", self.topology.describe());
+        m.push("routing", self.routing.name());
+        m.push("vcs", self.vcs as f64);
+        m.push("nodes", self.topology.num_nodes() as f64);
+        m.push("pattern", self.pattern.name());
+        m.push("injection", self.injection.name());
+        m.push("packet_bytes", self.packet_bytes as f64);
+        m.push("flit_bytes", norm.flit_bytes() as f64);
+        m.push("buffer_depth", self.buffer_depth as f64);
+        m.push("capacity_flits_per_cycle", norm.capacity_flits_per_cycle());
+        m.push("clock_ns", timing.clock_ns());
+        m.push("clock_bottleneck", timing.bottleneck());
+        let mut len = Manifest::new();
+        len.push("warmup", self.run_length.warmup as f64);
+        len.push("total", self.run_length.total as f64);
+        m.push("run_length", ManifestValue::Object(len));
+        m.push(
+            "seed",
+            match self.seed {
+                SeedMode::Derived { salt } => format!("derived^0x{salt:016x}"),
+                SeedMode::Fixed(s) => format!("fixed:0x{s:016x}"),
+            },
+        );
+        m.push(
+            "throttle",
+            match self.throttle {
+                Throttle::Auto => "auto".to_string(),
+                Throttle::Off => "off".to_string(),
+                Throttle::Limit(l) => format!("limit:{l}"),
+            },
+        );
+        m
+    }
+}
+
+/// Rebuild a builder matching `s` (used for re-validation on edits).
+fn scenario_to_builder(s: &Scenario) -> ScenarioBuilder {
+    ScenarioBuilder {
+        label: Some(s.label.clone()),
+        topology: Some(s.topology),
+        routing: Some(s.routing),
+        vcs: Some(s.vcs),
+        pattern: Some(s.pattern),
+        injection: Some(s.injection),
+        run_length: Some(s.run_length),
+        seed: Some(s.seed),
+        buffer_depth: Some(s.buffer_depth),
+        packet_bytes: Some(s.packet_bytes),
+        throttle: Some(s.throttle),
+    }
+}
+
+/// The per-run seed of [`SeedMode::Derived`]: FNV-1a over the
+/// identifying data, stable across runs and platforms.
+pub fn derived_seed(label: &str, pattern: Pattern, fraction: f64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    label.bytes().for_each(&mut eat);
+    pattern.name().bytes().for_each(&mut eat);
+    fraction
+        .to_bits()
+        .to_le_bytes()
+        .iter()
+        .copied()
+        .for_each(&mut eat);
+    h
+}
+
+/// A generic callback for [`Scenario::with_algorithm`]: the trait
+/// method is generic over the algorithm type, so implementors receive
+/// the concrete `CubeDeterministic`/`CubeDuato`/`TreeAdaptive`/
+/// `MeshDeterministic`/`MeshAdaptive` value rather than a trait object.
+pub trait SpecVisitor {
+    /// Result produced from the algorithm.
+    type Out;
+
+    /// Called exactly once with the scenario's algorithm.
+    fn visit<A: RoutingAlgorithm + 'static>(self, algo: A) -> Self::Out;
+}
+
+/// Worker-thread count for [`Scenario::sweep_outcomes`]: the
+/// `NETPERF_THREADS` environment variable if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("NETPERF_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
+/// The default load grid used for the figures: 5% to 100% of capacity
+/// in 5% steps.
+pub fn default_load_grid() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+/// One entry of the named-scenario registry.
+#[derive(Clone, Copy)]
+pub struct NamedScenario {
+    /// Registry key (CLI `netperf run <name>`).
+    pub name: &'static str,
+    /// One-line description for `netperf list`.
+    pub summary: &'static str,
+    build: fn() -> Scenario,
+}
+
+impl NamedScenario {
+    /// Build the scenario this entry describes.
+    pub fn scenario(&self) -> Scenario {
+        (self.build)()
+    }
+}
+
+impl std::fmt::Debug for NamedScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamedScenario")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+fn must(b: ScenarioBuilder) -> Scenario {
+    b.build()
+        .expect("registry entries are valid by construction")
+}
+
+/// Registry keys of the paper's five configurations, in the paper's
+/// presentation order.
+pub const PAPER_FIVE: [&str; 5] = ["cube-det", "cube-duato", "tree-1vc", "tree-2vc", "tree-4vc"];
+
+static REGISTRY: [NamedScenario; 9] = [
+    NamedScenario {
+        name: "cube-det",
+        summary: "paper: 16-ary 2-cube, dimension-order deterministic, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::cube(16, 2))
+                    .routing(RoutingKind::Deterministic),
+            )
+        },
+    },
+    NamedScenario {
+        name: "cube-duato",
+        summary: "paper: 16-ary 2-cube, Duato minimal adaptive, 2+2 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::cube(16, 2))
+                    .routing(RoutingKind::Duato),
+            )
+        },
+    },
+    NamedScenario {
+        name: "tree-1vc",
+        summary: "paper: 4-ary 4-tree, minimal adaptive, 1 VC",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tree(4, 4))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(1),
+            )
+        },
+    },
+    NamedScenario {
+        name: "tree-2vc",
+        summary: "paper: 4-ary 4-tree, minimal adaptive, 2 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tree(4, 4))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(2),
+            )
+        },
+    },
+    NamedScenario {
+        name: "tree-4vc",
+        summary: "paper: 4-ary 4-tree, minimal adaptive, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tree(4, 4))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(4),
+            )
+        },
+    },
+    NamedScenario {
+        name: "mesh-det",
+        summary: "extension: 16-ary 2-mesh, dimension-order, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::mesh(16, 2))
+                    .routing(RoutingKind::Deterministic),
+            )
+        },
+    },
+    NamedScenario {
+        name: "mesh-adaptive",
+        summary: "extension: 16-ary 2-mesh, minimal adaptive + escape, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::mesh(16, 2))
+                    .routing(RoutingKind::Adaptive),
+            )
+        },
+    },
+    NamedScenario {
+        name: "cube-duato-tiny",
+        summary: "smoke: 4-ary 2-cube (16 nodes), Duato, quick run",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::cube(4, 2))
+                    .routing(RoutingKind::Duato)
+                    .run_length(RunLength::quick()),
+            )
+        },
+    },
+    NamedScenario {
+        name: "tree-2vc-tiny",
+        summary: "smoke: 4-ary 2-tree (16 nodes), adaptive, 2 VCs, quick run",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tree(4, 2))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(2)
+                    .run_length(RunLength::quick()),
+            )
+        },
+    },
+];
+
+/// All registry entries, paper configurations first.
+pub fn registry() -> &'static [NamedScenario] {
+    &REGISTRY
+}
+
+/// Look up a registry entry by name.
+pub fn named(name: &str) -> Option<Scenario> {
+    REGISTRY
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| e.scenario())
+}
+
+/// The five configurations of the paper's evaluation as registry
+/// scenarios, in the paper's presentation order.
+pub fn paper_scenarios() -> Vec<Scenario> {
+    PAPER_FIVE
+        .iter()
+        .map(|n| named(n).expect("paper entry present"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_five_paper_entries_first() {
+        let labels: Vec<String> = paper_scenarios()
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "cube, deterministic",
+                "cube, Duato",
+                "fat tree, 1 vc",
+                "fat tree, 2 vc",
+                "fat tree, 4 vc"
+            ]
+        );
+        for (entry, key) in registry().iter().zip(PAPER_FIVE) {
+            assert_eq!(entry.name, key);
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_buildable() {
+        let mut seen = std::collections::HashSet::new();
+        for e in registry() {
+            assert!(seen.insert(e.name), "duplicate registry name {}", e.name);
+            let s = e.scenario();
+            assert!(s.topology().num_nodes() >= 16);
+            let _ = s.config_at(0.5); // must not panic
+        }
+        assert!(named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn builder_rejects_illegal_combinations() {
+        let err = |b: ScenarioBuilder| b.build().unwrap_err();
+        assert_eq!(err(Scenario::builder()), ScenarioError::MissingTopology);
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::tree(4, 2))
+                .routing(RoutingKind::Duato)),
+            ScenarioError::UnsupportedCombination(_)
+        ));
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::cube(16, 2))
+                .vcs(2)),
+            ScenarioError::BadVcs(_)
+        ));
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::mesh(8, 2))
+                .routing(RoutingKind::Adaptive)
+                .vcs(1)),
+            ScenarioError::BadVcs(_)
+        ));
+        assert!(matches!(
+            err(Scenario::builder().topology(TopologySpec::cube(1, 2))),
+            ScenarioError::BadShape(_)
+        ));
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::mesh(10, 2))
+                .pattern(Pattern::Transpose)),
+            ScenarioError::BadPattern(_)
+        ));
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::cube(4, 2))
+                .run_length(RunLength {
+                    warmup: 100,
+                    total: 100
+                })),
+            ScenarioError::BadParameter(_)
+        ));
+    }
+
+    #[test]
+    fn axis_names_round_trip() {
+        for t in [
+            TopologySpec::cube(16, 2),
+            TopologySpec::tree(4, 4),
+            TopologySpec::mesh(8, 3),
+        ] {
+            assert_eq!(TopologySpec::parse(t.family(), t.k(), t.n()), Some(t));
+        }
+        assert_eq!(TopologySpec::parse("ring", 4, 1), None);
+        for r in [
+            RoutingKind::Deterministic,
+            RoutingKind::Duato,
+            RoutingKind::Adaptive,
+        ] {
+            assert_eq!(RoutingKind::parse(r.name()), Some(r));
+        }
+        assert_eq!(RoutingKind::parse("chaos"), None);
+    }
+
+    #[test]
+    fn derived_timing_matches_the_papers_tables() {
+        let det = named("cube-det").unwrap();
+        assert!((det.normalization().timing().clock_ns() - 6.34).abs() < 0.01);
+        let duato = named("cube-duato").unwrap();
+        assert!((duato.normalization().timing().clock_ns() - 7.8).abs() < 0.01);
+        let t2 = named("tree-2vc").unwrap();
+        assert!((t2.normalization().timing().clock_ns() - 10.24).abs() < 0.01);
+    }
+
+    #[test]
+    fn fixed_and_salted_seeds_behave() {
+        let base = named("cube-duato").unwrap();
+        let a = base.clone().config_at(0.5).seed;
+        let salted = base
+            .clone()
+            .with_seed(SeedMode::Derived { salt: 0xDEAD })
+            .config_at(0.5);
+        assert_eq!(salted.seed, a ^ 0xDEAD);
+        let fixed = base.with_seed(SeedMode::Fixed(42));
+        assert_eq!(fixed.config_at(0.1).seed, 42);
+        assert_eq!(fixed.config_at(0.9).seed, 42);
+    }
+
+    #[test]
+    fn mesh_scenarios_simulate() {
+        let s = must(
+            Scenario::builder()
+                .topology(TopologySpec::mesh(4, 2))
+                .routing(RoutingKind::Adaptive)
+                .vcs(2)
+                .run_length(RunLength {
+                    warmup: 200,
+                    total: 1500,
+                }),
+        );
+        let out = s.simulate(0.3);
+        assert!(out.delivered_packets > 0);
+        assert!(out.accepted_fraction > 0.0);
+    }
+
+    #[test]
+    fn injection_models_hit_the_offered_rate() {
+        let base = Scenario::builder().topology(TopologySpec::cube(16, 2));
+        for inj in [
+            InjectionModel::Bernoulli,
+            InjectionModel::Periodic,
+            InjectionModel::OnOff {
+                mean_on: 64.0,
+                mean_off: 64.0,
+            },
+        ] {
+            let s = must(base.clone().injection(inj));
+            let cfg = s.config_at(0.5);
+            let rate = cfg.injection.mean_rate();
+            // Periodic rounds to whole cycles; the others are exact.
+            assert!(
+                (rate - 0.5 * 0.5 / 16.0).abs() < 2e-4,
+                "{inj:?} long-run rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_names_the_load_bearing_fields() {
+        let m = named("tree-4vc").unwrap().manifest().to_json();
+        for needle in [
+            "\"label\": \"fat tree, 4 vc\"",
+            "\"topology\": \"4-ary 4-tree\"",
+            "\"routing\": \"adaptive\"",
+            "\"vcs\": 4",
+            "\"clock_ns\":",
+            "\"seed\": \"derived^0x0000000000000000\"",
+            "\"throttle\": \"auto\"",
+        ] {
+            assert!(m.contains(needle), "manifest missing {needle}:\n{m}");
+        }
+    }
+}

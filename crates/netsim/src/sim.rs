@@ -42,9 +42,11 @@ impl InjectionSpec {
         match *self {
             InjectionSpec::Bernoulli { packets_per_cycle } => packets_per_cycle,
             InjectionSpec::Periodic { period } => 1.0 / period as f64,
-            InjectionSpec::OnOff { peak_rate, mean_on, mean_off } => {
-                peak_rate * mean_on / (mean_on + mean_off)
-            }
+            InjectionSpec::OnOff {
+                peak_rate,
+                mean_on,
+                mean_off,
+            } => peak_rate * mean_on / (mean_on + mean_off),
         }
     }
 
@@ -54,9 +56,11 @@ impl InjectionSpec {
                 Box::new(Bernoulli::new(packets_per_cycle))
             }
             InjectionSpec::Periodic { period } => Box::new(Periodic::every(period)),
-            InjectionSpec::OnOff { peak_rate, mean_on, mean_off } => {
-                Box::new(OnOffBursty::new(peak_rate, mean_on, mean_off))
-            }
+            InjectionSpec::OnOff {
+                peak_rate,
+                mean_on,
+                mean_off,
+            } => Box::new(OnOffBursty::new(peak_rate, mean_on, mean_off)),
         }
     }
 }
@@ -115,8 +119,7 @@ impl SimConfig {
 
     /// Nominal offered load as a fraction of capacity.
     pub fn offered_fraction(&self) -> f64 {
-        self.injection.mean_rate() * self.flits_per_packet as f64
-            / self.capacity_flits_per_cycle
+        self.injection.mean_rate() * self.flits_per_packet as f64 / self.capacity_flits_per_cycle
     }
 }
 
@@ -218,8 +221,7 @@ pub fn run_simulation<A: RoutingAlgorithm + ?Sized>(algo: &A, cfg: &SimConfig) -
     let delivered_flits = (end.delivered_flits - warm.delivered_flits) as f64;
     let accepted_rate = delivered_flits / (window * num_nodes as f64);
     let created = end.created_packets - warm.created_packets;
-    let generated_rate =
-        created as f64 * cfg.flits_per_packet as f64 / (window * num_nodes as f64);
+    let generated_rate = created as f64 * cfg.flits_per_packet as f64 / (window * num_nodes as f64);
 
     let mut latency = Accumulator::new();
     let mut latency_hist = Histogram::new(8.0, 512);
@@ -265,7 +267,9 @@ mod tests {
             buffer_depth: 4,
             flits_per_packet: flits,
             capacity_flits_per_cycle: cap,
-            injection: InjectionSpec::Bernoulli { packets_per_cycle: rate },
+            injection: InjectionSpec::Bernoulli {
+                packets_per_cycle: rate,
+            },
             pattern,
             injection_limit: None,
             request_reply: false,
@@ -318,7 +322,9 @@ mod tests {
                 buffer_depth: 4,
                 flits_per_packet: 32,
                 capacity_flits_per_cycle: 1.0,
-                injection: InjectionSpec::Bernoulli { packets_per_cycle: 0.9 / 32.0 },
+                injection: InjectionSpec::Bernoulli {
+                    packets_per_cycle: 0.9 / 32.0,
+                },
                 pattern: Pattern::Uniform,
                 injection_limit: None,
                 request_reply: false,
@@ -341,9 +347,21 @@ mod tests {
 
     #[test]
     fn injection_spec_rates() {
-        assert!((InjectionSpec::Bernoulli { packets_per_cycle: 0.25 }.mean_rate() - 0.25).abs() < 1e-12);
+        assert!(
+            (InjectionSpec::Bernoulli {
+                packets_per_cycle: 0.25
+            }
+            .mean_rate()
+                - 0.25)
+                .abs()
+                < 1e-12
+        );
         assert!((InjectionSpec::Periodic { period: 8 }.mean_rate() - 0.125).abs() < 1e-12);
-        let oo = InjectionSpec::OnOff { peak_rate: 0.5, mean_on: 100.0, mean_off: 300.0 };
+        let oo = InjectionSpec::OnOff {
+            peak_rate: 0.5,
+            mean_on: 100.0,
+            mean_off: 300.0,
+        };
         assert!((oo.mean_rate() - 0.125).abs() < 1e-12);
     }
 

@@ -53,12 +53,17 @@ impl Wiring {
         let mut peers = Vec::with_capacity(num_routers * ports);
         for r in 0..num_routers {
             let rid = RouterId(r as u32);
-            assert_eq!(topo.ports(rid), ports, "non-uniform port counts unsupported");
+            assert_eq!(
+                topo.ports(rid),
+                ports,
+                "non-uniform port counts unsupported"
+            );
             for p in 0..ports {
                 peers.push(match topo.peer(PortRef::new(rid, p)) {
-                    PortPeer::Router(pr) => {
-                        Peer::Router { router: pr.router.0, port: pr.port as u16 }
-                    }
+                    PortPeer::Router(pr) => Peer::Router {
+                        router: pr.router.0,
+                        port: pr.port as u16,
+                    },
                     PortPeer::Node(n) => Peer::Node(n.0),
                     PortPeer::Unconnected => Peer::None,
                 });
@@ -70,7 +75,13 @@ impl Wiring {
                 (pr.router.0, pr.port as u16)
             })
             .collect();
-        Wiring { num_routers, num_nodes, ports, peers, node_ports }
+        Wiring {
+            num_routers,
+            num_nodes,
+            ports,
+            peers,
+            node_ports,
+        }
     }
 
     /// Peer of `(router, port)`.
@@ -109,7 +120,10 @@ mod tests {
                 if let Peer::Router { router, port } = w.peer(r, p) {
                     assert_eq!(
                         w.peer(router as usize, port as usize),
-                        Peer::Router { router: r as u32, port: p as u16 }
+                        Peer::Router {
+                            router: r as u32,
+                            port: p as u16
+                        }
                     );
                 }
             }

@@ -23,7 +23,10 @@ impl Candidate {
     /// Convenience constructor.
     #[inline]
     pub fn new(port: usize, vc: usize) -> Self {
-        Candidate { port: port as u16, vc: vc as u8 }
+        Candidate {
+            port: port as u16,
+            vc: vc as u8,
+        }
     }
 }
 

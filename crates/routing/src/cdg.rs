@@ -175,7 +175,11 @@ pub fn build_cdg(
     let mut buf = CandidateSet::default();
 
     // `held == None` is encoded as a sentinel for the visited set.
-    const NO_LANE: LaneId = LaneId { router: u32::MAX, port: u16::MAX, vc: u8::MAX };
+    const NO_LANE: LaneId = LaneId {
+        router: u32::MAX,
+        port: u16::MAX,
+        vc: u8::MAX,
+    };
 
     for dest_idx in 0..topo.num_nodes() {
         let dest = NodeId(dest_idx as u32);
@@ -197,7 +201,11 @@ pub fn build_cdg(
             algo.route(router, None, dest, &mut buf);
             debug_assert!(!buf.is_empty(), "routing dead-end at {router} for {dest}");
             for cand in buf.preferred.iter().chain(buf.fallback.iter()).copied() {
-                let lane = LaneId { router: router.0, port: cand.port, vc: cand.vc };
+                let lane = LaneId {
+                    router: router.0,
+                    port: cand.port,
+                    vc: cand.vc,
+                };
                 let tracked = lane_filter(lane);
                 if tracked {
                     if let Some(h) = held {
@@ -236,7 +244,11 @@ mod tests {
 
     #[test]
     fn cycle_detector_finds_planted_cycle() {
-        let l = |r: u32| LaneId { router: r, port: 0, vc: 0 };
+        let l = |r: u32| LaneId {
+            router: r,
+            port: 0,
+            vc: 0,
+        };
         let mut g = ChannelDependencyGraph::default();
         g.add_edge(l(0), l(1));
         g.add_edge(l(1), l(2));
@@ -249,7 +261,11 @@ mod tests {
 
     #[test]
     fn cycle_detector_accepts_dag() {
-        let l = |r: u32| LaneId { router: r, port: 0, vc: 0 };
+        let l = |r: u32| LaneId {
+            router: r,
+            port: 0,
+            vc: 0,
+        };
         let mut g = ChannelDependencyGraph::default();
         g.add_edge(l(0), l(1));
         g.add_edge(l(0), l(2));
@@ -283,7 +299,11 @@ mod tests {
         let g = build_cdg(&algo, |_| true);
         // Project both virtual networks onto one: lane (r,p,v) -> (r,p,0).
         let mut merged = ChannelDependencyGraph::default();
-        let proj = |l: LaneId| LaneId { router: l.router, port: l.port, vc: 0 };
+        let proj = |l: LaneId| LaneId {
+            router: l.router,
+            port: l.port,
+            vc: 0,
+        };
         for (from, tos) in &g.edges {
             for to in tos {
                 merged.add_edge(proj(*from), proj(*to));
@@ -297,7 +317,13 @@ mod tests {
 
     #[test]
     fn tree_cdg_is_acyclic() {
-        for (k, n, vcs) in [(2usize, 2usize, 1usize), (2, 3, 2), (3, 2, 4), (4, 2, 2), (2, 4, 1)] {
+        for (k, n, vcs) in [
+            (2usize, 2usize, 1usize),
+            (2, 3, 2),
+            (3, 2, 4),
+            (4, 2, 2),
+            (2, 4, 1),
+        ] {
             let algo = TreeAdaptive::new(KAryNTree::new(k, n), vcs);
             let g = build_cdg(&algo, |_| true);
             assert!(

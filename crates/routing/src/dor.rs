@@ -45,7 +45,10 @@ impl CubeDeterministic {
     /// studies); total VCs = `2 * vcs_per_network`.
     pub fn with_vcs_per_network(cube: KAryNCube, vcs_per_network: usize) -> Self {
         assert!(vcs_per_network >= 1);
-        CubeDeterministic { cube, vcs_per_network }
+        CubeDeterministic {
+            cube,
+            vcs_per_network,
+        }
     }
 
     /// The underlying cube.

@@ -114,7 +114,8 @@ impl RoutingAlgorithm for CubeDuato {
         let (_, sign) = self.cube.min_offset(cur, dest, dim);
         let class = dateline_class(&self.cube, cur, dest, dim, sign);
         let port = CubeDirection { dim, sign }.port();
-        out.fallback.push(Candidate::new(port, self.escape_base() + class));
+        out.fallback
+            .push(Candidate::new(port, self.escape_base() + class));
     }
 
     fn topology(&self) -> &dyn Topology {
@@ -162,8 +163,7 @@ mod tests {
         // Minimal: dim0 plus (3 hops), dim1 minus (2 hops): 2 dirs x 2
         // adaptive lanes.
         assert_eq!(cs.preferred.len(), 4);
-        let ports: std::collections::HashSet<u16> =
-            cs.preferred.iter().map(|c| c.port).collect();
+        let ports: std::collections::HashSet<u16> = cs.preferred.iter().map(|c| c.port).collect();
         assert_eq!(ports.len(), 2);
         assert!(cs.preferred.iter().all(|c| c.vc < 2), "adaptive lanes only");
         // Escape: exactly one lane, dimension order = dim 0, no dateline
@@ -181,8 +181,7 @@ mod tests {
         let d = cube.node_at(&[8, 0]);
         let mut cs = CandidateSet::default();
         a.route(RouterId(s.0), None, d, &mut cs);
-        let ports: std::collections::HashSet<u16> =
-            cs.preferred.iter().map(|c| c.port).collect();
+        let ports: std::collections::HashSet<u16> = cs.preferred.iter().map(|c| c.port).collect();
         assert_eq!(ports.len(), 2, "both ring directions are minimal");
         assert_eq!(cs.fallback.len(), 1);
     }

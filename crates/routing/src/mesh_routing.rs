@@ -130,8 +130,10 @@ impl RoutingAlgorithm for MeshAdaptive {
                 }
             }
         }
-        out.fallback
-            .push(Candidate::new(dor_port.expect("unaligned dimension exists"), self.vcs - 1));
+        out.fallback.push(Candidate::new(
+            dor_port.expect("unaligned dimension exists"),
+            self.vcs - 1,
+        ));
     }
 
     fn topology(&self) -> &dyn Topology {

@@ -219,9 +219,7 @@ mod tests {
                         if c.vc != 0 {
                             continue; // one lane is enough for path shape
                         }
-                        if let PortPeer::Router(pr) =
-                            tree.peer(PortRef::new(sw, c.port as usize))
-                        {
+                        if let PortPeer::Router(pr) = tree.peer(PortRef::new(sw, c.port as usize)) {
                             stack.push((pr.router, descending));
                         }
                     }

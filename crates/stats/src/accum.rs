@@ -14,7 +14,13 @@ pub struct Accumulator {
 impl Accumulator {
     /// A fresh, empty accumulator.
     pub fn new() -> Self {
-        Accumulator { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.

@@ -47,9 +47,9 @@ impl ConfidenceInterval {
 /// degrees of freedom (1..=30; larger `df` use the normal 1.96).
 fn t_crit_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -95,7 +95,10 @@ impl BatchMeans {
     pub fn ci95(&self) -> ConfidenceInterval {
         let b = self.batches.len();
         if b < 2 {
-            return ConfidenceInterval { mean: self.mean(), half_width: f64::INFINITY };
+            return ConfidenceInterval {
+                mean: self.mean(),
+                half_width: f64::INFINITY,
+            };
         }
         let mut acc = Accumulator::new();
         for &x in &self.batches {
@@ -104,7 +107,10 @@ impl BatchMeans {
         // Sample std-dev of the batch means.
         let sample_var = acc.variance() * b as f64 / (b as f64 - 1.0);
         let half = t_crit_95(b - 1) * (sample_var / b as f64).sqrt();
-        ConfidenceInterval { mean: acc.mean(), half_width: half }
+        ConfidenceInterval {
+            mean: acc.mean(),
+            half_width: half,
+        }
     }
 
     /// Lag-1 autocorrelation of the batch means — if this is large
@@ -164,7 +170,9 @@ mod tests {
         let mut bm = BatchMeans::new();
         let mut x = 7u64;
         for _ in 0..20 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             bm.push(10.0 + noise);
         }

@@ -49,7 +49,10 @@ impl From<String> for Cell {
 impl Table {
     /// Create a table with the given column headers.
     pub fn with_columns<S: Into<String>>(cols: impl IntoIterator<Item = S>) -> Self {
-        Table { columns: cols.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            columns: cols.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -64,7 +67,14 @@ impl Table {
     /// Render as CSV (header + rows).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             let line = row
@@ -143,6 +153,161 @@ impl Table {
     }
 }
 
+/// A value inside a [`Manifest`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ManifestValue {
+    /// Numeric value (rendered like table cells; non-finite → `null`).
+    Num(f64),
+    /// String value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Homogeneous or mixed list.
+    List(Vec<ManifestValue>),
+    /// Nested object.
+    Object(Manifest),
+}
+
+impl From<f64> for ManifestValue {
+    fn from(v: f64) -> Self {
+        ManifestValue::Num(v)
+    }
+}
+
+impl From<&str> for ManifestValue {
+    fn from(v: &str) -> Self {
+        ManifestValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for ManifestValue {
+    fn from(v: String) -> Self {
+        ManifestValue::Text(v)
+    }
+}
+
+impl From<bool> for ManifestValue {
+    fn from(v: bool) -> Self {
+        ManifestValue::Bool(v)
+    }
+}
+
+impl From<Manifest> for ManifestValue {
+    fn from(v: Manifest) -> Self {
+        ManifestValue::Object(v)
+    }
+}
+
+impl<T: Into<ManifestValue>> From<Vec<T>> for ManifestValue {
+    fn from(v: Vec<T>) -> Self {
+        ManifestValue::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// An ordered key–value document describing one run artifact: which
+/// scenario produced it, with what seed and run length, on which engine
+/// build, and what came out. Rendered as pretty-printed JSON with keys
+/// in insertion order, so manifests diff cleanly across runs.
+///
+/// Like [`Table`], this is a dependency-free writer: the benchmark
+/// harness emits one `*.manifest.json` next to each CSV artifact.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Manifest {
+    entries: Vec<(String, ManifestValue)>,
+}
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        Manifest::default()
+    }
+
+    /// Append a key–value pair (keys keep insertion order; duplicate
+    /// keys are a caller bug and render as duplicate JSON keys).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<ManifestValue>) -> &mut Self {
+        self.entries.push((key.into(), value.into()));
+        self
+    }
+
+    /// Number of top-level entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the manifest has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render as pretty-printed JSON (2-space indent, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        render_object(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn render_value(v: &ManifestValue, indent: usize, out: &mut String) {
+    match v {
+        ManifestValue::Num(n) => {
+            if n.is_finite() {
+                out.push_str(&format_num(*n));
+            } else {
+                out.push_str("null");
+            }
+        }
+        ManifestValue::Text(s) => out.push_str(&json_string(s)),
+        ManifestValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        ManifestValue::List(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&"  ".repeat(indent + 1));
+                render_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        ManifestValue::Object(m) => render_object(m, indent, out),
+    }
+}
+
+fn render_object(m: &Manifest, indent: usize, out: &mut String) {
+    if m.entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (key, value)) in m.entries.iter().enumerate() {
+        out.push_str(&"  ".repeat(indent + 1));
+        let _ = write!(out, "{}: ", json_string(key));
+        render_value(value, indent + 1, out);
+        if i + 1 < m.entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&"  ".repeat(indent));
+    out.push('}');
+}
+
+/// Write a manifest as JSON to `path`, creating parent directories.
+pub fn write_manifest(manifest: &Manifest, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, manifest.to_json())
+}
+
 fn format_num(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
@@ -150,7 +315,11 @@ fn format_num(v: f64) -> String {
         let s = format!("{v:.6}");
         // Trim trailing zeros but keep at least one decimal digit.
         let trimmed = s.trim_end_matches('0');
-        let trimmed = if trimmed.ends_with('.') { &s[..trimmed.len() + 1] } else { trimmed };
+        let trimmed = if trimmed.ends_with('.') {
+            &s[..trimmed.len() + 1]
+        } else {
+            trimmed
+        };
         trimmed.to_string()
     }
 }
@@ -267,5 +436,56 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::with_columns(["a", "b"]);
         t.push_row(vec![1.0.into()]);
+    }
+
+    fn sample_manifest() -> Manifest {
+        let mut inner = Manifest::new();
+        inner.push("warmup", 2000.0).push("total", 20000.0);
+        let mut m = Manifest::new();
+        m.push("schema", "netperf-run-manifest/1");
+        m.push("quick", false);
+        m.push("run_length", inner);
+        m.push("patterns", vec!["uniform", "transpose"]);
+        m.push("empty", ManifestValue::List(vec![]));
+        m.push("nan", f64::NAN);
+        m
+    }
+
+    #[test]
+    fn manifest_renders_ordered_pretty_json() {
+        let json = sample_manifest().to_json();
+        let expected = r#"{
+  "schema": "netperf-run-manifest/1",
+  "quick": false,
+  "run_length": {
+    "warmup": 2000,
+    "total": 20000
+  },
+  "patterns": [
+    "uniform",
+    "transpose"
+  ],
+  "empty": [],
+  "nan": null
+}
+"#;
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn manifest_file_roundtrip() {
+        let dir = std::env::temp_dir().join("netstats_test_manifest");
+        let path = dir.join("sub/run.manifest.json");
+        write_manifest(&sample_manifest(), &path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, sample_manifest().to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_manifest_is_a_valid_object() {
+        assert!(Manifest::new().is_empty());
+        assert_eq!(Manifest::new().len(), 0);
+        assert_eq!(Manifest::new().to_json(), "{}\n");
     }
 }

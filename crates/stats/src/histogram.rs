@@ -20,7 +20,12 @@ impl Histogram {
     /// Panics if `bin_width <= 0` or `num_bins == 0`.
     pub fn new(bin_width: f64, num_bins: usize) -> Self {
         assert!(bin_width > 0.0 && num_bins > 0);
-        Histogram { bin_width, bins: vec![0; num_bins], overflow: 0, total: 0 }
+        Histogram {
+            bin_width,
+            bins: vec![0; num_bins],
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Record an observation (negative values clamp into the first bin).

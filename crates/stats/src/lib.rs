@@ -14,7 +14,8 @@
 //! * [`series::Series`] and [`series::SweepCurve`] — (x, y…) curves for
 //!   the CNF plots, with saturation-point extraction;
 //! * [`export`] — dependency-free CSV and JSON writers for the
-//!   benchmark harness output.
+//!   benchmark harness output, including the [`export::Manifest`]
+//!   run-manifest documents written next to each artifact.
 
 #![warn(missing_docs)]
 pub mod accum;
@@ -25,6 +26,6 @@ pub mod series;
 
 pub use accum::Accumulator;
 pub use batch::{BatchMeans, ConfidenceInterval};
-pub use export::{write_csv, write_json, Cell, Table};
+pub use export::{write_csv, write_json, write_manifest, Cell, Manifest, ManifestValue, Table};
 pub use histogram::Histogram;
 pub use series::{SaturationPoint, Series, SweepCurve};

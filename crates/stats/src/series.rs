@@ -19,7 +19,10 @@ pub struct Series {
 impl Series {
     /// Create an empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a point; x must be non-decreasing.
@@ -55,9 +58,10 @@ impl Series {
 
     /// Maximum y value. `None` when empty.
     pub fn max_y(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |a: f64| a.max(y)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
     }
 }
 
@@ -113,7 +117,10 @@ impl SweepCurve {
             .position(|&(x, y)| y < (1.0 - tol) * x)?;
         let tail = &self.accepted.points[idx..];
         let sustained = tail.iter().map(|&(_, y)| y).sum::<f64>() / tail.len() as f64;
-        Some(SaturationPoint { offered: self.accepted.points[idx].0, accepted: sustained })
+        Some(SaturationPoint {
+            offered: self.accepted.points[idx].0,
+            accepted: sustained,
+        })
     }
 
     /// Throughput stability after saturation: ratio of the minimum to

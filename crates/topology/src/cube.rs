@@ -55,7 +55,7 @@ impl CubeDirection {
     /// The router port carrying this direction.
     #[inline]
     pub fn port(self) -> usize {
-         2 * self.dim
+        2 * self.dim
             + match self.sign {
                 Sign::Plus => 0,
                 Sign::Minus => 1,
@@ -70,7 +70,11 @@ impl CubeDirection {
         }
         Some(CubeDirection {
             dim: port / 2,
-            sign: if port.is_multiple_of(2) { Sign::Plus } else { Sign::Minus },
+            sign: if port.is_multiple_of(2) {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            },
         })
     }
 }
@@ -105,7 +109,11 @@ impl KAryNCube {
             num_nodes = num_nodes.checked_mul(k as u64).expect("k^n overflow");
         }
         assert!(num_nodes <= u32::MAX as u64, "k^n exceeds u32 range");
-        KAryNCube { k, n, num_nodes: num_nodes as usize }
+        KAryNCube {
+            k,
+            n,
+            num_nodes: num_nodes as usize,
+        }
     }
 
     /// The radix `k` (nodes per dimension).
@@ -277,7 +285,10 @@ impl Topology for KAryNCube {
                     return PortPeer::Unconnected;
                 }
                 let other = self.neighbor(node, dir);
-                let back = CubeDirection { dim: dir.dim, sign: dir.sign.opposite() };
+                let back = CubeDirection {
+                    dim: dir.dim,
+                    sign: dir.sign.opposite(),
+                };
                 let back_port = if self.k == 2 { dir.port() } else { back.port() };
                 PortPeer::Router(PortRef::new(RouterId(other.0), back_port))
             }
@@ -349,9 +360,21 @@ mod tests {
     fn neighbor_moves_one_coordinate() {
         let c = KAryNCube::new(16, 2);
         let x = c.node_at(&[15, 7]);
-        let p = c.neighbor(x, CubeDirection { dim: 0, sign: Sign::Plus });
+        let p = c.neighbor(
+            x,
+            CubeDirection {
+                dim: 0,
+                sign: Sign::Plus,
+            },
+        );
         assert_eq!(c.coords(p), vec![0, 7]); // wraps
-        let m = c.neighbor(x, CubeDirection { dim: 1, sign: Sign::Minus });
+        let m = c.neighbor(
+            x,
+            CubeDirection {
+                dim: 1,
+                sign: Sign::Minus,
+            },
+        );
         assert_eq!(c.coords(m), vec![15, 6]);
     }
 
@@ -362,7 +385,10 @@ mod tests {
             for d in 0..3 {
                 for sign in [Sign::Plus, Sign::Minus] {
                     let dir = CubeDirection { dim: d, sign };
-                    let back = CubeDirection { dim: d, sign: sign.opposite() };
+                    let back = CubeDirection {
+                        dim: d,
+                        sign: sign.opposite(),
+                    };
                     let y = c.neighbor(NodeId(x as u32), dir);
                     assert_eq!(c.neighbor(y, back), NodeId(x as u32));
                 }

@@ -27,9 +27,7 @@ impl Digits {
         assert!(n >= 1, "need at least one digit");
         let mut total: u64 = 1;
         for _ in 0..n {
-            total = total
-                .checked_mul(k as u64)
-                .expect("k^n overflows u64");
+            total = total.checked_mul(k as u64).expect("k^n overflows u64");
         }
         assert!(total <= u32::MAX as u64 + 1, "k^n exceeds u32 range");
         Digits {

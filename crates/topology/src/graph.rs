@@ -67,7 +67,11 @@ impl std::fmt::Display for TopologyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TopologyError::AsymmetricLink(a, b) => {
-                write!(f, "asymmetric link: {}:{} -> {}:{}", a.router, a.port, b.router, b.port)
+                write!(
+                    f,
+                    "asymmetric link: {}:{} -> {}:{}",
+                    a.router, a.port, b.router, b.port
+                )
             }
             TopologyError::DanglingPort(p) => {
                 write!(f, "dangling port {}:{}", p.router, p.port)
@@ -79,7 +83,10 @@ impl std::fmt::Display for TopologyError {
                 write!(f, "node_port({n}) disagrees with port scan")
             }
             TopologyError::Disconnected { reachable, total } => {
-                write!(f, "router graph disconnected: {reachable}/{total} reachable")
+                write!(
+                    f,
+                    "router graph disconnected: {reachable}/{total} reachable"
+                )
             }
         }
     }
@@ -194,7 +201,10 @@ pub fn validate<T: Topology + ?Sized>(t: &T) -> Result<(), TopologyError> {
         }
     }
     if reachable != nr {
-        return Err(TopologyError::Disconnected { reachable, total: nr });
+        return Err(TopologyError::Disconnected {
+            reachable,
+            total: nr,
+        });
     }
 
     Ok(())
@@ -258,29 +268,45 @@ mod tests {
 
     #[test]
     fn valid_two_router_line_passes() {
-        let t = Broken { asymmetric: false, orphan_node: false };
+        let t = Broken {
+            asymmetric: false,
+            orphan_node: false,
+        };
         assert_eq!(validate(&t), Ok(()));
         assert_eq!(t.num_links(), 3);
     }
 
     #[test]
     fn asymmetric_link_detected() {
-        let t = Broken { asymmetric: true, orphan_node: false };
-        assert!(matches!(validate(&t), Err(TopologyError::AsymmetricLink(..))));
+        let t = Broken {
+            asymmetric: true,
+            orphan_node: false,
+        };
+        assert!(matches!(
+            validate(&t),
+            Err(TopologyError::AsymmetricLink(..))
+        ));
     }
 
     #[test]
     fn bad_node_attachment_detected() {
-        let t = Broken { asymmetric: false, orphan_node: true };
+        let t = Broken {
+            asymmetric: false,
+            orphan_node: true,
+        };
         assert!(matches!(
             validate(&t),
-            Err(TopologyError::BadNodeAttachment(..)) | Err(TopologyError::InconsistentNodePort(..))
+            Err(TopologyError::BadNodeAttachment(..))
+                | Err(TopologyError::InconsistentNodePort(..))
         ));
     }
 
     #[test]
     fn error_messages_render() {
-        let e = TopologyError::Disconnected { reachable: 1, total: 4 };
+        let e = TopologyError::Disconnected {
+            reachable: 1,
+            total: 4,
+        };
         assert!(e.to_string().contains("1/4"));
     }
 }

@@ -38,7 +38,11 @@ impl KAryNMesh {
             num_nodes = num_nodes.checked_mul(k as u64).expect("k^n overflow");
         }
         assert!(num_nodes <= u32::MAX as u64);
-        KAryNMesh { k, n, num_nodes: num_nodes as usize }
+        KAryNMesh {
+            k,
+            n,
+            num_nodes: num_nodes as usize,
+        }
     }
 
     /// The radix `k`.
@@ -129,7 +133,10 @@ impl Topology for KAryNMesh {
         match CubeDirection::from_port(p.port, self.n) {
             Some(dir) => match self.neighbor(node, dir) {
                 Some(other) => {
-                    let back = CubeDirection { dim: dir.dim, sign: dir.sign.opposite() };
+                    let back = CubeDirection {
+                        dim: dir.dim,
+                        sign: dir.sign.opposite(),
+                    };
                     PortPeer::Router(PortRef::new(RouterId(other.0), back.port()))
                 }
                 None => PortPeer::Unconnected,

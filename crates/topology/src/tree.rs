@@ -72,9 +72,19 @@ impl KAryNTree {
     /// Panics if `k < 2`, `n == 0`, or `k^n` does not fit in `u32`.
     pub fn new(k: usize, n: usize) -> Self {
         let node_digits = Digits::new(k, n);
-        let word_digits = if n >= 2 { Some(Digits::new(k, n - 1)) } else { None };
+        let word_digits = if n >= 2 {
+            Some(Digits::new(k, n - 1))
+        } else {
+            None
+        };
         let switches_per_level = node_digits.count() / k;
-        KAryNTree { k, n, node_digits, word_digits, switches_per_level }
+        KAryNTree {
+            k,
+            n,
+            node_digits,
+            word_digits,
+            switches_per_level,
+        }
     }
 
     /// The arity `k` (up ports per switch = down ports per switch).
@@ -157,9 +167,9 @@ impl KAryNTree {
         let word = self.word(sw);
         match self.word_digits {
             None => true, // single-switch tree
-            Some(wd) => (0..level).all(|j| {
-                wd.digit(word, j) == self.node_digits.digit(dest.index(), j)
-            }),
+            Some(wd) => {
+                (0..level).all(|j| wd.digit(word, j) == self.node_digits.digit(dest.index(), j))
+            }
         }
     }
 
@@ -234,8 +244,9 @@ impl KAryNTree {
                     continue; // palindromes etc. do not inject
                 }
                 if self.nca_level(src, dst) <= l {
-                    let prefix: usize = (0..=l)
-                        .fold(0, |acc, j| acc * self.k + self.node_digits.digit(dst.index(), j));
+                    let prefix: usize = (0..=l).fold(0, |acc, j| {
+                        acc * self.k + self.node_digits.digit(dst.index(), j)
+                    });
                     demand[prefix] += 1;
                 }
             }
@@ -353,7 +364,17 @@ mod tests {
 
     #[test]
     fn small_trees_validate() {
-        for (k, n) in [(2, 1), (2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2), (4, 3), (5, 2)] {
+        for (k, n) in [
+            (2, 1),
+            (2, 2),
+            (2, 3),
+            (2, 4),
+            (3, 2),
+            (3, 3),
+            (4, 2),
+            (4, 3),
+            (5, 2),
+        ] {
             validate(&KAryNTree::new(k, n)).unwrap_or_else(|e| panic!("({k},{n}): {e}"));
         }
     }
@@ -398,7 +419,7 @@ mod tests {
         assert_eq!(t.min_distance(a, NodeId(4)), 4); // prefix len 2
         assert_eq!(t.min_distance(a, NodeId(16)), 6); // prefix len 1
         assert_eq!(t.min_distance(a, NodeId(64)), 8); // prefix len 0
-        // Diameter = 2n.
+                                                      // Diameter = 2n.
         let max = (0..256)
             .map(|b| t.min_distance(a, NodeId(b)))
             .max()

@@ -20,9 +20,13 @@ impl AddressBits {
     /// Panics unless `num_nodes` is a power of two `>= 2` (the paper
     /// assumes `k` a power of two and defines the patterns bit-wise).
     pub fn for_nodes(num_nodes: usize) -> Self {
-        assert!(num_nodes >= 2 && num_nodes.is_power_of_two(),
-            "bit-defined patterns need a power-of-two node count, got {num_nodes}");
-        AddressBits { bits: num_nodes.trailing_zeros() }
+        assert!(
+            num_nodes >= 2 && num_nodes.is_power_of_two(),
+            "bit-defined patterns need a power-of-two node count, got {num_nodes}"
+        );
+        AddressBits {
+            bits: num_nodes.trailing_zeros(),
+        }
     }
 
     /// Number of address bits `B`.
@@ -63,7 +67,10 @@ impl AddressBits {
     /// Panics if `B` is odd.
     #[inline]
     pub fn transpose(&self, x: usize) -> usize {
-        assert!(self.bits.is_multiple_of(2), "transpose needs an even number of bits");
+        assert!(
+            self.bits.is_multiple_of(2),
+            "transpose needs an even number of bits"
+        );
         let half = self.bits / 2;
         let mask = (1usize << half) - 1;
         ((x & mask) << half) | (x >> half)

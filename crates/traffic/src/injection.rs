@@ -68,14 +68,24 @@ impl Periodic {
     /// zero never fires.
     pub fn new(rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
-        let period = if rate == 0.0 { u64::MAX } else { (1.0 / rate).round().max(1.0) as u64 };
-        Periodic { period, countdown: period }
+        let period = if rate == 0.0 {
+            u64::MAX
+        } else {
+            (1.0 / rate).round().max(1.0) as u64
+        };
+        Periodic {
+            period,
+            countdown: period,
+        }
     }
 
     /// Create a process firing exactly every `period` cycles.
     pub fn every(period: u64) -> Self {
         assert!(period >= 1);
-        Periodic { period, countdown: period }
+        Periodic {
+            period,
+            countdown: period,
+        }
     }
 }
 
@@ -175,7 +185,10 @@ mod tests {
         let mut p = Periodic::every(4);
         let mut rng = Rng64::seed_from(0);
         let first: Vec<bool> = (0..8).map(|_| p.tick(&mut rng)).collect();
-        assert_eq!(first, [false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            first,
+            [false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]
@@ -213,7 +226,10 @@ mod tests {
         };
         let v_bursty = var(&mut bursty, &mut rng);
         let v_bern = var(&mut bern, &mut rng);
-        assert!(v_bursty > 2.0 * v_bern, "bursty {v_bursty} vs bernoulli {v_bern}");
+        assert!(
+            v_bursty > 2.0 * v_bern,
+            "bursty {v_bursty} vs bernoulli {v_bern}"
+        );
     }
 
     #[test]

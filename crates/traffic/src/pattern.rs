@@ -109,7 +109,10 @@ impl Pattern {
             "butterfly" => Pattern::Butterfly,
             "tornado" => Pattern::Tornado,
             "neighbor" => Pattern::NearestNeighbor,
-            "hotspot" => Pattern::HotSpot { hot: 0, percent: 20 },
+            "hotspot" => Pattern::HotSpot {
+                hot: 0,
+                percent: 20,
+            },
             _ => return None,
         })
     }
@@ -162,7 +165,11 @@ impl TrafficGen {
             }
             _ => None,
         };
-        TrafficGen { pattern, num_nodes, bits }
+        TrafficGen {
+            pattern,
+            num_nodes,
+            bits,
+        }
     }
 
     /// The bound pattern.
@@ -253,6 +260,51 @@ mod tests {
     }
 
     #[test]
+    fn names_round_trip_through_parse() {
+        // The paper's four patterns, plus every extension with a
+        // parameter-free name: `parse(name())` must be the identity.
+        let mut all = Pattern::PAPER_SET.to_vec();
+        all.extend([
+            Pattern::Shuffle,
+            Pattern::Butterfly,
+            Pattern::Tornado,
+            Pattern::NearestNeighbor,
+        ]);
+        for p in all {
+            assert_eq!(
+                Pattern::parse(p.name()),
+                Some(p),
+                "{} did not round-trip",
+                p.name()
+            );
+        }
+        // Hot-spot round-trips up to its defaults (the name drops the
+        // node/percent parameters).
+        let hs = Pattern::HotSpot {
+            hot: 0,
+            percent: 20,
+        };
+        assert_eq!(Pattern::parse(hs.name()), Some(hs));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for junk in [
+            "",
+            "unifrom",
+            "UNIFORM",
+            "uniform ",
+            " uniform",
+            "bit rev",
+            "hotspot:3",
+            "42",
+            "--",
+        ] {
+            assert_eq!(Pattern::parse(junk), None, "{junk:?} should not parse");
+        }
+    }
+
+    #[test]
     fn uniform_never_self_and_covers_everyone() {
         let g = gen(Pattern::Uniform);
         let mut rng = Rng64::seed_from(5);
@@ -272,7 +324,10 @@ mod tests {
         let g = gen(Pattern::Complement);
         let mut rng = Rng64::seed_from(0);
         assert_eq!(g.dest(NodeId(0), &mut rng), Some(NodeId(255)));
-        assert_eq!(g.dest(NodeId(0b1010_1010), &mut rng), Some(NodeId(0b0101_0101)));
+        assert_eq!(
+            g.dest(NodeId(0b1010_1010), &mut rng),
+            Some(NodeId(0b0101_0101))
+        );
         // Complement has no fixed points: everyone injects.
         assert_eq!(g.injecting_fraction(), 1.0);
     }
@@ -298,7 +353,11 @@ mod tests {
 
     #[test]
     fn deterministic_patterns_are_stable() {
-        for p in [Pattern::Complement, Pattern::BitReversal, Pattern::Transpose] {
+        for p in [
+            Pattern::Complement,
+            Pattern::BitReversal,
+            Pattern::Transpose,
+        ] {
             let g = gen(p);
             let mut r1 = Rng64::seed_from(1);
             let mut r2 = Rng64::seed_from(999);
@@ -323,7 +382,13 @@ mod tests {
 
     #[test]
     fn hotspot_concentrates() {
-        let g = TrafficGen::new(Pattern::HotSpot { hot: 7, percent: 50 }, 256);
+        let g = TrafficGen::new(
+            Pattern::HotSpot {
+                hot: 7,
+                percent: 50,
+            },
+            256,
+        );
         let mut rng = Rng64::seed_from(3);
         let hits = (0..10_000)
             .filter(|_| g.dest(NodeId(100), &mut rng) == Some(NodeId(7)))

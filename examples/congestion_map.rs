@@ -41,7 +41,13 @@ fn heat_map(pattern: Pattern) -> Vec<u64> {
 fn print_grid(loads: &[u64]) {
     let max = *loads.iter().max().unwrap() as f64;
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-    println!("    {}", "0123456789abcdef".chars().map(|c| format!("{c} ")).collect::<String>());
+    println!(
+        "    {}",
+        "0123456789abcdef"
+            .chars()
+            .map(|c| format!("{c} "))
+            .collect::<String>()
+    );
     for y in 0..16 {
         print!("{y:>3} ");
         for x in 0..16 {

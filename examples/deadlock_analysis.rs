@@ -18,9 +18,16 @@ use netperf::routing::{build_cdg, ChannelDependencyGraph, LaneId};
 
 fn report(name: &str, g: &ChannelDependencyGraph) {
     match g.find_cycle() {
-        None => println!("{name:55} {:>7} deps  ACYCLIC (deadlock-free)", g.num_edges()),
+        None => println!(
+            "{name:55} {:>7} deps  ACYCLIC (deadlock-free)",
+            g.num_edges()
+        ),
         Some(cycle) => {
-            println!("{name:55} {:>7} deps  CYCLE of length {}", g.num_edges(), cycle.len() - 1)
+            println!(
+                "{name:55} {:>7} deps  CYCLE of length {}",
+                g.num_edges(),
+                cycle.len() - 1
+            )
         }
     }
 }
@@ -39,7 +46,10 @@ fn main() {
     for (k, n, vcs) in [(4usize, 2usize, 2usize), (2, 4, 1), (3, 3, 4)] {
         let algo = TreeAdaptive::new(KAryNTree::new(k, n), vcs);
         let g = build_cdg(&algo, |_| true);
-        report(&format!("tree adaptive, {k}-ary {n}-tree, {vcs} vc, full CDG"), &g);
+        report(
+            &format!("tree adaptive, {k}-ary {n}-tree, {vcs} vc, full CDG"),
+            &g,
+        );
     }
 
     // Duato: the full CDG is cyclic by design; the escape sub-CDG
@@ -48,20 +58,30 @@ fn main() {
     let full = build_cdg(&algo, |_| true);
     report("Duato, 6-ary 2-cube, full CDG (cycles expected!)", &full);
     let escape = build_cdg(&algo, |l: LaneId| algo.is_escape_vc(l.vc as usize));
-    report("Duato, 6-ary 2-cube, escape sub-CDG + indirect deps", &escape);
+    report(
+        "Duato, 6-ary 2-cube, escape sub-CDG + indirect deps",
+        &escape,
+    );
 
     // Negative control: collapse the two virtual networks of the
     // deterministic algorithm — the wrap-around cycle reappears.
     let algo = CubeDeterministic::new(KAryNCube::new(6, 2));
     let g = build_cdg(&algo, |_| true);
     let mut merged = ChannelDependencyGraph::default();
-    let project = |l: LaneId| LaneId { router: l.router, port: l.port, vc: 0 };
+    let project = |l: LaneId| LaneId {
+        router: l.router,
+        port: l.port,
+        vc: 0,
+    };
     for from in g.lanes() {
         for to in g.successors(from) {
             merged.add_edge(project(from), project(to));
         }
     }
-    report("deterministic with virtual networks COLLAPSED (broken!)", &merged);
+    report(
+        "deterministic with virtual networks COLLAPSED (broken!)",
+        &merged,
+    );
 
     println!("\nEvery production configuration is acyclic; the deliberately broken");
     println!("variant is not. The simulator additionally carries a runtime deadlock");

@@ -21,7 +21,10 @@ fn main() {
     let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
 
     println!("16-ary 2-cube, Duato adaptive routing, uniform traffic");
-    println!("{:>8} {:>16} {:>16} {:>8}", "load", "model (cycles)", "sim (cycles)", "error");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "load", "model (cycles)", "sim (cycles)", "error"
+    );
     let model = CubeModel::new(16, 2, 16);
     let spec = ExperimentSpec::cube_duato(CubeParams::paper());
     for &f in &loads {
@@ -42,7 +45,10 @@ fn main() {
     );
 
     println!("\n4-ary 4-tree, adaptive routing with 2 VCs, uniform traffic");
-    println!("{:>8} {:>16} {:>16} {:>8}", "load", "model (cycles)", "sim (cycles)", "error");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "load", "model (cycles)", "sim (cycles)", "error"
+    );
     let model = TreeModel::new(4, 4, 32);
     let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), 2);
     for &f in &loads {

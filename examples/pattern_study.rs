@@ -66,7 +66,11 @@ fn main() {
     // Dynamic confirmation: drive the tree at 90% of capacity.
     let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), 1);
     println!("4-ary 4-tree, 1 virtual channel, offered = 90% of capacity:");
-    for pattern in [Pattern::Complement, Pattern::Transpose, Pattern::BitReversal] {
+    for pattern in [
+        Pattern::Complement,
+        Pattern::Transpose,
+        Pattern::BitReversal,
+    ] {
         let out = simulate_load(&spec, pattern, 0.9, RunLength::paper());
         println!(
             "  {:12} accepted {:>5.1}%  latency {:>6.1} cycles",

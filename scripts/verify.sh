@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, lint. Run from the repo root.
+# Tier-1 verification: format, build, test, lint, smoke. Run from the
+# repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
@@ -11,5 +15,44 @@ cargo test -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> repro_all --quick smoke"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run --release -p bench --bin repro_all -- --quick --out "$SMOKE_DIR" \
+  > "$SMOKE_DIR/stdout.txt"
+
+# Every artifact the harness promises, plus its run manifest.
+for stem in table1 table2 \
+    fig5_uniform fig5_complement fig5_transpose fig5_bitrev \
+    fig6_uniform fig6_complement fig6_transpose fig6_bitrev \
+    fig7_uniform fig7_complement fig7_transpose fig7_bitrev \
+    saturation; do
+  for f in "$SMOKE_DIR/$stem.csv" "$SMOKE_DIR/$stem.manifest.json"; do
+    [ -s "$f" ] || { echo "smoke: missing artifact $f" >&2; exit 1; }
+  done
+done
+for f in "$SMOKE_DIR/report.md" "$SMOKE_DIR/plot.gp"; do
+  [ -s "$f" ] || { echo "smoke: missing artifact $f" >&2; exit 1; }
+done
+
+# The manifests must be valid JSON with the expected schema, and the
+# CSVs must parse with a stable header.
+python3 - "$SMOKE_DIR" <<'EOF'
+import csv, glob, json, sys
+out = sys.argv[1]
+manifests = glob.glob(out + "/*.manifest.json")
+assert manifests, "no manifests written"
+for path in manifests:
+    with open(path) as f:
+        m = json.load(f)
+    assert m["schema"] == "netperf-run-manifest/1", path
+    assert "seed_salt" in m and "counters" in m, path
+for path in glob.glob(out + "/*.csv"):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    assert len(rows) >= 2 and rows[0], path
+print(f"smoke: {len(manifests)} manifests, all artifacts parse")
+EOF
 
 echo "verify: OK"

@@ -1,203 +1,409 @@
 //! `netperf` — command-line driver for the flit-level simulator.
 //!
-//! Run a single simulation or a load sweep on any supported network
-//! without writing Rust:
+//! Three subcommands over the scenario plane:
 //!
 //! ```sh
-//! netperf --topology cube --k 16 --n 2 --algo duato --pattern uniform --load 0.6
-//! netperf --topology tree --k 4 --n 4 --algo adaptive --vcs 2 \
-//!         --pattern transpose --sweep 0.1:1.0:0.1 --csv sweep.csv
-//! netperf --topology mesh --k 8 --n 2 --algo det --pattern tornado --load 0.3
+//! netperf list                              # named scenarios from the registry
+//! netperf run cube-duato --load 0.6         # one load point of a registry entry
+//! netperf sweep tree-2vc --pattern transpose --csv sweep.csv
+//! netperf run --topology mesh --k 8 --n 2 --algo adaptive --vcs 2 --load 0.3
 //! ```
+//!
+//! `run` and `sweep` accept either a registry name or explicit
+//! `--topology/--k/--n/--algo/--vcs` flags; every axis goes through the
+//! validating [`ScenarioBuilder`], so an impossible combination fails
+//! with a message instead of a panic. When `--csv` is given, a JSON run
+//! manifest (`<stem>.manifest.json`) is written next to it.
+//!
+//! The historical flags-first form (`netperf --topology cube ...`) still
+//! works and keeps its historical semantics: one fixed seed for every
+//! load point (default `0x5EED`) and no source throttling.
 
-use netperf::netsim::experiment::{default_load_grid, RunLength};
-use netperf::netsim::sim::{run_simulation, InjectionSpec, SimConfig};
-use netperf::prelude::*;
-use netperf::routing::{MeshAdaptive, MeshDeterministic, RoutingAlgorithm};
-use netperf::topology::KAryNMesh;
-use netstats::{Cell, Table};
+use netperf::netsim::scenario::{
+    default_load_grid, named, registry, InjectionModel, RoutingKind, RunLength, Scenario,
+    ScenarioBuilder, SeedMode, Throttle, TopologySpec,
+};
+use netperf::traffic::Pattern;
+use netstats::{Cell, Manifest, ManifestValue, Table};
+use std::time::Instant;
 
-#[derive(Debug)]
-struct Args {
-    topology: String,
-    k: usize,
-    n: usize,
-    algo: String,
-    vcs: usize,
-    pattern: Pattern,
-    load: f64,
-    sweep: Option<Vec<f64>>,
-    cycles: u32,
-    warmup: u32,
-    seed: u64,
-    buffer: usize,
-    packet_bytes: usize,
-    csv: Option<String>,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Args {
-            topology: "cube".into(),
-            k: 16,
-            n: 2,
-            algo: "duato".into(),
-            vcs: 4,
-            pattern: Pattern::Uniform,
-            load: 0.5,
-            sweep: None,
-            cycles: 20_000,
-            warmup: 2_000,
-            seed: 0x5EED,
-            buffer: 4,
-            packet_bytes: 64,
-            csv: None,
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..], false),
+        Some("sweep") => cmd_run(&args[1..], true),
+        None | Some("--help" | "-h") => usage(),
+        // Flags-first invocation: the historical single-level CLI.
+        Some(f) if f.starts_with("--") => legacy(&args),
+        Some(other) => {
+            eprintln!("error: unknown subcommand {other}");
+            usage();
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: netperf [options]\n\
-         --topology cube|tree|mesh   network family (default cube)\n\
+        "usage: netperf <subcommand> [options]\n\
+         \n\
+         subcommands:\n\
+         list                        print the named-scenario registry\n\
+         run   [name] [options]      simulate one offered load\n\
+         sweep [name] [options]      sweep a load grid (in parallel)\n\
+         \n\
+         scenario selection (instead of a registry name):\n\
+         --topology cube|tree|mesh   network family\n\
          --k <int>                   radix / arity (default 16)\n\
          --n <int>                   dimension / levels (default 2)\n\
-         --algo det|duato|adaptive   routing algorithm (default duato)\n\
-         --vcs <int>                 virtual channels (tree/mesh; default 4)\n\
+         --algo det|duato|adaptive   routing (default: the family's paper choice)\n\
+         --vcs <int>                 virtual channels (default 4)\n\
+         \n\
+         scenario overrides (work with a name too):\n\
          --pattern <name>            uniform|complement|bitrev|transpose|shuffle|\n\
                                      butterfly|tornado|neighbor|hotspot (default uniform)\n\
-         --load <frac>               offered load, fraction of capacity (default 0.5)\n\
-         --sweep a:b:step            sweep loads instead of a single run\n\
-         --cycles <int>              total cycles (default 20000)\n\
-         --warmup <int>              warm-up cycles (default 2000)\n\
-         --seed <int>                RNG seed (default 0x5EED)\n\
+         --injection <model>         bernoulli|periodic|onoff:<on>:<off> (default bernoulli)\n\
+         --throttle auto|off|<int>   source throttling (default auto: the paper's rule)\n\
          --buffer <int>              lane depth in flits (default 4)\n\
          --packet-bytes <int>        packet size (default 64)\n\
-         --csv <path>                write results as CSV"
+         --cycles <int>              total cycles (default 20000)\n\
+         --warmup <int>              warm-up cycles (default 2000)\n\
+         --quick                     short run (1000/6000 cycles)\n\
+         --seed <salt>               salt the derived per-run seeds (default 0)\n\
+         --fixed-seed <int>          one fixed seed for every load point\n\
+         --label <text>              override the display label (feeds the seed)\n\
+         \n\
+         run/sweep control:\n\
+         --load <frac>               offered load for `run` (default 0.5)\n\
+         --grid a:b:step             load grid for `sweep` (default 0.05:1.0:0.05)\n\
+         --csv <path>                write results as CSV (+ JSON manifest)\n\
+         \n\
+         The historical flags-first form (netperf --topology ... --load ...)\n\
+         is still accepted, with its historical fixed-seed, unthrottled\n\
+         semantics."
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut a = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut val = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("error: missing value for {name}");
-                usage()
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_grid(spec: &str) -> Option<Vec<f64>> {
+    let parts: Vec<f64> = spec
+        .split(':')
+        .map(|x| x.parse().ok())
+        .collect::<Option<_>>()?;
+    match parts.as_slice() {
+        [a, b, step] if *step > 0.0 && b >= a => {
+            let mut g = Vec::new();
+            let mut x = *a;
+            while x <= b + 1e-9 {
+                g.push(x);
+                x += step;
+            }
+            Some(g)
+        }
+        _ => None,
+    }
+}
+
+fn parse_injection(spec: &str) -> Option<InjectionModel> {
+    match spec {
+        "bernoulli" => Some(InjectionModel::Bernoulli),
+        "periodic" => Some(InjectionModel::Periodic),
+        _ => {
+            let rest = spec.strip_prefix("onoff:")?;
+            let (on, off) = rest.split_once(':')?;
+            Some(InjectionModel::OnOff {
+                mean_on: on.parse().ok().filter(|v: &f64| *v > 0.0)?,
+                mean_off: off.parse().ok().filter(|v: &f64| *v >= 0.0)?,
             })
+        }
+    }
+}
+
+fn cmd_list() {
+    println!("{:18} {:22} summary", "name", "label");
+    for e in registry() {
+        let s = e.scenario();
+        println!("{:18} {:22} {}", e.name, s.label(), e.summary);
+    }
+    println!("\npaper set: cube-det cube-duato tree-1vc tree-2vc tree-4vc");
+}
+
+/// Everything `run`/`sweep` parse: the scenario plus sweep control.
+struct Request {
+    scenario: Scenario,
+    loads: Vec<f64>,
+    csv: Option<String>,
+    quick: bool,
+}
+
+fn parse_request(args: &[String], sweep: bool) -> Request {
+    let mut it = args.iter();
+    let mut name: Option<String> = None;
+    // Builder axes (only used when no registry name is given).
+    let mut family: Option<String> = None;
+    let (mut k, mut n) = (16usize, 2usize);
+    let mut algo: Option<RoutingKind> = None;
+    let mut vcs: Option<usize> = None;
+    // Overrides that apply to both paths.
+    let mut pattern: Option<Pattern> = None;
+    let mut injection: Option<InjectionModel> = None;
+    let mut throttle: Option<Throttle> = None;
+    let mut buffer: Option<usize> = None;
+    let mut packet_bytes: Option<usize> = None;
+    let mut label: Option<String> = None;
+    let mut seed: Option<SeedMode> = None;
+    let mut run_length: Option<RunLength> = None;
+    let (mut cycles, mut warmup): (Option<u32>, Option<u32>) = (None, None);
+    let mut quick = false;
+    // Sweep control.
+    let mut load = 0.5f64;
+    let mut grid: Option<Vec<f64>> = None;
+    let mut csv: Option<String> = None;
+
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> &str {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("missing value for {name}")))
         };
         match flag.as_str() {
-            "--topology" => a.topology = val("--topology"),
-            "--k" => a.k = val("--k").parse().unwrap_or_else(|_| usage()),
-            "--n" => a.n = val("--n").parse().unwrap_or_else(|_| usage()),
-            "--algo" => a.algo = val("--algo"),
-            "--vcs" => a.vcs = val("--vcs").parse().unwrap_or_else(|_| usage()),
+            "--topology" => family = Some(val("--topology").to_string()),
+            "--k" => k = val("--k").parse().unwrap_or_else(|_| fail("bad --k")),
+            "--n" => n = val("--n").parse().unwrap_or_else(|_| fail("bad --n")),
+            "--algo" => {
+                let a = val("--algo");
+                algo = Some(RoutingKind::parse(a).unwrap_or_else(|| {
+                    fail(&format!("unknown algorithm {a} (det|duato|adaptive)"))
+                }));
+            }
+            "--vcs" => vcs = Some(val("--vcs").parse().unwrap_or_else(|_| fail("bad --vcs"))),
             "--pattern" => {
-                let name = val("--pattern");
-                a.pattern = Pattern::parse(&name).unwrap_or_else(|| {
-                    eprintln!("error: unknown pattern {name}");
-                    usage()
+                let p = val("--pattern");
+                pattern = Some(
+                    Pattern::parse(p).unwrap_or_else(|| fail(&format!("unknown pattern {p}"))),
+                );
+            }
+            "--injection" => {
+                let i = val("--injection");
+                injection = Some(parse_injection(i).unwrap_or_else(|| {
+                    fail(&format!(
+                        "bad injection model {i} (bernoulli|periodic|onoff:<on>:<off>)"
+                    ))
+                }));
+            }
+            "--throttle" => {
+                let t = val("--throttle");
+                throttle = Some(match t {
+                    "auto" => Throttle::Auto,
+                    "off" => Throttle::Off,
+                    other => Throttle::Limit(
+                        other
+                            .parse()
+                            .unwrap_or_else(|_| fail("bad --throttle (auto|off|<int>)")),
+                    ),
                 });
             }
-            "--load" => a.load = val("--load").parse().unwrap_or_else(|_| usage()),
-            "--sweep" => {
-                let spec = val("--sweep");
-                let parts: Vec<f64> =
-                    spec.split(':').map(|x| x.parse().unwrap_or_else(|_| usage())).collect();
-                let grid = match parts.as_slice() {
-                    [a, b, step] if *step > 0.0 && b >= a => {
-                        let mut g = Vec::new();
-                        let mut x = *a;
-                        while x <= b + 1e-9 {
-                            g.push(x);
-                            x += step;
-                        }
-                        g
-                    }
-                    _ => usage(),
-                };
-                a.sweep = Some(grid);
+            "--buffer" => {
+                buffer = Some(
+                    val("--buffer")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --buffer")),
+                )
             }
-            "--cycles" => a.cycles = val("--cycles").parse().unwrap_or_else(|_| usage()),
-            "--warmup" => a.warmup = val("--warmup").parse().unwrap_or_else(|_| usage()),
-            "--seed" => a.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
-            "--buffer" => a.buffer = val("--buffer").parse().unwrap_or_else(|_| usage()),
             "--packet-bytes" => {
-                a.packet_bytes = val("--packet-bytes").parse().unwrap_or_else(|_| usage())
+                packet_bytes = Some(
+                    val("--packet-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --packet-bytes")),
+                )
             }
-            "--csv" => a.csv = Some(val("--csv")),
+            "--label" => label = Some(val("--label").to_string()),
+            "--seed" => {
+                let s = val("--seed");
+                seed = Some(SeedMode::Derived {
+                    salt: parse_u64(s).unwrap_or_else(|| fail("bad --seed")),
+                });
+            }
+            "--fixed-seed" => {
+                let s = val("--fixed-seed");
+                seed = Some(SeedMode::Fixed(
+                    parse_u64(s).unwrap_or_else(|| fail("bad --fixed-seed")),
+                ));
+            }
+            "--cycles" => {
+                cycles = Some(
+                    val("--cycles")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --cycles")),
+                )
+            }
+            "--warmup" => {
+                warmup = Some(
+                    val("--warmup")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --warmup")),
+                )
+            }
+            "--quick" => quick = true,
+            "--load" => load = val("--load").parse().unwrap_or_else(|_| fail("bad --load")),
+            "--sweep" | "--grid" => {
+                let g = val("--grid");
+                grid = Some(parse_grid(g).unwrap_or_else(|| fail("bad --grid (want a:b:step)")));
+            }
+            "--csv" => csv = Some(val("--csv").to_string()),
             "--help" | "-h" => usage(),
-            other => {
-                eprintln!("error: unknown flag {other}");
-                usage();
-            }
+            other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
+            positional if name.is_none() => name = Some(positional.to_string()),
+            other => fail(&format!("unexpected argument {other}")),
         }
     }
-    a
-}
 
-/// Build the algorithm and the physical parameters for the CLI request.
-fn build(args: &Args) -> (Box<dyn RoutingAlgorithm>, usize, f64) {
-    match (args.topology.as_str(), args.algo.as_str()) {
-        ("cube", "det") => {
-            let cube = KAryNCube::new(args.k, args.n);
-            let cap = cube.uniform_capacity_flits_per_cycle();
-            (Box::new(CubeDeterministic::new(cube)), 4, cap)
+    if quick {
+        run_length = Some(RunLength::quick());
+    }
+    if cycles.is_some() || warmup.is_some() {
+        let base = run_length.unwrap_or_else(RunLength::paper);
+        run_length = Some(RunLength {
+            warmup: warmup.unwrap_or(base.warmup),
+            total: cycles.unwrap_or(base.total),
+        });
+    }
+
+    let scenario = if let Some(name) = &name {
+        if family.is_some() || algo.is_some() || vcs.is_some() {
+            fail("give either a registry name or --topology/--algo/--vcs flags, not both");
         }
-        ("cube", "duato") => {
-            let cube = KAryNCube::new(args.k, args.n);
-            let cap = cube.uniform_capacity_flits_per_cycle();
-            (Box::new(CubeDuato::new(cube)), 4, cap)
+        let mut s = named(name)
+            .unwrap_or_else(|| fail(&format!("unknown scenario {name} (see `netperf list`)")));
+        // Apply the overrides the axis accessors allow without
+        // rebuilding: pattern (revalidated), run length, seed.
+        if let Some(p) = pattern {
+            s = s.with_pattern(p);
         }
-        ("tree", "adaptive") => {
-            let tree = KAryNTree::new(args.k, args.n);
-            (Box::new(TreeAdaptive::new(tree, args.vcs)), 2, 1.0)
+        if let Some(len) = run_length {
+            s = s.with_run_length(len);
         }
-        ("mesh", "det") => {
-            let mesh = KAryNMesh::new(args.k, args.n);
-            let cap = mesh.uniform_capacity_flits_per_cycle();
-            (Box::new(MeshDeterministic::new(mesh, args.vcs)), 4, cap)
+        if let Some(mode) = seed {
+            s = s.with_seed(mode);
         }
-        ("mesh", "adaptive" | "duato") => {
-            let mesh = KAryNMesh::new(args.k, args.n);
-            let cap = mesh.uniform_capacity_flits_per_cycle();
-            (Box::new(MeshAdaptive::new(mesh, args.vcs.max(2))), 4, cap)
+        if injection.is_some()
+            || throttle.is_some()
+            || buffer.is_some()
+            || packet_bytes.is_some()
+            || label.is_some()
+        {
+            fail("registry scenarios fix injection/throttle/buffer/packet size; use explicit --topology flags to change them");
         }
-        (topo, algo) => {
-            eprintln!("error: unsupported combination --topology {topo} --algo {algo}");
-            eprintln!("supported: cube+det, cube+duato, tree+adaptive, mesh+det, mesh+adaptive");
-            std::process::exit(2);
+        s
+    } else {
+        let family = family.unwrap_or_else(|| fail("need a registry name or --topology"));
+        let topology = TopologySpec::parse(&family, k, n)
+            .unwrap_or_else(|| fail(&format!("unknown topology {family} (cube|tree|mesh)")));
+        let mut b = ScenarioBuilder::new().topology(topology);
+        if let Some(r) = algo {
+            b = b.routing(r);
         }
+        if let Some(v) = vcs {
+            b = b.vcs(v);
+        }
+        if let Some(p) = pattern {
+            b = b.pattern(p);
+        }
+        if let Some(i) = injection {
+            b = b.injection(i);
+        }
+        if let Some(t) = throttle {
+            b = b.throttle(t);
+        }
+        if let Some(d) = buffer {
+            b = b.buffer_depth(d);
+        }
+        if let Some(bytes) = packet_bytes {
+            b = b.packet_bytes(bytes);
+        }
+        if let Some(l) = label {
+            b = b.label(l);
+        }
+        if let Some(len) = run_length {
+            b = b.run_length(len);
+        }
+        if let Some(mode) = seed {
+            b = b.seed(mode);
+        }
+        b.build().unwrap_or_else(|e| fail(&e.to_string()))
+    };
+
+    let loads = if sweep {
+        grid.unwrap_or_else(default_load_grid)
+    } else {
+        vec![load]
+    };
+    Request {
+        scenario,
+        loads,
+        csv,
+        quick,
     }
 }
 
-fn config(args: &Args, flit_bytes: usize, cap: f64, load: f64) -> SimConfig {
-    let flits = (args.packet_bytes / flit_bytes).max(1) as u16;
-    SimConfig {
-        seed: args.seed,
-        warmup_cycles: args.warmup,
-        total_cycles: args.cycles,
-        buffer_depth: args.buffer,
-        flits_per_packet: flits,
-        capacity_flits_per_cycle: cap,
-        injection: InjectionSpec::Bernoulli {
-            packets_per_cycle: load * cap / flits as f64,
-        },
-        pattern: args.pattern,
-        injection_limit: None,
-        request_reply: false,
+fn cmd_run(args: &[String], sweep: bool) {
+    let req = parse_request(args, sweep);
+    let s = &req.scenario;
+    let norm = s.normalization();
+    println!(
+        "{} | {} | {} | {} flits/packet | capacity {:.3} flits/node/cycle | clock {:.2} ns",
+        s.topology().describe(),
+        s.routing().name(),
+        s.pattern().name(),
+        (s.packet_bytes() / norm.flit_bytes()).max(1),
+        norm.capacity_flits_per_cycle(),
+        norm.timing().clock_ns(),
+    );
+
+    let start = Instant::now();
+    let outcomes = s.sweep_outcomes(&req.loads);
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut table = results_table();
+    let (mut created, mut delivered) = (0u64, 0u64);
+    for (&load, out) in req.loads.iter().zip(&outcomes) {
+        created += out.created_packets;
+        delivered += out.delivered_packets;
+        push_outcome(&mut table, load, out);
+        println!(
+            "load {:>5.2}: accepted {:>6.3} of capacity, latency {:>7.1} cycles (p99 {:>6.0}), {} packets",
+            load,
+            out.accepted_fraction,
+            out.mean_latency_cycles(),
+            out.latency_hist.quantile(0.99).unwrap_or(f64::NAN),
+            out.delivered_packets
+        );
+    }
+
+    if let Some(path) = &req.csv {
+        netstats::write_csv(&table, path).expect("write csv");
+        let manifest = cli_manifest(&req, wall, outcomes.len(), created, delivered);
+        let mpath = manifest_sibling(path);
+        netstats::write_manifest(&manifest, &mpath).expect("write manifest");
+        eprintln!("wrote {path}");
+        eprintln!("wrote {mpath}");
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let (algo, flit_bytes, cap) = build(&args);
-    let _ = (RunLength::paper(), default_load_grid()); // referenced for docs
-
-    let loads: Vec<f64> = args.sweep.clone().unwrap_or_else(|| vec![args.load]);
-    let mut table = Table::with_columns([
+fn results_table() -> Table {
+    Table::with_columns([
         "offered_fraction",
         "generated_fraction",
         "accepted_fraction",
@@ -205,38 +411,180 @@ fn main() {
         "latency_p99_cycles",
         "delivered_packets",
         "backlog_packets",
+    ])
+}
+
+fn push_outcome(table: &mut Table, load: f64, out: &netperf::netsim::sim::SimOutcome) {
+    table.push_row(vec![
+        Cell::Num(load),
+        Cell::Num(out.generated_fraction),
+        Cell::Num(out.accepted_fraction),
+        Cell::Num(out.mean_latency_cycles()),
+        Cell::Num(out.latency_hist.quantile(0.99).unwrap_or(f64::NAN)),
+        Cell::Num(out.delivered_packets as f64),
+        Cell::Num(out.backlog_packets as f64),
     ]);
+}
+
+/// The run manifest written next to `--csv` output (same schema as the
+/// bench binaries').
+fn cli_manifest(req: &Request, wall: f64, sims: usize, created: u64, delivered: u64) -> Manifest {
+    let mut m = Manifest::new();
+    m.push("schema", "netperf-run-manifest/1");
+    m.push("generator", "netperf-cli");
+    m.push("artifact", req.csv.as_deref().unwrap_or(""));
+    m.push("quick", req.quick);
+    m.push(
+        "loads",
+        ManifestValue::List(req.loads.iter().map(|&l| ManifestValue::Num(l)).collect()),
+    );
+    let mut engine = Manifest::new();
+    for (feature, enabled) in netperf::netsim::engine_features() {
+        engine.push(feature, enabled);
+    }
+    m.push("engine", engine);
+    m.push(
+        "scenarios",
+        ManifestValue::List(vec![req.scenario.manifest().into()]),
+    );
+    m.push("wall_clock_secs", wall);
+    let mut c = Manifest::new();
+    c.push("simulations", sims as f64);
+    c.push("created_packets", created as f64);
+    c.push("delivered_packets", delivered as f64);
+    m.push("counters", ManifestValue::Object(c));
+    m
+}
+
+fn manifest_sibling(csv_path: &str) -> String {
+    match csv_path.strip_suffix(".csv") {
+        Some(stem) => format!("{stem}.manifest.json"),
+        None => format!("{csv_path}.manifest.json"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The historical flags-first CLI, now a thin veneer over the builder.
+// ---------------------------------------------------------------------
+
+fn legacy(args: &[String]) {
+    let mut it = args.iter();
+    let mut family = "cube".to_string();
+    let (mut k, mut n) = (16usize, 2usize);
+    let mut algo = "duato".to_string();
+    let mut vcs = 4usize;
+    let mut pattern = Pattern::Uniform;
+    let mut load = 0.5f64;
+    let mut sweep: Option<Vec<f64>> = None;
+    let (mut cycles, mut warmup) = (20_000u32, 2_000u32);
+    let mut seed = 0x5EEDu64;
+    let mut buffer = 4usize;
+    let mut packet_bytes = 64usize;
+    let mut csv: Option<String> = None;
+
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> &str {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--topology" => family = val("--topology").to_string(),
+            "--k" => k = val("--k").parse().unwrap_or_else(|_| fail("bad --k")),
+            "--n" => n = val("--n").parse().unwrap_or_else(|_| fail("bad --n")),
+            "--algo" => algo = val("--algo").to_string(),
+            "--vcs" => vcs = val("--vcs").parse().unwrap_or_else(|_| fail("bad --vcs")),
+            "--pattern" => {
+                let p = val("--pattern");
+                pattern =
+                    Pattern::parse(p).unwrap_or_else(|| fail(&format!("unknown pattern {p}")));
+            }
+            "--load" => load = val("--load").parse().unwrap_or_else(|_| fail("bad --load")),
+            "--sweep" => {
+                let g = val("--sweep");
+                sweep = Some(parse_grid(g).unwrap_or_else(|| fail("bad --sweep (want a:b:step)")));
+            }
+            "--cycles" => {
+                cycles = val("--cycles")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --cycles"))
+            }
+            "--warmup" => {
+                warmup = val("--warmup")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --warmup"))
+            }
+            "--seed" => seed = parse_u64(val("--seed")).unwrap_or_else(|| fail("bad --seed")),
+            "--buffer" => {
+                buffer = val("--buffer")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --buffer"))
+            }
+            "--packet-bytes" => {
+                packet_bytes = val("--packet-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --packet-bytes"))
+            }
+            "--csv" => csv = Some(val("--csv").to_string()),
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+
+    // The historical CLI accepted `mesh + duato` as a synonym for the
+    // adaptive mesh router and silently raised the VC count to its
+    // 2-lane minimum.
+    let routing = match (family.as_str(), algo.as_str()) {
+        ("mesh", "duato") => RoutingKind::Adaptive,
+        _ => RoutingKind::parse(&algo)
+            .unwrap_or_else(|| fail(&format!("unknown algorithm {algo} (det|duato|adaptive)"))),
+    };
+    if family == "mesh" && routing == RoutingKind::Adaptive {
+        vcs = vcs.max(2);
+    }
+    let topology = TopologySpec::parse(&family, k, n)
+        .unwrap_or_else(|| fail(&format!("unknown topology {family} (cube|tree|mesh)")));
+    let scenario = ScenarioBuilder::new()
+        .topology(topology)
+        .routing(routing)
+        .vcs(vcs)
+        .pattern(pattern)
+        .run_length(RunLength {
+            warmup,
+            total: cycles,
+        })
+        .seed(SeedMode::Fixed(seed))
+        .buffer_depth(buffer)
+        .packet_bytes(packet_bytes)
+        .throttle(Throttle::Off)
+        .build()
+        .unwrap_or_else(|e| fail(&e.to_string()));
+
+    let norm = scenario.normalization();
+    let algo_obj = scenario.build_algorithm();
     println!(
         "{} | {} | {} | {} flits/packet | capacity {:.3} flits/node/cycle",
-        algo.topology().label(),
-        algo.name(),
-        args.pattern.name(),
-        (args.packet_bytes / flit_bytes).max(1),
-        cap,
+        algo_obj.topology().label(),
+        algo_obj.name(),
+        pattern.name(),
+        (packet_bytes / norm.flit_bytes()).max(1),
+        norm.capacity_flits_per_cycle(),
     );
-    for &load in &loads {
-        let cfg = config(&args, flit_bytes, cap, load);
-        let out = run_simulation(algo.as_ref(), &cfg);
-        let p99 = out.latency_hist.quantile(0.99).unwrap_or(f64::NAN);
+
+    let loads = sweep.unwrap_or_else(|| vec![load]);
+    let mut table = results_table();
+    for &l in &loads {
+        let out = scenario.simulate(l);
         println!(
             "load {:>5.2}: accepted {:>6.3} of capacity, latency {:>7.1} cycles (p99 {:>6.0}), {} packets",
-            load,
+            l,
             out.accepted_fraction,
             out.mean_latency_cycles(),
-            p99,
+            out.latency_hist.quantile(0.99).unwrap_or(f64::NAN),
             out.delivered_packets
         );
-        table.push_row(vec![
-            Cell::Num(load),
-            Cell::Num(out.generated_fraction),
-            Cell::Num(out.accepted_fraction),
-            Cell::Num(out.mean_latency_cycles()),
-            Cell::Num(p99),
-            Cell::Num(out.delivered_packets as f64),
-            Cell::Num(out.backlog_packets as f64),
-        ]);
+        push_outcome(&mut table, l, &out);
     }
-    if let Some(path) = &args.csv {
+    if let Some(path) = &csv {
         netstats::write_csv(&table, path).expect("write csv");
         eprintln!("wrote {path}");
     }

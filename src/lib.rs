@@ -16,8 +16,8 @@
 //! * [`costmodel`] — Chien's router cost model and the paper's
 //!   performance normalization.
 //! * [`netstats`] — statistics collection and CSV/JSON export.
-//! * [`netsim`] — the flit-level wormhole simulator and the paper's
-//!   experiment harness.
+//! * [`netsim`] — the flit-level wormhole simulator, the scenario
+//!   plane (`netsim::scenario`) and the paper's experiment harness.
 //! * [`analytic`] — closed-form latency/throughput baselines
 //!   (Agarwal-style M/D/1 contention models).
 //!
@@ -27,10 +27,21 @@
 //! use netperf::prelude::*;
 //!
 //! // Simulate the paper's 16-ary 2-cube with Duato's adaptive routing
-//! // under uniform traffic at 40% of capacity.
-//! let spec = ExperimentSpec::cube_duato(CubeParams::paper());
-//! let outcome = simulate_load(&spec, Pattern::Uniform, 0.4, RunLength::quick());
+//! // under uniform traffic at 40% of capacity: look the configuration
+//! // up in the scenario registry and run one load point.
+//! let scenario = named("cube-duato").unwrap().with_run_length(RunLength::quick());
+//! let outcome = scenario.simulate(0.4);
 //! assert!(outcome.accepted_fraction > 0.35); // below saturation: accepted ~ offered
+//!
+//! // Or compose a custom design point with the builder.
+//! let custom = Scenario::builder()
+//!     .topology(TopologySpec::mesh(4, 2))
+//!     .routing(RoutingKind::Adaptive)
+//!     .vcs(2)
+//!     .pattern(Pattern::Transpose)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(custom.label(), "mesh, adaptive");
 //! ```
 
 #![warn(missing_docs)]
@@ -48,11 +59,15 @@ pub mod prelude {
     pub use costmodel::chien::{ChienModel, RouterTiming};
     pub use costmodel::normalize::NetworkNormalization;
     pub use netsim::experiment::{
-        default_load_grid, simulate_load, sweep, sweep_outcomes, CubeParams, ExperimentSpec,
-        RunLength, TreeParams,
+        default_load_grid, simulate_load, sweep, sweep_outcomes, sweep_outcomes_salted, CubeParams,
+        ExperimentSpec, RunLength, TreeParams,
+    };
+    pub use netsim::scenario::{
+        derived_seed, named, paper_scenarios, registry, InjectionModel, NamedScenario, RoutingKind,
+        Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
     };
     pub use netsim::sim::{SimConfig, SimOutcome};
-    pub use netstats::export::{write_csv, Table};
+    pub use netstats::export::{write_csv, write_manifest, Manifest, ManifestValue, Table};
     pub use routing::{CubeDeterministic, CubeDuato, TreeAdaptive};
     pub use topology::{KAryNCube, KAryNTree, NodeId, RouterId, Topology};
     pub use traffic::pattern::Pattern;

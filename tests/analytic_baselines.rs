@@ -7,7 +7,10 @@ use netperf::analytic::{CubeModel, TreeModel};
 use netperf::prelude::*;
 
 fn quick() -> RunLength {
-    RunLength { warmup: 1_500, total: 7_000 }
+    RunLength {
+        warmup: 1_500,
+        total: 7_000,
+    }
 }
 
 #[test]
@@ -49,7 +52,10 @@ fn models_track_light_load_then_overestimate_contention() {
     let measured = simulate_load(&spec, Pattern::Uniform, 0.2, quick()).mean_latency_cycles();
     let predicted = cube.predicted_latency(0.2);
     let err = (predicted - measured).abs() / measured;
-    assert!(err < 0.4, "20% load: model {predicted:.1}, sim {measured:.1}");
+    assert!(
+        err < 0.4,
+        "20% load: model {predicted:.1}, sim {measured:.1}"
+    );
 
     let measured = simulate_load(&spec, Pattern::Uniform, 0.4, quick()).mean_latency_cycles();
     let predicted = cube.predicted_latency(0.4);

@@ -7,9 +7,9 @@
 //! after a long global stall, so mere completion is the assertion) and
 //! drain completely once sources stop.
 
+use netperf::netsim::sim::{run_simulation, InjectionSpec};
 use netperf::prelude::*;
 use netperf::routing::{build_cdg, RoutingAlgorithm};
-use netperf::netsim::sim::{run_simulation, InjectionSpec};
 use netperf::traffic::Pattern as P;
 
 #[test]
@@ -23,10 +23,20 @@ fn static_dor_acyclic_across_radices() {
 
 #[test]
 fn static_tree_acyclic_across_shapes() {
-    for (k, n, v) in [(2usize, 2usize, 1usize), (2, 3, 4), (3, 2, 2), (4, 2, 4), (2, 4, 2), (5, 2, 1)] {
+    for (k, n, v) in [
+        (2usize, 2usize, 1usize),
+        (2, 3, 4),
+        (3, 2, 2),
+        (4, 2, 4),
+        (2, 4, 2),
+        (5, 2, 1),
+    ] {
         let algo = TreeAdaptive::new(KAryNTree::new(k, n), v);
         let g = build_cdg(&algo, |_| true);
-        assert!(g.find_cycle().is_none(), "cycle on {k}-ary {n}-tree with {v} vc");
+        assert!(
+            g.find_cycle().is_none(),
+            "cycle on {k}-ary {n}-tree with {v} vc"
+        );
     }
 }
 
@@ -35,17 +45,36 @@ fn static_duato_escape_acyclic_across_radices() {
     for (k, n) in [(4usize, 2usize), (6, 2), (3, 3)] {
         let algo = CubeDuato::new(KAryNCube::new(k, n));
         let escape = build_cdg(&algo, |l| algo.is_escape_vc(l.vc as usize));
-        assert!(escape.find_cycle().is_none(), "escape cycle on {k}-ary {n}-cube");
+        assert!(
+            escape.find_cycle().is_none(),
+            "escape cycle on {k}-ary {n}-cube"
+        );
         let full = build_cdg(&algo, |_| true);
-        assert!(full.find_cycle().is_some(), "expected adaptive cycles on {k}-ary {n}-cube");
+        assert!(
+            full.find_cycle().is_some(),
+            "expected adaptive cycles on {k}-ary {n}-cube"
+        );
     }
 }
 
-fn overload_config(spec: &ExperimentSpec, pattern: P, cycles: u32) -> netperf::netsim::sim::SimConfig {
-    let mut cfg = spec.config_at(pattern, 1.0, RunLength { warmup: cycles / 4, total: cycles });
+fn overload_config(
+    spec: &ExperimentSpec,
+    pattern: P,
+    cycles: u32,
+) -> netperf::netsim::sim::SimConfig {
+    let mut cfg = spec.config_at(
+        pattern,
+        1.0,
+        RunLength {
+            warmup: cycles / 4,
+            total: cycles,
+        },
+    );
     // Double the nominal full load: deep saturation.
     if let InjectionSpec::Bernoulli { packets_per_cycle } = cfg.injection {
-        cfg.injection = InjectionSpec::Bernoulli { packets_per_cycle: (2.0 * packets_per_cycle).min(1.0) };
+        cfg.injection = InjectionSpec::Bernoulli {
+            packets_per_cycle: (2.0 * packets_per_cycle).min(1.0),
+        };
     }
     cfg
 }
@@ -81,7 +110,14 @@ fn dynamic_survival_adversarial_patterns_small() {
         Box::new(TreeAdaptive::new(KAryNTree::new(2, 4), 2)),
     ];
     for algo in &algos {
-        for pattern in [P::HotSpot { hot: 3, percent: 50 }, P::Tornado, P::NearestNeighbor] {
+        for pattern in [
+            P::HotSpot {
+                hot: 3,
+                percent: 50,
+            },
+            P::Tornado,
+            P::NearestNeighbor,
+        ] {
             let cfg = netperf::netsim::sim::SimConfig {
                 seed: 7,
                 warmup_cycles: 500,
@@ -89,7 +125,9 @@ fn dynamic_survival_adversarial_patterns_small() {
                 buffer_depth: 4,
                 flits_per_packet: 16,
                 capacity_flits_per_cycle: 1.0,
-                injection: InjectionSpec::Bernoulli { packets_per_cycle: 0.05 },
+                injection: InjectionSpec::Bernoulli {
+                    packets_per_cycle: 0.05,
+                },
                 pattern,
                 injection_limit: None,
                 request_reply: false,
@@ -141,7 +179,12 @@ fn network_drains_after_burst_all_algorithms() {
         eng.run(500 + 20_000);
         let c = eng.counters();
         assert!(c.created_packets > 100, "{}", algo.name());
-        assert_eq!(c.delivered_packets, c.created_packets, "{} lost packets", algo.name());
+        assert_eq!(
+            c.delivered_packets,
+            c.created_packets,
+            "{} lost packets",
+            algo.name()
+        );
         assert_eq!(c.in_flight_flits, 0, "{} stranded flits", algo.name());
         assert_eq!(eng.buffered_flits(), 0, "{}", algo.name());
         // After a complete drain every credit counter must be back at

@@ -75,7 +75,14 @@ fn engine_counters_are_stable_across_runs_of_paper_network() {
     // A short paper-size run, twice; guards the hot path against
     // nondeterministic iteration (e.g. hash maps) sneaking in.
     let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), 2);
-    let cfg = spec.config_at(P::BitReversal, 0.7, RunLength { warmup: 500, total: 2_500 });
+    let cfg = spec.config_at(
+        P::BitReversal,
+        0.7,
+        RunLength {
+            warmup: 500,
+            total: 2_500,
+        },
+    );
     let algo = spec.build_algorithm();
     let a = run_simulation(algo.as_ref(), &cfg);
     let b = run_simulation(algo.as_ref(), &cfg);

@@ -39,13 +39,25 @@ fn ejection_link_is_shared_fairly() {
     // bottleneck; the round-robin arbiter must split it evenly.
     let tree = KAryNTree::new(4, 2);
     let algo = TreeAdaptive::new(tree, 2);
-    let pattern = TrafficGen::new(P::HotSpot { hot: 8, percent: 100 }, 16);
+    let pattern = TrafficGen::new(
+        P::HotSpot {
+            hot: 8,
+            percent: 100,
+        },
+        16,
+    );
     let mut eng = Engine::new(
         &algo,
         4,
         16,
         pattern,
-        &|n| Box::new(FromNodes { active: n == 0 || n == 1, period: 16, count: 0 }),
+        &|n| {
+            Box::new(FromNodes {
+                active: n == 0 || n == 1,
+                period: 16,
+                count: 0,
+            })
+        },
         9,
     );
     eng.run(10_000);
@@ -76,7 +88,13 @@ fn competing_flows_through_a_shared_link_get_equal_shares() {
         4,
         8,
         pattern,
-        &|_| Box::new(FromNodes { active: true, period: 8, count: 0 }),
+        &|_| {
+            Box::new(FromNodes {
+                active: true,
+                period: 8,
+                count: 0,
+            })
+        },
         4,
     );
     eng.run(8_000);
@@ -111,14 +129,16 @@ fn injection_limit_throttles_starts_not_correctness() {
     }
     let run = |limit: Option<u32>| {
         let pattern = TrafficGen::new(P::Uniform, 16);
-        let mut eng =
-            Engine::new(&algo, 4, 16, pattern, &|_| Box::new(Burst(1_000)), 77);
+        let mut eng = Engine::new(&algo, 4, 16, pattern, &|_| Box::new(Burst(1_000)), 77);
         eng.set_injection_limit(limit);
         eng.run(1_000);
         let mid_backlog = eng.source_queue_len();
         eng.run(30_000);
         let c = eng.counters();
-        assert_eq!(c.delivered_packets, c.created_packets, "lost packets at {limit:?}");
+        assert_eq!(
+            c.delivered_packets, c.created_packets,
+            "lost packets at {limit:?}"
+        );
         assert_eq!(c.in_flight_flits, 0);
         mid_backlog
     };
@@ -145,7 +165,13 @@ fn virtual_channels_multiplex_one_physical_link() {
             4,
             16,
             pattern,
-            &|n| Box::new(FromNodes { active: n == 0, period: 4, count: 0 }),
+            &|n| {
+                Box::new(FromNodes {
+                    active: n == 0,
+                    period: 4,
+                    count: 0,
+                })
+            },
             6,
         );
         eng.run(4_000);
@@ -184,7 +210,13 @@ fn single_injection_channel_serializes_packet_starts() {
         4,
         flits,
         pattern,
-        &|n| Box::new(FromNodes { active: n == 0, period: 2, count: 0 }),
+        &|n| {
+            Box::new(FromNodes {
+                active: n == 0,
+                period: 2,
+                count: 0,
+            })
+        },
         8,
     );
     eng.run(3_000);
@@ -216,14 +248,24 @@ fn routing_is_one_header_per_router_per_cycle() {
         4,
         4,
         pattern,
-        &|_| Box::new(FromNodes { active: true, period: 5, count: 0 }),
+        &|_| {
+            Box::new(FromNodes {
+                active: true,
+                period: 5,
+                count: 0,
+            })
+        },
         12,
     );
     let mut last = 0;
     for _ in 0..2_000 {
         eng.step();
         let now = eng.counters().routed_headers;
-        assert!(now - last <= 1, "routed {} headers in one cycle", now - last);
+        assert!(
+            now - last <= 1,
+            "routed {} headers in one cycle",
+            now - last
+        );
         last = now;
     }
     assert!(last > 100);
@@ -238,10 +280,20 @@ fn counters_escape_is_zero_for_fully_adaptive_algorithms() {
         4,
         16,
         pattern,
-        &|_| Box::new(FromNodes { active: true, period: 40, count: 0 }),
+        &|_| {
+            Box::new(FromNodes {
+                active: true,
+                period: 40,
+                count: 0,
+            })
+        },
         2,
     );
     eng.run(5_000);
-    assert_eq!(eng.counters().escape_routings, 0, "trees have no escape class");
+    assert_eq!(
+        eng.counters().escape_routings,
+        0,
+        "trees have no escape class"
+    );
     assert!(eng.counters().routed_headers > 100);
 }

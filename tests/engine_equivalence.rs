@@ -18,10 +18,7 @@ use traffic::{Bernoulli, InjectionProcess, TrafficGen};
 /// Build one engine for a paper spec's config (the same construction
 /// `run_simulation` performs; `config_at` always yields a Bernoulli
 /// injection process).
-fn build_engine<'a>(
-    algo: &'a (dyn RoutingAlgorithm + 'static),
-    cfg: &SimConfig,
-) -> Engine<'a> {
+fn build_engine<'a>(algo: &'a (dyn RoutingAlgorithm + 'static), cfg: &SimConfig) -> Engine<'a> {
     let pattern = TrafficGen::new(cfg.pattern, algo.topology().num_nodes());
     let rate = cfg.injection.mean_rate();
     let mut eng = Engine::new(
@@ -41,7 +38,10 @@ fn build_engine<'a>(
 /// paper configuration and assert identical observable state, both
 /// mid-flight and at the end.
 fn assert_equivalent(spec: &ExperimentSpec, fraction: f64, cycles: u32) {
-    let len = RunLength { warmup: 500, total: cycles };
+    let len = RunLength {
+        warmup: 500,
+        total: cycles,
+    };
     let cfg = spec.config_at(traffic::Pattern::Uniform, fraction, len);
     let algo = spec.build_algorithm();
     let mut opt = build_engine(algo.as_ref(), &cfg);

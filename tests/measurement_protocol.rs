@@ -16,7 +16,11 @@ fn accepted_bandwidth_ci_is_tight_below_saturation() {
     let algo = spec.build_algorithm();
     let out = run_simulation(algo.as_ref(), &cfg);
     let ci = out.accepted_ci;
-    assert!(ci.relative() < 0.05, "relative half-width {}", ci.relative());
+    assert!(
+        ci.relative() < 0.05,
+        "relative half-width {}",
+        ci.relative()
+    );
     assert!(
         ci.contains(out.accepted_flits_per_node_cycle),
         "point estimate outside its own interval?!"
@@ -34,13 +38,23 @@ fn accepted_bandwidth_ci_is_tight_below_saturation() {
 fn ci_stays_finite_and_wider_above_saturation() {
     let spec = ExperimentSpec::tree_adaptive(TreeParams::paper(), 1);
     let algo = spec.build_algorithm();
-    let below = run_simulation(algo.as_ref(), &spec.config_at(P::Uniform, 0.2, RunLength::paper()));
-    let above = run_simulation(algo.as_ref(), &spec.config_at(P::Uniform, 0.9, RunLength::paper()));
+    let below = run_simulation(
+        algo.as_ref(),
+        &spec.config_at(P::Uniform, 0.2, RunLength::paper()),
+    );
+    let above = run_simulation(
+        algo.as_ref(),
+        &spec.config_at(P::Uniform, 0.9, RunLength::paper()),
+    );
     assert!(below.accepted_ci.half_width.is_finite());
     assert!(above.accepted_ci.half_width.is_finite());
     // Saturated throughput is still a stable rate (Section 6's "stable
     // post-saturation behavior") — the interval must stay tight.
-    assert!(above.accepted_ci.relative() < 0.08, "{}", above.accepted_ci.relative());
+    assert!(
+        above.accepted_ci.relative() < 0.08,
+        "{}",
+        above.accepted_ci.relative()
+    );
 }
 
 #[test]

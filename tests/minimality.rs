@@ -41,7 +41,11 @@ fn check_minimality(algo: &dyn RoutingAlgorithm, pattern: P, rate: f64, cycles: 
             dist - 1
         );
     }
-    assert!(delivered > 200, "{}: only {delivered} packets delivered", algo.name());
+    assert!(
+        delivered > 200,
+        "{}: only {delivered} packets delivered",
+        algo.name()
+    );
 }
 
 #[test]

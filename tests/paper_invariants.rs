@@ -50,7 +50,10 @@ fn table1_and_table2_reproduce() {
         (duato.t_routing_ns, 7.8),
         (duato.clock_ns(), 7.8),
     ] {
-        assert!((actual - expect).abs() < 0.015, "{actual} vs paper {expect}");
+        assert!(
+            (actual - expect).abs() < 0.015,
+            "{actual} vs paper {expect}"
+        );
     }
     // Table 2.
     for (v, clock) in [(1usize, 9.64), (2, 10.24), (4, 10.84)] {

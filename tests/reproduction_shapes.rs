@@ -11,7 +11,10 @@ use netperf::prelude::*;
 use netperf::traffic::Pattern as P;
 
 fn len() -> RunLength {
-    RunLength { warmup: 2_000, total: 8_000 }
+    RunLength {
+        warmup: 2_000,
+        total: 8_000,
+    }
 }
 
 fn accepted(spec: &ExperimentSpec, pattern: P, load: f64) -> f64 {
@@ -32,8 +35,14 @@ fn tree_uniform_vc_ordering() {
     );
     assert!(a1 < a2 && a2 < a4, "VC ordering violated: {a1} {a2} {a4}");
     assert!(a4 > 1.8 * a1, "4 VCs should ~double 1 VC: {a1} -> {a4}");
-    assert!((0.25..0.45).contains(&a1), "1 vc sustained {a1}, paper ~0.36");
-    assert!((0.60..0.80).contains(&a4), "4 vc sustained {a4}, paper ~0.72");
+    assert!(
+        (0.25..0.45).contains(&a1),
+        "1 vc sustained {a1}, paper ~0.36"
+    );
+    assert!(
+        (0.60..0.80).contains(&a4),
+        "4 vc sustained {a4}, paper ~0.72"
+    );
 }
 
 #[test]
@@ -61,7 +70,10 @@ fn tree_complement_is_congestion_free_and_insensitive_to_vcs() {
         .mean_latency_cycles()
     };
     let (l1, l4) = (lat(1), lat(4));
-    assert!(l1 < l4, "1 vc ({l1}) should beat 4 vc ({l4}) on complement latency");
+    assert!(
+        l1 < l4,
+        "1 vc ({l1}) should beat 4 vc ({l4}) on complement latency"
+    );
 }
 
 #[test]
@@ -70,15 +82,31 @@ fn tree_transpose_and_bitrev_track_flow_control() {
     // analogous ("performance results of these communication patterns
     // are very similar").
     for pattern in [P::Transpose, P::BitReversal] {
-        let a1 = accepted(&ExperimentSpec::tree_adaptive(TreeParams::paper(), 1), pattern, 0.95);
-        let a4 = accepted(&ExperimentSpec::tree_adaptive(TreeParams::paper(), 4), pattern, 0.95);
+        let a1 = accepted(
+            &ExperimentSpec::tree_adaptive(TreeParams::paper(), 1),
+            pattern,
+            0.95,
+        );
+        let a4 = accepted(
+            &ExperimentSpec::tree_adaptive(TreeParams::paper(), 4),
+            pattern,
+            0.95,
+        );
         assert!((0.25..0.48).contains(&a1), "{}: 1 vc {a1}", pattern.name());
         assert!((0.60..0.85).contains(&a4), "{}: 4 vc {a4}", pattern.name());
         assert!(a4 > 1.7 * a1, "{}: {a1} -> {a4}", pattern.name());
     }
     // "Very similar": transpose and bit reversal within a few points.
-    let t = accepted(&ExperimentSpec::tree_adaptive(TreeParams::paper(), 2), P::Transpose, 0.95);
-    let b = accepted(&ExperimentSpec::tree_adaptive(TreeParams::paper(), 2), P::BitReversal, 0.95);
+    let t = accepted(
+        &ExperimentSpec::tree_adaptive(TreeParams::paper(), 2),
+        P::Transpose,
+        0.95,
+    );
+    let b = accepted(
+        &ExperimentSpec::tree_adaptive(TreeParams::paper(), 2),
+        P::BitReversal,
+        0.95,
+    );
     assert!((t - b).abs() < 0.08, "transpose {t} vs bitrev {b}");
 }
 
@@ -88,14 +116,29 @@ fn cube_uniform_adaptive_beats_deterministic() {
     // for both before saturation.
     let det = ExperimentSpec::cube_deterministic(CubeParams::paper());
     let duato = ExperimentSpec::cube_duato(CubeParams::paper());
-    let (ad, aa) = (accepted(&det, P::Uniform, 0.95), accepted(&duato, P::Uniform, 0.95));
-    assert!(aa > ad + 0.10, "Duato {aa} must clearly beat deterministic {ad}");
-    assert!((0.45..0.65).contains(&ad), "deterministic sustained {ad}, paper ~0.60");
-    assert!((0.70..0.92).contains(&aa), "Duato sustained {aa}, paper ~0.80");
+    let (ad, aa) = (
+        accepted(&det, P::Uniform, 0.95),
+        accepted(&duato, P::Uniform, 0.95),
+    );
+    assert!(
+        aa > ad + 0.10,
+        "Duato {aa} must clearly beat deterministic {ad}"
+    );
+    assert!(
+        (0.45..0.65).contains(&ad),
+        "deterministic sustained {ad}, paper ~0.60"
+    );
+    assert!(
+        (0.70..0.92).contains(&aa),
+        "Duato sustained {aa}, paper ~0.80"
+    );
 
     // Pre-saturation latency around 70 cycles (paper Figure 6 b).
     let lat = simulate_load(&duato, P::Uniform, 0.5, len()).mean_latency_cycles();
-    assert!((45.0..100.0).contains(&lat), "latency {lat}, paper ~70 cycles");
+    assert!(
+        (45.0..100.0).contains(&lat),
+        "latency {lat}, paper ~70 cycles"
+    );
 }
 
 #[test]
@@ -110,13 +153,25 @@ fn cube_complement_inverts_the_ranking() {
     // bound) and at deep saturation.
     let ad_peak = accepted(&det, P::Complement, 0.5);
     let aa_peak = accepted(&duato, P::Complement, 0.5);
-    assert!(ad_peak > aa_peak, "deterministic ({ad_peak}) must beat Duato ({aa_peak})");
-    assert!((0.33..0.55).contains(&ad_peak), "det near the 50% bound: {ad_peak}");
+    assert!(
+        ad_peak > aa_peak,
+        "deterministic ({ad_peak}) must beat Duato ({aa_peak})"
+    );
+    assert!(
+        (0.33..0.55).contains(&ad_peak),
+        "det near the 50% bound: {ad_peak}"
+    );
     let ad = accepted(&det, P::Complement, 0.9);
     let aa = accepted(&duato, P::Complement, 0.9);
-    assert!(ad + 0.02 > aa, "det ({ad}) must not fall clearly behind Duato ({aa})");
+    assert!(
+        ad + 0.02 > aa,
+        "det ({ad}) must not fall clearly behind Duato ({aa})"
+    );
     assert!(ad < 0.55, "complement is bisection-bound at 50%: {ad}");
-    assert!((0.22..0.45).contains(&aa), "Duato early saturation {aa}, paper ~0.35");
+    assert!(
+        (0.22..0.45).contains(&aa),
+        "Duato early saturation {aa}, paper ~0.35"
+    );
 }
 
 #[test]
@@ -131,7 +186,11 @@ fn cube_transpose_and_bitrev_favor_adaptivity() {
         let ad = accepted(&det, pattern, 0.65);
         let aa = accepted(&duato, pattern, 0.65);
         assert!(aa > 1.8 * ad, "{}: Duato {aa} vs det {ad}", pattern.name());
-        assert!(ad < det_hi, "{}: deterministic too good: {ad}", pattern.name());
+        assert!(
+            ad < det_hi,
+            "{}: deterministic too good: {ad}",
+            pattern.name()
+        );
         assert!(aa > duato_lo, "{}: Duato too weak: {aa}", pattern.name());
     }
 }
@@ -146,7 +205,10 @@ fn figure7_absolute_rankings_uniform() {
     for spec in &specs {
         let norm = spec.normalization();
         let out = simulate_load(spec, P::Uniform, 0.95, len());
-        abs.insert(spec.label(), norm.fraction_to_bits_per_ns(out.accepted_fraction));
+        abs.insert(
+            spec.label(),
+            norm.fraction_to_bits_per_ns(out.accepted_fraction),
+        );
         let pre = simulate_load(spec, P::Uniform, 0.3, len());
         lat_ns.insert(spec.label(), norm.cycles_to_ns(pre.mean_latency_cycles()));
     }
@@ -168,8 +230,14 @@ fn post_saturation_throughput_is_stable() {
     // Sections 8-9 confirm it for every configuration.
     for (spec, pattern) in [
         (ExperimentSpec::cube_duato(CubeParams::paper()), P::Uniform),
-        (ExperimentSpec::cube_deterministic(CubeParams::paper()), P::Transpose),
-        (ExperimentSpec::tree_adaptive(TreeParams::paper(), 2), P::Uniform),
+        (
+            ExperimentSpec::cube_deterministic(CubeParams::paper()),
+            P::Transpose,
+        ),
+        (
+            ExperimentSpec::tree_adaptive(TreeParams::paper(), 2),
+            P::Uniform,
+        ),
     ] {
         let at_sat = accepted(&spec, pattern, 0.85);
         let beyond = accepted(&spec, pattern, 1.0);

@@ -48,7 +48,10 @@ fn every_request_gets_exactly_one_reply() {
             assert_eq!(p.dest, req.src);
             assert_eq!(p.flits, req.flits);
             assert_eq!(p.created, req.delivered, "reply created on delivery");
-            assert!(p.delivered != NEVER && p.delivered > req.delivered, "packet {i}");
+            assert!(
+                p.delivered != NEVER && p.delivered > req.delivered,
+                "packet {i}"
+            );
         }
     }
 }
@@ -67,7 +70,14 @@ fn request_reply_doubles_effective_load() {
     // At the same request rate, request-reply traffic carries twice the
     // flits: accepted bandwidth doubles while below saturation.
     let spec = ExperimentSpec::cube_duato(CubeParams::paper());
-    let open = spec.config_at(P::Uniform, 0.3, RunLength { warmup: 1_500, total: 7_000 });
+    let open = spec.config_at(
+        P::Uniform,
+        0.3,
+        RunLength {
+            warmup: 1_500,
+            total: 7_000,
+        },
+    );
     let mut rr = open;
     rr.request_reply = true;
     let algo = spec.build_algorithm();
@@ -86,7 +96,10 @@ fn request_reply_saturates_earlier_in_request_rate() {
     // The reply traffic consumes the same network: saturation in
     // *request* rate arrives at about half the open-loop point.
     let spec = ExperimentSpec::cube_duato(CubeParams::paper());
-    let len = RunLength { warmup: 1_500, total: 7_000 };
+    let len = RunLength {
+        warmup: 1_500,
+        total: 7_000,
+    };
     let mut cfg = spec.config_at(P::Uniform, 0.6, len);
     cfg.request_reply = true;
     let algo = spec.build_algorithm();
@@ -114,7 +127,9 @@ fn request_reply_saturates_earlier_in_request_rate() {
 fn simconfig_flag_roundtrip() {
     let mut cfg = SimConfig::paper_protocol(
         P::Uniform,
-        InjectionSpec::Bernoulli { packets_per_cycle: 0.01 },
+        InjectionSpec::Bernoulli {
+            packets_per_cycle: 0.01,
+        },
         16,
         0.5,
     );

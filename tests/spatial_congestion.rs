@@ -53,8 +53,16 @@ fn uniform_is_spatially_flat() {
     let mean = grid_mean(&loads);
     let max = *loads.iter().max().unwrap() as f64;
     let min = *loads.iter().min().unwrap() as f64;
-    assert!(max / mean < 1.15, "hot spot under uniform traffic: {}", max / mean);
-    assert!(min / mean > 0.85, "cold spot under uniform traffic: {}", min / mean);
+    assert!(
+        max / mean < 1.15,
+        "hot spot under uniform traffic: {}",
+        max / mean
+    );
+    assert!(
+        min / mean > 0.85,
+        "cold spot under uniform traffic: {}",
+        min / mean
+    );
 }
 
 #[test]
@@ -68,7 +76,11 @@ fn bitrev_leaves_underloaded_areas() {
     // Uniform traffic keeps every router within ~15% of the mean (see
     // `uniform_is_spatially_flat`); bit reversal's silent palindromes
     // carve visibly colder regions.
-    assert!(min / mean < 0.78, "no underloaded area: min/mean {}", min / mean);
+    assert!(
+        min / mean < 0.78,
+        "no underloaded area: min/mean {}",
+        min / mean
+    );
     // Symmetric layout: the load map equals its transpose reflection
     // within noise, aggregated over quadrant sums.
     let q = |x0: usize, y0: usize| -> u64 {
@@ -82,9 +94,15 @@ fn bitrev_leaves_underloaded_areas() {
     };
     let (a, b, c, d) = (q(0, 0), q(8, 0), q(0, 8), q(8, 8));
     let offdiag_ratio = b as f64 / c as f64;
-    assert!((0.8..1.25).contains(&offdiag_ratio), "asymmetric quadrants: {offdiag_ratio}");
+    assert!(
+        (0.8..1.25).contains(&offdiag_ratio),
+        "asymmetric quadrants: {offdiag_ratio}"
+    );
     let diag_ratio = a as f64 / d as f64;
-    assert!((0.8..1.25).contains(&diag_ratio), "asymmetric diagonal quadrants: {diag_ratio}");
+    assert!(
+        (0.8..1.25).contains(&diag_ratio),
+        "asymmetric diagonal quadrants: {diag_ratio}"
+    );
 }
 
 #[test]
