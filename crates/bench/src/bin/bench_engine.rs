@@ -15,14 +15,22 @@
 //! active sets pay off (most routers idle); saturation shows the
 //! bounded overhead when nearly everything is active.
 //!
+//! A third timed run per point drives the optimized stepper with a
+//! recording [`FlightRecorder`] probe (stride-100 utilization sampling,
+//! event log off) and reports `probe_overhead` — the wall-clock cost of
+//! live telemetry relative to the default `NullProbe` build, whose own
+//! numbers pin the zero-overhead claim of the probe plane.
+//!
 //! Usage: `bench_engine [--cycles N] [--out <path>]`
 
 use netsim::engine::{Counters, Engine};
 use netsim::experiment::{ExperimentSpec, RunLength, SpecVisitor};
 use netsim::sim::SimConfig;
+use netsim::wiring::Wiring;
 use routing::RoutingAlgorithm;
 use std::fmt::Write as _;
 use std::time::Instant;
+use telemetry::{FlightRecorder, Geometry, Probe, TelemetryConfig};
 use traffic::{Bernoulli, InjectionProcess, Pattern, TrafficGen};
 
 /// Offered loads (fraction of capacity) per configuration: the 0.1–0.3
@@ -36,6 +44,7 @@ struct Sample {
     flit_moves: u64,
     opt_secs: f64,
     ref_secs: f64,
+    traced_secs: f64,
 }
 
 impl Sample {
@@ -51,25 +60,59 @@ impl Sample {
     fn ref_moves_per_sec(&self) -> f64 {
         self.flit_moves as f64 / self.ref_secs
     }
+    fn traced_cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.traced_secs
+    }
     fn speedup(&self) -> f64 {
         self.ref_secs / self.opt_secs
+    }
+    /// Relative wall-clock cost of the recording probe vs `NullProbe`.
+    fn probe_overhead(&self) -> f64 {
+        self.traced_secs / self.opt_secs - 1.0
     }
 }
 
 fn build_engine<'a, A: RoutingAlgorithm + ?Sized>(algo: &'a A, cfg: &SimConfig) -> Engine<'a, A> {
+    build_engine_probed(algo, cfg, telemetry::NullProbe)
+}
+
+fn build_engine_probed<'a, A: RoutingAlgorithm + ?Sized, P: Probe>(
+    algo: &'a A,
+    cfg: &SimConfig,
+    probe: P,
+) -> Engine<'a, A, P> {
     let pattern = TrafficGen::new(cfg.pattern, algo.topology().num_nodes());
     let rate = cfg.injection.mean_rate();
-    let mut eng = Engine::new(
+    let mut eng = Engine::with_probe(
         algo,
         cfg.buffer_depth,
         cfg.flits_per_packet,
         pattern,
         &move |_| Box::new(Bernoulli::new(rate)) as Box<dyn InjectionProcess>,
         cfg.seed,
+        probe,
     );
     eng.set_injection_limit(cfg.injection_limit);
     eng.set_request_reply(cfg.request_reply);
     eng
+}
+
+/// The recording probe the traced timing uses: utilization sampling on,
+/// event log off (a paper-length run would hold millions of events).
+fn recorder_for<A: RoutingAlgorithm + ?Sized>(algo: &A) -> FlightRecorder {
+    let w = Wiring::from_topology(algo.topology());
+    FlightRecorder::new(
+        TelemetryConfig {
+            stride: 100,
+            record_events: false,
+        },
+        Geometry {
+            routers: w.num_routers,
+            ports: w.ports,
+            vcs: algo.num_vcs(),
+            nodes: w.num_nodes,
+        },
+    )
 }
 
 /// Time one engine run; returns (elapsed seconds, final counters).
@@ -104,6 +147,25 @@ impl SpecVisitor for TimeOptimized<'_> {
         // faults would otherwise land in the first timed run).
         let _ = time_run(&algo, self.cfg, self.cycles.min(1_000), false);
         time_run(&algo, self.cfg, self.cycles, false)
+    }
+}
+
+/// Times the optimized stepper monomorphized over a recording
+/// [`FlightRecorder`] probe: the cost of live telemetry.
+struct TimeTraced<'c> {
+    cfg: &'c SimConfig,
+    cycles: u32,
+}
+
+impl SpecVisitor for TimeTraced<'_> {
+    type Out = (f64, Counters);
+    fn visit<A: RoutingAlgorithm>(self, algo: A) -> (f64, Counters) {
+        let mut warm = build_engine_probed(&algo, self.cfg, recorder_for(&algo));
+        warm.run(self.cycles.min(1_000));
+        let mut eng = build_engine_probed(&algo, self.cfg, recorder_for(&algo));
+        let start = Instant::now();
+        eng.run(self.cycles);
+        (start.elapsed().as_secs_f64(), eng.counters())
     }
 }
 
@@ -150,10 +212,18 @@ fn main() {
             // pre-optimization configuration).
             let (opt_secs, opt_counters) = spec.with_algorithm(TimeOptimized { cfg: &cfg, cycles });
             let (ref_secs, ref_counters) = time_run(algo.as_ref(), &cfg, cycles, true);
+            let (traced_secs, traced_counters) =
+                spec.with_algorithm(TimeTraced { cfg: &cfg, cycles });
             assert_eq!(
                 opt_counters,
                 ref_counters,
                 "{} at load {load}: steppers diverged — benchmark void",
+                spec.label()
+            );
+            assert_eq!(
+                opt_counters,
+                traced_counters,
+                "{} at load {load}: recording probe perturbed the simulation — benchmark void",
                 spec.label()
             );
             let s = Sample {
@@ -163,16 +233,18 @@ fn main() {
                 flit_moves: opt_counters.flit_moves,
                 opt_secs,
                 ref_secs,
+                traced_secs,
             };
             eprintln!(
                 "{:22} load {:4.2}: {:>7.2} Mcycles/s vs {:>7.2} baseline ({:4.2}x), \
-                 {:>7.2} Mmoves/s",
+                 {:>7.2} Mmoves/s, probe {:+5.1}%",
                 s.label,
                 s.load,
                 s.opt_cycles_per_sec() / 1e6,
                 s.ref_cycles_per_sec() / 1e6,
                 s.speedup(),
                 s.opt_moves_per_sec() / 1e6,
+                s.probe_overhead() * 100.0,
             );
             samples.push(s);
         }
@@ -180,20 +252,28 @@ fn main() {
 
     let low: Vec<&Sample> = samples.iter().filter(|s| s.load <= 0.3).collect();
     let low_speedup = low.iter().map(|s| s.speedup()).sum::<f64>() / low.len() as f64;
+    let mean_probe = samples.iter().map(|s| s.probe_overhead()).sum::<f64>() / samples.len() as f64;
     eprintln!("mean speedup over low-load (<=0.3) points: {low_speedup:.2}x");
+    eprintln!("mean recording-probe overhead: {:+.1}%", mean_probe * 100.0);
 
-    std::fs::write(&out, to_json(&samples, low_speedup, seed_salt)).expect("write benchmark json");
+    std::fs::write(&out, to_json(&samples, low_speedup, mean_probe, seed_salt))
+        .expect("write benchmark json");
     eprintln!("wrote {}", out.display());
 }
 
-fn to_json(samples: &[Sample], low_speedup: f64, seed_salt: u64) -> String {
+fn to_json(samples: &[Sample], low_speedup: f64, mean_probe: f64, seed_salt: u64) -> String {
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"benchmark\": \"engine active-set stepper vs naive full-scan baseline\",\n");
     j.push_str("  \"workload\": \"paper-scale (256-node) configurations, uniform traffic\",\n");
     j.push_str("  \"units\": { \"rates\": \"per wall-clock second\" },\n");
+    j.push_str(
+        "  \"probe\": \"traced = FlightRecorder (stride-100 utilization, events off); \
+         optimized/baseline run the default NullProbe build\",\n",
+    );
     let _ = writeln!(j, "  \"seed_salt\": \"0x{seed_salt:016x}\",");
     let _ = writeln!(j, "  \"mean_low_load_speedup\": {low_speedup:.3},");
+    let _ = writeln!(j, "  \"mean_probe_overhead\": {mean_probe:.4},");
     j.push_str("  \"runs\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
@@ -202,7 +282,8 @@ fn to_json(samples: &[Sample], low_speedup: f64, seed_salt: u64) -> String {
              \"flit_moves\": {}, \
              \"optimized\": {{ \"seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \"flit_moves_per_sec\": {:.0} }}, \
              \"baseline\": {{ \"seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \"flit_moves_per_sec\": {:.0} }}, \
-             \"speedup\": {:.3} }}",
+             \"traced\": {{ \"seconds\": {:.6}, \"cycles_per_sec\": {:.0} }}, \
+             \"speedup\": {:.3}, \"probe_overhead\": {:.4} }}",
             s.label,
             s.load,
             s.cycles,
@@ -213,7 +294,10 @@ fn to_json(samples: &[Sample], low_speedup: f64, seed_salt: u64) -> String {
             s.ref_secs,
             s.ref_cycles_per_sec(),
             s.ref_moves_per_sec(),
+            s.traced_secs,
+            s.traced_cycles_per_sec(),
             s.speedup(),
+            s.probe_overhead(),
         );
         j.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }

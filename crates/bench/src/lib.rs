@@ -411,9 +411,33 @@ pub fn run_manifest(
     series: &[PanelSeries],
     wall_secs: f64,
 ) -> Manifest {
+    run_manifest_with_telemetry(
+        generator, artifact, opts, specs, pattern, series, wall_secs, None,
+    )
+}
+
+/// [`run_manifest`] with an optional telemetry block. `None` produces
+/// output byte-identical to the historical `netperf-run-manifest/1`
+/// format; `Some` bumps the schema tag to `netperf-run-manifest/2` and
+/// appends the given object under a `telemetry` key, so only runs that
+/// actually recorded telemetry advertise the new schema.
+#[allow(clippy::too_many_arguments)]
+pub fn run_manifest_with_telemetry(
+    generator: &str,
+    artifact: &str,
+    opts: &Options,
+    specs: &[ExperimentSpec],
+    pattern: Option<Pattern>,
+    series: &[PanelSeries],
+    wall_secs: f64,
+    telemetry: Option<&Manifest>,
+) -> Manifest {
     let len = opts.run_length();
     let mut m = Manifest::new();
-    m.push("schema", "netperf-run-manifest/1");
+    m.push(
+        "schema",
+        netstats::export::run_manifest_schema(telemetry.is_some()),
+    );
     m.push("generator", generator);
     m.push("artifact", artifact);
     m.push("quick", opts.quick);
@@ -463,6 +487,9 @@ pub fn run_manifest(
             .sum::<u64>() as f64,
     );
     m.push("counters", counters);
+    if let Some(t) = telemetry {
+        m.push("telemetry", t.clone());
+    }
     m
 }
 
@@ -614,6 +641,63 @@ mod tests {
         ] {
             assert!(json.contains(needle), "manifest missing {needle}:\n{json}");
         }
+    }
+
+    /// Satellite guard: the untraced manifest must stay byte-identical
+    /// to the historical `netperf-run-manifest/1` rendering, and the
+    /// telemetry variant must differ only by the schema tag and a
+    /// trailing `telemetry` object. Parameterized on `sweep_threads()`
+    /// and the engine feature flags so it holds on any build/host.
+    #[test]
+    fn manifest_telemetry_golden_bytes() {
+        let opts = Options {
+            quick: true,
+            out_dir: std::path::PathBuf::from("results"),
+            seed: None,
+        };
+        let len = opts.run_length();
+        let mut engine_block = String::new();
+        let features = netsim::engine_features();
+        for (i, (feature, enabled)) in features.iter().enumerate() {
+            engine_block.push_str(&format!(
+                "    \"{feature}\": {enabled}{}\n",
+                if i + 1 < features.len() { "," } else { "" }
+            ));
+        }
+        let body = format!(
+            "  \"generator\": \"golden\",\n  \"artifact\": \"golden.csv\",\n  \"quick\": true,\n  \"run_length\": {{\n    \"warmup\": {},\n    \"total\": {}\n  }},\n  \"seed_salt\": \"0x0000000000000000\",\n  \"threads\": {},\n  \"engine\": {{\n{engine_block}  }},\n  \"pattern\": \"uniform\",\n  \"scenarios\": [],\n  \"wall_clock_secs\": 0.5,\n  \"counters\": {{\n    \"simulations\": 0,\n    \"created_packets\": 0,\n    \"delivered_packets\": 0\n  }}",
+            len.warmup, len.total, netsim::experiment::sweep_threads(),
+        );
+
+        let plain = run_manifest(
+            "golden",
+            "golden.csv",
+            &opts,
+            &[],
+            Some(Pattern::Uniform),
+            &[],
+            0.5,
+        );
+        let expected_plain = format!("{{\n  \"schema\": \"netperf-run-manifest/1\",\n{body}\n}}\n");
+        assert_eq!(plain.to_json(), expected_plain);
+
+        let mut tele = Manifest::new();
+        tele.push("stride", 100.0);
+        tele.push("record_events", false);
+        let traced = run_manifest_with_telemetry(
+            "golden",
+            "golden.csv",
+            &opts,
+            &[],
+            Some(Pattern::Uniform),
+            &[],
+            0.5,
+            Some(&tele),
+        );
+        let expected_traced = format!(
+            "{{\n  \"schema\": \"netperf-run-manifest/2\",\n{body},\n  \"telemetry\": {{\n    \"stride\": 100,\n    \"record_events\": false\n  }}\n}}\n"
+        );
+        assert_eq!(traced.to_json(), expected_traced);
     }
 
     #[test]

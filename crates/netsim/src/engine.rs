@@ -67,6 +67,7 @@ use crate::queue::FlitQueue;
 use crate::wiring::{Peer, Wiring};
 use routing::{CandidateSet, RoutingAlgorithm};
 use std::collections::VecDeque;
+use telemetry::{LinkKind, NullProbe, Probe};
 use topology::{NodeId, RouterId};
 use traffic::{InjectionProcess, Rng64, TrafficGen};
 
@@ -159,7 +160,14 @@ pub struct Counters {
 /// (`Engine<'_, CubeDuato>` etc.) inline the per-header route call; the
 /// default parameter keeps the historical boxed form `Engine<'_>`
 /// (= `Engine<'_, dyn RoutingAlgorithm>`) source-compatible.
-pub struct Engine<'a, A: RoutingAlgorithm + ?Sized = dyn RoutingAlgorithm> {
+///
+/// Also generic over the telemetry [`Probe`] observing the run. The
+/// default [`NullProbe`] monomorphizes every observation call to an
+/// inlined empty body, so an untraced engine compiles to the same hot
+/// path as before the telemetry plane existed (pinned by
+/// `bench_engine`); [`Engine::with_probe`] attaches a recording probe
+/// such as `telemetry::FlightRecorder`.
+pub struct Engine<'a, A: RoutingAlgorithm + ?Sized = dyn RoutingAlgorithm, P: Probe = NullProbe> {
     algo: &'a A,
     w: Wiring,
     vcs: usize,
@@ -201,6 +209,8 @@ pub struct Engine<'a, A: RoutingAlgorithm + ?Sized = dyn RoutingAlgorithm> {
     /// Requests delivered this cycle awaiting reply creation
     /// (request-reply mode); drained at the end of the link phase.
     reply_buf: Vec<u32>,
+    /// Telemetry observer ([`NullProbe`] = zero-cost no-op).
+    probe: P,
 }
 
 impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
@@ -218,6 +228,32 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
         pattern: TrafficGen,
         make_proc: &dyn Fn(usize) -> Box<dyn InjectionProcess>,
         seed: u64,
+    ) -> Self {
+        Engine::with_probe(
+            algo,
+            buf,
+            flits_per_packet,
+            pattern,
+            make_proc,
+            seed,
+            NullProbe,
+        )
+    }
+}
+
+impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
+    /// Build an engine observed by `probe` (see [`Engine::new`] for the
+    /// other parameters). The engine is monomorphized over the probe
+    /// type; retrieve a recording probe afterwards with
+    /// [`Engine::into_probe`].
+    pub fn with_probe(
+        algo: &'a A,
+        buf: usize,
+        flits_per_packet: u16,
+        pattern: TrafficGen,
+        make_proc: &dyn Fn(usize) -> Box<dyn InjectionProcess>,
+        seed: u64,
+        probe: P,
     ) -> Self {
         let w = Wiring::from_topology(algo.topology());
         let vcs = algo.num_vcs();
@@ -298,7 +334,19 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
             route_work: ActiveSet::new(num_routers),
             inject_work: ActiveSet::new(num_nodes),
             reply_buf: Vec::new(),
+            probe,
         }
+    }
+
+    /// Shared access to the attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consume the engine, returning the attached probe (e.g. a
+    /// `telemetry::FlightRecorder` holding the recording).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Enable limited injection: a node may start streaming a new packet
@@ -483,6 +531,7 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
 
     /// Watchdog bookkeeping shared by both steppers.
     fn end_cycle(&mut self) {
+        self.probe.cycle_end(self.cycle);
         self.counters.flit_moves += self.moves_this_cycle;
         if self.moves_this_cycle == 0 && self.counters.in_flight_flits > 0 {
             self.idle_cycles += 1;
@@ -524,7 +573,7 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                     // are never routed towards an uncabled port.
                     debug_assert!(!MASKED, "flit buffered on an uncabled port");
                 }
-                Peer::Node(_) => {
+                Peer::Node(node) => {
                     // Ejection: the node always sinks (no credits).
                     let rs = &mut self.routers[r];
                     let start = rs.link_rr[p] as usize;
@@ -546,6 +595,14 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                             self.counters.delivered_flits += 1;
                             self.counters.in_flight_flits -= 1;
                             self.moves_this_cycle += 1;
+                            self.probe.link_flit(
+                                cycle,
+                                f.packet,
+                                r as u32,
+                                p as u16,
+                                v as u8,
+                                LinkKind::Ejection,
+                            );
                             if f.is_tail() {
                                 let rec = &mut self.packets[f.packet as usize];
                                 debug_assert_eq!(rec.delivered, NEVER);
@@ -555,6 +612,7 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                                 if reply {
                                     self.reply_buf.push(f.packet);
                                 }
+                                self.probe.packet_delivered(cycle, f.packet, node);
                             }
                             break;
                         }
@@ -603,6 +661,14 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                                 self.xbar_work.insert(r2);
                             }
                             self.moves_this_cycle += 1;
+                            self.probe.link_flit(
+                                cycle,
+                                f.packet,
+                                r as u32,
+                                p as u16,
+                                v as u8,
+                                LinkKind::Network,
+                            );
                             break;
                         }
                     }
@@ -648,6 +714,8 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                     self.xbar_work.insert(r);
                 }
                 self.moves_this_cycle += 1;
+                self.probe
+                    .injection_flit(cycle, f.packet, n as u32, v as u8);
                 break;
             }
         }
@@ -677,6 +745,8 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
             });
             self.nodes[rec.dest as usize].src_queue.push_back(id);
             self.counters.created_packets += 1;
+            self.probe
+                .packet_created(cycle, id, rec.dest, rec.src, rec.flits);
         }
         self.reply_buf = buf; // return the allocation
     }
@@ -846,9 +916,19 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                 if used_fallback {
                     self.counters.escape_routings += 1;
                 }
+                self.probe.header_routed(
+                    cycle,
+                    front.packet,
+                    r as u32,
+                    l as u16,
+                    ol as u16,
+                    used_fallback,
+                );
             }
             None => {
                 self.counters.routing_blocked += 1;
+                self.probe
+                    .routing_blocked(cycle, front.packet, r as u32, l as u16);
             }
         }
         // One routing decision per router per cycle, successful
@@ -957,6 +1037,8 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                     });
                     ns.src_queue.push_back(id);
                     self.counters.created_packets += 1;
+                    self.probe
+                        .packet_created(cycle, id, n as u32, dest.0, flits);
                 }
             }
 
@@ -1005,6 +1087,7 @@ impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
                     if remaining == flits {
                         flags |= HEAD;
                         self.packets[pkt as usize].injected = cycle;
+                        self.probe.packet_injected(cycle, pkt, n as u32, lane as u8);
                     }
                     if remaining == 1 {
                         flags |= TAIL;
@@ -1482,6 +1565,94 @@ mod tests {
             assert_eq!(eng.check_worklist_invariant(), Ok(()));
         }
         assert!(eng.counters().delivered_packets > 0);
+    }
+
+    #[test]
+    fn recording_probe_mirrors_packet_table() {
+        // A FlightRecorder attached to the engine must observe exactly
+        // what the engine's own packet table records — and attaching it
+        // must not change anything a NullProbe run produces.
+        use telemetry::{FlightRecorder, Geometry, TelemetryConfig};
+        let algo = CubeDuato::new(KAryNCube::new(4, 2));
+        let mk = |_| -> Box<dyn InjectionProcess> { Box::new(Bernoulli::new(0.04)) };
+        let mk_pattern = || TrafficGen::new(Pattern::Uniform, 16);
+        let w = Wiring::from_topology(algo.topology());
+        let geo = Geometry {
+            routers: w.num_routers,
+            ports: w.ports,
+            vcs: algo.num_vcs(),
+            nodes: w.num_nodes,
+        };
+        let cfg = TelemetryConfig {
+            stride: 64,
+            record_events: true,
+        };
+        let mut traced = Engine::with_probe(
+            &algo,
+            4,
+            8,
+            mk_pattern(),
+            &mk,
+            31,
+            FlightRecorder::new(cfg, geo),
+        );
+        let mut plain = Engine::new(&algo, 4, 8, mk_pattern(), &mk, 31);
+        traced.set_request_reply(true);
+        plain.set_request_reply(true);
+        traced.run(1500);
+        plain.run(1500);
+        assert_eq!(
+            traced.counters(),
+            plain.counters(),
+            "probe perturbed the run"
+        );
+        assert_eq!(traced.packets(), plain.packets());
+
+        let packets: Vec<PacketRec> = traced.packets().to_vec();
+        let counters = traced.counters();
+        let rec = traced.into_probe();
+        assert!(counters.created_packets > 20, "want a busy run");
+        assert_eq!(rec.packet_traces().len(), packets.len());
+        let mut delivered = 0u64;
+        for (t, p) in rec.packet_traces().iter().zip(&packets) {
+            assert_eq!((t.src, t.dest), (p.src, p.dest));
+            assert_eq!(t.flits, p.flits);
+            assert_eq!(
+                (t.created, t.injected, t.delivered),
+                (p.created, p.injected, p.delivered)
+            );
+            assert_eq!(t.hops, p.hops);
+            if t.delivered != NEVER {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, counters.delivered_packets);
+        let routed: u64 = rec.packet_traces().iter().map(|t| u64::from(t.hops)).sum();
+        assert_eq!(routed, counters.routed_headers);
+        let blocked: u64 = rec
+            .packet_traces()
+            .iter()
+            .map(|t| u64::from(t.blocked_attempts))
+            .sum();
+        assert_eq!(blocked, counters.routing_blocked);
+        let escapes: u64 = rec
+            .packet_traces()
+            .iter()
+            .map(|t| u64::from(t.escape_hops))
+            .sum();
+        assert_eq!(escapes, counters.escape_routings);
+        // Every delivered packet decomposes, components summing to the
+        // engine's own latency.
+        for (id, (t, p)) in rec.packet_traces().iter().zip(&packets).enumerate() {
+            if let Some(b) = t.breakdown(id as u32) {
+                assert_eq!(b.network(), p.latency().unwrap());
+                assert_eq!(
+                    b.src_queue + b.routing + b.blocked + b.transfer,
+                    p.delivered - p.created
+                );
+            }
+        }
+        assert!(!rec.events().is_empty());
     }
 
     #[test]

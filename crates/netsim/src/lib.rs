@@ -41,6 +41,13 @@
 //! multi-threaded load sweeps producing the CNF curves of Figures 5–7.
 //! The [`experiment`] module is the historical harness interface, now a
 //! thin wrapper over scenarios.
+//!
+//! Observability: the engine is generic over a [`telemetry::Probe`]
+//! (default `NullProbe`, compiled to a no-op), so
+//! [`Scenario::simulate_traced`](scenario::Scenario::simulate_traced)
+//! and [`sim::run_simulation_probed`] can record per-packet latency
+//! decompositions, channel-utilization time series and lifecycle event
+//! traces without perturbing — or slowing — untraced runs.
 
 #![warn(missing_docs)]
 pub mod active;
@@ -60,7 +67,8 @@ pub use scenario::{
     derived_seed, named, paper_scenarios, registry, InjectionModel, NamedScenario, RoutingKind,
     Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
 };
-pub use sim::{SimConfig, SimOutcome};
+pub use sim::{run_simulation_probed, SimConfig, SimOutcome};
+pub use telemetry;
 
 /// Engine build-configuration flags, for run manifests: feature name →
 /// enabled. Currently the only engine-affecting feature is

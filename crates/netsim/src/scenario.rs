@@ -35,7 +35,8 @@
 //! throttle follows the same rule). `tests/scenario_equivalence.rs`
 //! pins this against goldens captured before the refactor.
 
-use crate::sim::{run_simulation, InjectionSpec, SimConfig, SimOutcome};
+use crate::sim::{run_simulation, run_simulation_probed, InjectionSpec, SimConfig, SimOutcome};
+use crate::wiring::Wiring;
 use costmodel::chien::RouterClass;
 use costmodel::normalize::NetworkNormalization;
 use netstats::export::{Manifest, ManifestValue};
@@ -43,6 +44,7 @@ use netstats::SweepCurve;
 use routing::{
     CubeDeterministic, CubeDuato, MeshAdaptive, MeshDeterministic, RoutingAlgorithm, TreeAdaptive,
 };
+use telemetry::{FlightRecorder, Geometry, TelemetryConfig};
 use topology::{KAryNCube, KAryNMesh, KAryNTree};
 use traffic::Pattern;
 
@@ -328,6 +330,7 @@ pub struct Scenario {
     buffer_depth: usize,
     packet_bytes: usize,
     throttle: Throttle,
+    telemetry: Option<TelemetryConfig>,
 }
 
 /// Validating builder for [`Scenario`].
@@ -344,6 +347,7 @@ pub struct ScenarioBuilder {
     buffer_depth: Option<usize>,
     packet_bytes: Option<usize>,
     throttle: Option<Throttle>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl ScenarioBuilder {
@@ -410,6 +414,16 @@ impl ScenarioBuilder {
     /// Set the source-throttling policy. Default: the paper's rule.
     pub fn throttle(mut self, t: Throttle) -> Self {
         self.throttle = Some(t);
+        self
+    }
+
+    /// Attach a telemetry configuration: [`Scenario::simulate_traced`]
+    /// will record with these settings, and the config is embedded in
+    /// run manifests. Default: none (untraced; `simulate_traced` then
+    /// falls back to [`TelemetryConfig::default`]). Telemetry is a pure
+    /// observation overlay — it never changes simulation results.
+    pub fn telemetry(mut self, t: TelemetryConfig) -> Self {
+        self.telemetry = Some(t);
         self
     }
 
@@ -542,6 +556,7 @@ impl ScenarioBuilder {
             buffer_depth,
             packet_bytes,
             throttle: self.throttle.unwrap_or(Throttle::Auto),
+            telemetry: self.telemetry,
         })
     }
 }
@@ -597,6 +612,11 @@ impl Scenario {
         self.buffer_depth
     }
 
+    /// The attached telemetry configuration, if any.
+    pub fn telemetry(&self) -> Option<TelemetryConfig> {
+        self.telemetry
+    }
+
     /// Same scenario under a different traffic pattern.
     ///
     /// # Panics
@@ -621,6 +641,13 @@ impl Scenario {
     /// Same scenario with a different seeding policy.
     pub fn with_seed(mut self, seed: SeedMode) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same scenario with a telemetry configuration attached (pure
+    /// observation — results are unchanged).
+    pub fn with_telemetry(mut self, t: TelemetryConfig) -> Self {
+        self.telemetry = Some(t);
         self
     }
 
@@ -746,6 +773,33 @@ impl Scenario {
         self.with_algorithm(Run(&cfg))
     }
 
+    /// Simulate one offered load with a [`FlightRecorder`] attached,
+    /// returning the outcome (bit-identical to [`Scenario::simulate`])
+    /// and the recording. Uses the scenario's attached
+    /// [`TelemetryConfig`], or the default when none was set.
+    pub fn simulate_traced(&self, fraction: f64) -> (SimOutcome, FlightRecorder) {
+        struct Traced<'c> {
+            cfg: &'c SimConfig,
+            tcfg: TelemetryConfig,
+        }
+        impl SpecVisitor for Traced<'_> {
+            type Out = (SimOutcome, FlightRecorder);
+            fn visit<A: RoutingAlgorithm>(self, algo: A) -> Self::Out {
+                let w = Wiring::from_topology(algo.topology());
+                let geo = Geometry {
+                    routers: w.num_routers,
+                    ports: w.ports,
+                    vcs: algo.num_vcs(),
+                    nodes: w.num_nodes,
+                };
+                run_simulation_probed(&algo, self.cfg, FlightRecorder::new(self.tcfg, geo))
+            }
+        }
+        let cfg = self.config_at(fraction);
+        let tcfg = self.telemetry.unwrap_or_default();
+        self.with_algorithm(Traced { cfg: &cfg, tcfg })
+    }
+
     /// Sweep a load grid in parallel, returning the full outcome at
     /// every point.
     ///
@@ -841,6 +895,12 @@ impl Scenario {
                 Throttle::Limit(l) => format!("limit:{l}"),
             },
         );
+        if let Some(t) = self.telemetry {
+            let mut tm = Manifest::new();
+            tm.push("stride", t.stride as f64);
+            tm.push("record_events", t.record_events);
+            m.push("telemetry", ManifestValue::Object(tm));
+        }
         m
     }
 }
@@ -859,6 +919,7 @@ fn scenario_to_builder(s: &Scenario) -> ScenarioBuilder {
         buffer_depth: Some(s.buffer_depth),
         packet_bytes: Some(s.packet_bytes),
         throttle: Some(s.throttle),
+        telemetry: s.telemetry,
     }
 }
 

@@ -10,6 +10,7 @@ use crate::engine::Engine;
 use crate::flit::NEVER;
 use netstats::{Accumulator, Histogram};
 use routing::RoutingAlgorithm;
+use telemetry::{NullProbe, Probe};
 use traffic::{Bernoulli, InjectionProcess, OnOffBursty, Pattern, Periodic, TrafficGen};
 
 /// How packets are created at each node.
@@ -178,17 +179,32 @@ impl SimOutcome {
 /// Panics on flow-control violations or deadlock (watchdog) — both are
 /// bugs, not outcomes.
 pub fn run_simulation<A: RoutingAlgorithm + ?Sized>(algo: &A, cfg: &SimConfig) -> SimOutcome {
+    run_simulation_probed(algo, cfg, NullProbe).0
+}
+
+/// [`run_simulation`] with a telemetry probe attached to the engine.
+///
+/// The probe observes the whole run, warm-up included (filter on the
+/// recorded injection cycles to restrict analysis to the measurement
+/// window), and is returned alongside the outcome. The probe is a pure
+/// observer: the outcome is bit-identical to the unprobed run.
+pub fn run_simulation_probed<A: RoutingAlgorithm + ?Sized, P: Probe>(
+    algo: &A,
+    cfg: &SimConfig,
+    probe: P,
+) -> (SimOutcome, P) {
     assert!(cfg.warmup_cycles < cfg.total_cycles);
     let num_nodes = algo.topology().num_nodes();
     let pattern = TrafficGen::new(cfg.pattern, num_nodes);
     let injection = cfg.injection;
-    let mut eng = Engine::new(
+    let mut eng = Engine::with_probe(
         algo,
         cfg.buffer_depth,
         cfg.flits_per_packet,
         pattern,
         &move |_| injection.build(),
         cfg.seed,
+        probe,
     );
     eng.set_injection_limit(cfg.injection_limit);
     eng.set_request_reply(cfg.request_reply);
@@ -238,7 +254,7 @@ pub fn run_simulation<A: RoutingAlgorithm + ?Sized>(algo: &A, cfg: &SimConfig) -
     }
 
     let routed = end.routed_headers.max(1);
-    SimOutcome {
+    let outcome = SimOutcome {
         offered_fraction: cfg.offered_fraction(),
         generated_fraction: generated_rate / cfg.capacity_flits_per_cycle,
         accepted_fraction: accepted_rate / cfg.capacity_flits_per_cycle,
@@ -250,7 +266,8 @@ pub fn run_simulation<A: RoutingAlgorithm + ?Sized>(algo: &A, cfg: &SimConfig) -
         backlog_packets: eng.source_queue_len(),
         escape_fraction: end.escape_routings as f64 / routed as f64,
         accepted_ci: batches.ci95(),
-    }
+    };
+    (outcome, eng.into_probe())
 }
 
 #[cfg(test)]

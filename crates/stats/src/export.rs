@@ -299,6 +299,18 @@ fn render_object(m: &Manifest, indent: usize, out: &mut String) {
     out.push('}');
 }
 
+/// The `schema` tag of a run manifest. Version 1 is the historical
+/// format; version 2 adds a `telemetry` object and is emitted **only**
+/// when a run actually recorded telemetry, so untraced manifests stay
+/// byte-identical to version 1.
+pub fn run_manifest_schema(with_telemetry: bool) -> &'static str {
+    if with_telemetry {
+        "netperf-run-manifest/2"
+    } else {
+        "netperf-run-manifest/1"
+    }
+}
+
 /// Write a manifest as JSON to `path`, creating parent directories.
 pub fn write_manifest(manifest: &Manifest, path: impl AsRef<Path>) -> io::Result<()> {
     let path = path.as_ref();
@@ -436,6 +448,12 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::with_columns(["a", "b"]);
         t.push_row(vec![1.0.into()]);
+    }
+
+    #[test]
+    fn manifest_schema_versions() {
+        assert_eq!(run_manifest_schema(false), "netperf-run-manifest/1");
+        assert_eq!(run_manifest_schema(true), "netperf-run-manifest/2");
     }
 
     fn sample_manifest() -> Manifest {

@@ -1,0 +1,89 @@
+//! # telemetry — observability plane for the wormhole simulator
+//!
+//! The paper's headline claims are about *where* time goes — routing vs.
+//! blocking vs. link transfer — yet counters alone only show end-to-end
+//! bandwidth and mean latency. This crate adds a probe layer that watches
+//! the engine without perturbing it:
+//!
+//! * [`Probe`] — a trait the engine calls at its seven observable points
+//!   (packet created, head flit injected, header routed, header blocked,
+//!   flit crosses a link, tail ejected, cycle end). Every method has an
+//!   inlined empty default, so the engine monomorphized over [`NullProbe`]
+//!   compiles to the exact pre-telemetry hot path: zero overhead when off.
+//! * [`FlightRecorder`] — a recording probe that derives, per packet, the
+//!   four-way latency decomposition ([`LatencyBreakdown`]: source
+//!   queueing, routing decisions, blocked cycles, link/crossbar transfer;
+//!   the components sum exactly to the end-to-end latency), per-channel
+//!   and per-virtual-lane utilization time series sampled at a fixed
+//!   stride, and an optional packet-lifecycle [`Event`] stream.
+//! * [`trace`] — exporters for the event stream: JSONL (one object per
+//!   line, schema in `scripts/trace.schema.json`) and Chrome
+//!   `trace_event` JSON loadable in `about://tracing`.
+//!
+//! The recorder never touches simulation state or RNGs; enabling it
+//! cannot change any counter, seed, or golden number.
+
+#![warn(missing_docs)]
+
+mod probe;
+mod record;
+pub mod trace;
+
+pub use probe::{LinkKind, NullProbe, Probe};
+pub use record::{
+    BreakdownSummary, Event, FlightRecorder, LatencyBreakdown, PacketTrace, UtilizationSample,
+};
+
+/// Cycle-stamp sentinel: "has not happened yet".
+///
+/// Matches the engine's own `NEVER` stamp for unset `injected` /
+/// `delivered` fields.
+pub const NEVER: u32 = u32::MAX;
+
+/// What to record and how often to sample utilization windows.
+///
+/// `Copy` + `PartialEq` so scenarios stay cheaply cloneable and
+/// comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Utilization sampling stride in cycles: each complete window of
+    /// this many cycles becomes one point in the per-channel series.
+    /// A trailing partial window is dropped so every sample covers the
+    /// same denominator. Must be ≥ 1.
+    pub stride: u32,
+    /// Keep the per-packet lifecycle [`Event`] stream (needed for the
+    /// JSONL / Chrome exports). Latency decomposition and utilization
+    /// series work either way; leave this off for cheap bulk runs.
+    pub record_events: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            stride: 100,
+            record_events: true,
+        }
+    }
+}
+
+/// Static shape of the network being observed, used to size the
+/// utilization counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of routers.
+    pub routers: usize,
+    /// Maximum ports per router (the wiring's port stride).
+    pub ports: usize,
+    /// Virtual channels per physical port.
+    pub vcs: usize,
+    /// Number of end nodes.
+    pub nodes: usize,
+}
+
+impl Geometry {
+    /// Directed router-output channels tracked (`routers × ports`); each
+    /// expands into `vcs` virtual lanes.
+    pub fn channels(&self) -> usize {
+        self.routers * self.ports
+    }
+}

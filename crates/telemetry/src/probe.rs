@@ -1,0 +1,107 @@
+//! The [`Probe`] trait and the zero-cost [`NullProbe`].
+
+/// Which kind of channel a flit just crossed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Router-to-router network channel.
+    Network,
+    /// Router-to-node ejection channel.
+    Ejection,
+}
+
+/// Observer interface the engine invokes at its observable points.
+///
+/// The engine is generic over `P: Probe` with [`NullProbe`] as the
+/// default, so the untraced build monomorphizes every call below to an
+/// inlined empty body — the compiled hot path is identical to an engine
+/// without the probe layer (pinned by `bench_engine`).
+///
+/// Contract for implementors: a probe is a pure observer. It must not
+/// panic on well-formed input and it receives no handle back into the
+/// engine, so it *cannot* perturb simulation state, RNG draws, or
+/// arbitration order. Packet ids arrive in creation order and are dense
+/// (`0, 1, 2, …`), including request/reply traffic.
+pub trait Probe {
+    /// A packet record was created (entered the source queue), or — for
+    /// request/reply traffic — a reply was spawned at the destination.
+    #[inline(always)]
+    fn packet_created(&mut self, cycle: u32, packet: u32, src: u32, dest: u32, flits: u16) {
+        let _ = (cycle, packet, src, dest, flits);
+    }
+
+    /// The head flit left the source queue and was committed to an
+    /// injection lane (`vc`) of node `node`.
+    #[inline(always)]
+    fn packet_injected(&mut self, cycle: u32, packet: u32, node: u32, vc: u8) {
+        let _ = (cycle, packet, node, vc);
+    }
+
+    /// A header won the routing decision at `router`, moving from input
+    /// lane `in_lane` to output lane `out_lane` (dense lane indices,
+    /// `port * vcs + vc`). `escape` is true when the adaptive router had
+    /// to fall back to its escape/deterministic lane class.
+    #[inline(always)]
+    fn header_routed(
+        &mut self,
+        cycle: u32,
+        packet: u32,
+        router: u32,
+        in_lane: u16,
+        out_lane: u16,
+        escape: bool,
+    ) {
+        let _ = (cycle, packet, router, in_lane, out_lane, escape);
+    }
+
+    /// A header presented to the routing phase found no admissible
+    /// output this cycle (all candidate lanes busy or out of credit).
+    #[inline(always)]
+    fn routing_blocked(&mut self, cycle: u32, packet: u32, router: u32, in_lane: u16) {
+        let _ = (cycle, packet, router, in_lane);
+    }
+
+    /// A flit crossed the channel leaving `router` through `port` on
+    /// virtual lane `vc` (network hop or ejection, per `kind`).
+    #[inline(always)]
+    fn link_flit(
+        &mut self,
+        cycle: u32,
+        packet: u32,
+        router: u32,
+        port: u16,
+        vc: u8,
+        kind: LinkKind,
+    ) {
+        let _ = (cycle, packet, router, port, vc, kind);
+    }
+
+    /// A flit crossed the injection channel from node `node` into its
+    /// router on virtual lane `vc`.
+    #[inline(always)]
+    fn injection_flit(&mut self, cycle: u32, packet: u32, node: u32, vc: u8) {
+        let _ = (cycle, packet, node, vc);
+    }
+
+    /// The tail flit was ejected at destination node `node`; the packet
+    /// is delivered.
+    #[inline(always)]
+    fn packet_delivered(&mut self, cycle: u32, packet: u32, node: u32) {
+        let _ = (cycle, packet, node);
+    }
+
+    /// All four phases of `cycle` have run; the engine is about to
+    /// advance the clock. Fixed-stride samplers hook here.
+    #[inline(always)]
+    fn cycle_end(&mut self, cycle: u32) {
+        let _ = cycle;
+    }
+}
+
+/// The do-nothing probe: the engine's default type parameter.
+///
+/// Unit struct, all methods inherited as inlined no-ops — an
+/// `Engine<_, A, NullProbe>` is the pre-telemetry engine, bit for bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}

@@ -1,0 +1,803 @@
+//! The [`FlightRecorder`] probe: per-packet traces, latency
+//! decomposition, and fixed-stride utilization sampling.
+
+use crate::probe::{LinkKind, Probe};
+use crate::{Geometry, TelemetryConfig, NEVER};
+use netstats::export::{Cell, Manifest, Table};
+use netstats::series::Series;
+
+/// One packet-lifecycle event, in engine order.
+///
+/// Link-level flit crossings are deliberately *not* events — at one
+/// flit per channel per cycle they would dwarf the lifecycle stream.
+/// They feed the utilization counters instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Packet entered its source queue (or a reply was spawned).
+    Created {
+        /// Cycle of creation.
+        cycle: u32,
+        /// Dense packet id.
+        packet: u32,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// Packet length in flits.
+        flits: u16,
+    },
+    /// Head flit committed to an injection lane.
+    Injected {
+        /// Cycle of injection.
+        cycle: u32,
+        /// Packet id.
+        packet: u32,
+        /// Injecting node.
+        node: u32,
+        /// Injection virtual lane.
+        vc: u8,
+    },
+    /// Header won a routing decision.
+    Routed {
+        /// Cycle of the decision.
+        cycle: u32,
+        /// Packet id.
+        packet: u32,
+        /// Router that routed the header.
+        router: u32,
+        /// Input lane (dense `port * vcs + vc`).
+        in_lane: u16,
+        /// Output lane granted.
+        out_lane: u16,
+        /// Escape/deterministic fallback lane class used.
+        escape: bool,
+    },
+    /// Header found no admissible output this cycle.
+    Blocked {
+        /// Cycle of the failed attempt.
+        cycle: u32,
+        /// Packet id.
+        packet: u32,
+        /// Router holding the header.
+        router: u32,
+        /// Input lane the header waits on.
+        in_lane: u16,
+    },
+    /// Tail flit ejected; packet delivered.
+    Delivered {
+        /// Cycle of delivery.
+        cycle: u32,
+        /// Packet id.
+        packet: u32,
+        /// Destination node.
+        node: u32,
+    },
+}
+
+impl Event {
+    /// Cycle stamp of the event.
+    pub fn cycle(&self) -> u32 {
+        match *self {
+            Event::Created { cycle, .. }
+            | Event::Injected { cycle, .. }
+            | Event::Routed { cycle, .. }
+            | Event::Blocked { cycle, .. }
+            | Event::Delivered { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// Everything the recorder knows about one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Length in flits.
+    pub flits: u16,
+    /// Creation cycle.
+    pub created: u32,
+    /// Injection cycle ([`NEVER`] while queued at the source).
+    pub injected: u32,
+    /// Delivery cycle ([`NEVER`] while in flight).
+    pub delivered: u32,
+    /// Routers traversed (routing decisions won).
+    pub hops: u16,
+    /// Hops that used the escape/deterministic fallback lane class.
+    pub escape_hops: u16,
+    /// Failed routing attempts (cycles the header sat blocked at the
+    /// front of a lane while presented to the routing phase).
+    pub blocked_attempts: u32,
+}
+
+impl PacketTrace {
+    /// Decompose this packet's end-to-end latency, if it was delivered.
+    ///
+    /// The wormhole pipeline costs exactly `3` cycles per hop at zero
+    /// contention (routing decision + crossbar + link), one cycle on
+    /// the injection channel, and `flits − 1` trailing cycles for the
+    /// tail to stream behind the head. Everything above that floor is
+    /// contention, attributed to `blocked`:
+    ///
+    /// * `src_queue = injected − created`
+    /// * `routing   = hops`
+    /// * `transfer  = 2·hops + flits`  (crossbar+link per hop,
+    ///   injection link, tail streaming)
+    /// * `blocked   = (delivered − injected) − routing − transfer`
+    ///
+    /// so `src_queue + routing + blocked + transfer` equals
+    /// `delivered − created` exactly, by construction, and `blocked`
+    /// is non-negative by the pipeline floor argument (checked).
+    pub fn breakdown(&self, packet: u32) -> Option<LatencyBreakdown> {
+        if self.injected == NEVER || self.delivered == NEVER {
+            return None;
+        }
+        let src_queue = self.injected - self.created;
+        let routing = u32::from(self.hops);
+        let transfer = 2 * u32::from(self.hops) + u32::from(self.flits);
+        let network = self.delivered - self.injected;
+        let blocked = match network.checked_sub(routing + transfer) {
+            Some(b) => b,
+            None => panic!(
+                "latency decomposition underflow: packet {packet} has network \
+                 latency {network} below the pipeline floor {} ({} hops, {} flits)",
+                routing + transfer,
+                self.hops,
+                self.flits
+            ),
+        };
+        Some(LatencyBreakdown {
+            packet,
+            src: self.src,
+            dest: self.dest,
+            flits: self.flits,
+            hops: self.hops,
+            src_queue,
+            routing,
+            blocked,
+            transfer,
+        })
+    }
+}
+
+/// Four-way latency decomposition of one delivered packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Packet id.
+    pub packet: u32,
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Length in flits.
+    pub flits: u16,
+    /// Routers traversed.
+    pub hops: u16,
+    /// Cycles queued at the source before injection.
+    pub src_queue: u32,
+    /// Cycles spent on winning routing decisions (one per hop).
+    pub routing: u32,
+    /// Contention cycles: header stalls and in-network queueing.
+    pub blocked: u32,
+    /// Zero-contention transfer cycles: crossbar + link per hop,
+    /// injection link, and tail streaming.
+    pub transfer: u32,
+}
+
+impl LatencyBreakdown {
+    /// In-network latency (injection to delivery).
+    pub fn network(&self) -> u32 {
+        self.routing + self.blocked + self.transfer
+    }
+
+    /// End-to-end latency (creation to delivery); equals the sum of
+    /// the four components exactly.
+    pub fn total(&self) -> u32 {
+        self.src_queue + self.network()
+    }
+}
+
+/// Mean decomposition over all delivered packets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakdownSummary {
+    /// Delivered packets summarized.
+    pub packets: u64,
+    /// Mean cycles queued at the source.
+    pub mean_src_queue: f64,
+    /// Mean routing-decision cycles.
+    pub mean_routing: f64,
+    /// Mean blocked cycles.
+    pub mean_blocked: f64,
+    /// Mean transfer cycles.
+    pub mean_transfer: f64,
+    /// Mean in-network latency.
+    pub mean_network: f64,
+    /// Mean end-to-end latency.
+    pub mean_total: f64,
+    /// Worst single-packet blocked time.
+    pub max_blocked: u32,
+}
+
+impl BreakdownSummary {
+    /// Fraction of in-network latency spent blocked.
+    pub fn blocked_share(&self) -> f64 {
+        if self.mean_network > 0.0 {
+            self.mean_blocked / self.mean_network
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One complete utilization window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UtilizationSample {
+    /// Cycle at which the window closed (exclusive end; the window
+    /// covers `end_cycle − stride .. end_cycle`).
+    pub end_cycle: u32,
+    /// Flits per router-output virtual lane, indexed
+    /// `(router * ports + port) * vcs + vc`.
+    pub out: Vec<u32>,
+    /// Flits per injection lane, indexed `node * vcs + vc`.
+    pub inj: Vec<u32>,
+}
+
+/// A recording [`Probe`]: packet traces, lifecycle events, and
+/// fixed-stride utilization windows.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    cfg: TelemetryConfig,
+    geo: Geometry,
+    packets: Vec<PacketTrace>,
+    events: Vec<Event>,
+    window_out: Vec<u32>,
+    window_inj: Vec<u32>,
+    total_out: Vec<u64>,
+    samples: Vec<UtilizationSample>,
+    cycles_seen: u32,
+}
+
+impl FlightRecorder {
+    /// New recorder for a network of the given shape.
+    ///
+    /// # Panics
+    /// Panics if `cfg.stride == 0` or the geometry is degenerate.
+    pub fn new(cfg: TelemetryConfig, geo: Geometry) -> Self {
+        assert!(cfg.stride >= 1, "sampling stride must be at least 1 cycle");
+        assert!(
+            geo.routers > 0 && geo.ports > 0 && geo.vcs > 0 && geo.nodes > 0,
+            "degenerate telemetry geometry {geo:?}"
+        );
+        let out_lanes = geo.channels() * geo.vcs;
+        let inj_lanes = geo.nodes * geo.vcs;
+        FlightRecorder {
+            cfg,
+            geo,
+            packets: Vec::new(),
+            events: Vec::new(),
+            window_out: vec![0; out_lanes],
+            window_inj: vec![0; inj_lanes],
+            total_out: vec![0; out_lanes],
+            samples: Vec::new(),
+            cycles_seen: 0,
+        }
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// The network shape this recorder was built for.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// Cycles observed (count of `cycle_end` calls).
+    pub fn cycles(&self) -> u32 {
+        self.cycles_seen
+    }
+
+    /// Per-packet traces, indexed by dense packet id.
+    pub fn packet_traces(&self) -> &[PacketTrace] {
+        &self.packets
+    }
+
+    /// The lifecycle event stream (empty unless
+    /// [`TelemetryConfig::record_events`] was set).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Complete utilization windows, oldest first. A trailing partial
+    /// window is dropped so every sample covers exactly
+    /// [`TelemetryConfig::stride`] cycles.
+    pub fn samples(&self) -> &[UtilizationSample] {
+        &self.samples
+    }
+
+    /// Latency decompositions for every delivered packet, in packet-id
+    /// order.
+    pub fn breakdowns(&self) -> Vec<LatencyBreakdown> {
+        self.packets
+            .iter()
+            .enumerate()
+            .filter_map(|(id, t)| t.breakdown(id as u32))
+            .collect()
+    }
+
+    /// Mean decomposition over delivered packets, or `None` if nothing
+    /// was delivered.
+    pub fn breakdown_summary(&self) -> Option<BreakdownSummary> {
+        let mut n = 0u64;
+        let (mut sq, mut ro, mut bl, mut tr) = (0u64, 0u64, 0u64, 0u64);
+        let mut max_blocked = 0u32;
+        for b in self.breakdowns() {
+            n += 1;
+            sq += u64::from(b.src_queue);
+            ro += u64::from(b.routing);
+            bl += u64::from(b.blocked);
+            tr += u64::from(b.transfer);
+            max_blocked = max_blocked.max(b.blocked);
+        }
+        if n == 0 {
+            return None;
+        }
+        let f = n as f64;
+        let (mean_src_queue, mean_routing, mean_blocked, mean_transfer) =
+            (sq as f64 / f, ro as f64 / f, bl as f64 / f, tr as f64 / f);
+        Some(BreakdownSummary {
+            packets: n,
+            mean_src_queue,
+            mean_routing,
+            mean_blocked,
+            mean_transfer,
+            mean_network: mean_routing + mean_blocked + mean_transfer,
+            mean_total: mean_src_queue + mean_routing + mean_blocked + mean_transfer,
+            max_blocked,
+        })
+    }
+
+    /// Per-packet decomposition table (`packet, src, dest, flits, hops,
+    /// src_queue, routing, blocked, transfer, network, total`).
+    pub fn breakdown_table(&self) -> Table {
+        let mut t = Table::with_columns([
+            "packet",
+            "src",
+            "dest",
+            "flits",
+            "hops",
+            "src_queue",
+            "routing",
+            "blocked",
+            "transfer",
+            "network",
+            "total",
+        ]);
+        for b in self.breakdowns() {
+            t.push_row(vec![
+                Cell::Num(f64::from(b.packet)),
+                Cell::Num(f64::from(b.src)),
+                Cell::Num(f64::from(b.dest)),
+                Cell::Num(f64::from(b.flits)),
+                Cell::Num(f64::from(b.hops)),
+                Cell::Num(f64::from(b.src_queue)),
+                Cell::Num(f64::from(b.routing)),
+                Cell::Num(f64::from(b.blocked)),
+                Cell::Num(f64::from(b.transfer)),
+                Cell::Num(f64::from(b.network())),
+                Cell::Num(f64::from(b.total())),
+            ]);
+        }
+        t
+    }
+
+    fn out_lane(&self, router: usize, port: usize, vc: usize) -> usize {
+        (router * self.geo.ports + port) * self.geo.vcs + vc
+    }
+
+    /// Utilization series (flits per cycle, 0..=1) for the physical
+    /// channel leaving `router` through `port`, summed over its
+    /// virtual lanes. One point per complete window, `x` = window end
+    /// cycle.
+    pub fn channel_series(&self, router: usize, port: usize) -> Series {
+        let mut s = Series::new(format!("r{router}:p{port}"));
+        let stride = f64::from(self.cfg.stride);
+        for w in &self.samples {
+            let base = self.out_lane(router, port, 0);
+            let flits: u32 = w.out[base..base + self.geo.vcs].iter().sum();
+            s.push(f64::from(w.end_cycle), f64::from(flits) / stride);
+        }
+        s
+    }
+
+    /// Utilization series for one virtual lane of a channel.
+    pub fn lane_series(&self, router: usize, port: usize, vc: usize) -> Series {
+        let mut s = Series::new(format!("r{router}:p{port}:v{vc}"));
+        let stride = f64::from(self.cfg.stride);
+        let lane = self.out_lane(router, port, vc);
+        for w in &self.samples {
+            s.push(f64::from(w.end_cycle), f64::from(w.out[lane]) / stride);
+        }
+        s
+    }
+
+    /// Utilization series for a node's injection channel (all lanes).
+    pub fn injection_series(&self, node: usize) -> Series {
+        let mut s = Series::new(format!("n{node}:inj"));
+        let stride = f64::from(self.cfg.stride);
+        for w in &self.samples {
+            let base = node * self.geo.vcs;
+            let flits: u32 = w.inj[base..base + self.geo.vcs].iter().sum();
+            s.push(f64::from(w.end_cycle), f64::from(flits) / stride);
+        }
+        s
+    }
+
+    /// The `top_n` busiest router-output channels by total flits
+    /// carried over the whole run, as `(router, port, flits)`,
+    /// busiest first. Ties break toward lower channel index, so the
+    /// ordering is deterministic.
+    pub fn busiest_channels(&self, top_n: usize) -> Vec<(usize, usize, u64)> {
+        let mut totals: Vec<(usize, u64)> = (0..self.geo.channels())
+            .map(|c| {
+                let base = c * self.geo.vcs;
+                (c, self.total_out[base..base + self.geo.vcs].iter().sum())
+            })
+            .filter(|&(_, flits)| flits > 0)
+            .collect();
+        totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        totals
+            .into_iter()
+            .take(top_n)
+            .map(|(c, flits)| (c / self.geo.ports, c % self.geo.ports, flits))
+            .collect()
+    }
+
+    /// Hot-channel summary table (`channel, total_flits, mean_util,
+    /// peak_util`), busiest first.
+    pub fn utilization_table(&self, top_n: usize) -> Table {
+        let mut t = Table::with_columns(["channel", "total_flits", "mean_util", "peak_util"]);
+        for (r, p, flits) in self.busiest_channels(top_n) {
+            let s = self.channel_series(r, p);
+            let mean = if s.points.is_empty() {
+                0.0
+            } else {
+                s.points.iter().map(|&(_, y)| y).sum::<f64>() / s.points.len() as f64
+            };
+            t.push_row(vec![
+                Cell::Text(format!("r{r}:p{p}")),
+                Cell::Num(flits as f64),
+                Cell::Num(mean),
+                Cell::Num(s.max_y().unwrap_or(0.0)),
+            ]);
+        }
+        t
+    }
+
+    /// Wide time-series table for the `top_n` busiest channels: one
+    /// row per complete window (`cycle` column = window end), one
+    /// column per channel with its utilization in that window.
+    pub fn utilization_series_table(&self, top_n: usize) -> Table {
+        let hot = self.busiest_channels(top_n);
+        let mut cols = vec!["cycle".to_string()];
+        cols.extend(hot.iter().map(|&(r, p, _)| format!("r{r}:p{p}")));
+        let mut t = Table::with_columns(cols);
+        let stride = f64::from(self.cfg.stride);
+        for w in &self.samples {
+            let mut row = vec![Cell::Num(f64::from(w.end_cycle))];
+            for &(r, p, _) in &hot {
+                let base = self.out_lane(r, p, 0);
+                let flits: u32 = w.out[base..base + self.geo.vcs].iter().sum();
+                row.push(Cell::Num(f64::from(flits) / stride));
+            }
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// Manifest fragment describing this recording (config + volume).
+    pub fn manifest(&self) -> Manifest {
+        let mut m = Manifest::new();
+        m.push("stride", f64::from(self.cfg.stride));
+        m.push("record_events", self.cfg.record_events);
+        m.push("cycles", f64::from(self.cycles_seen));
+        m.push("packets_tracked", self.packets.len() as f64);
+        m.push("events", self.events.len() as f64);
+        m.push("utilization_windows", self.samples.len() as f64);
+        m
+    }
+}
+
+impl Probe for FlightRecorder {
+    #[inline]
+    fn packet_created(&mut self, cycle: u32, packet: u32, src: u32, dest: u32, flits: u16) {
+        debug_assert_eq!(packet as usize, self.packets.len(), "packet ids are dense");
+        self.packets.push(PacketTrace {
+            src,
+            dest,
+            flits,
+            created: cycle,
+            injected: NEVER,
+            delivered: NEVER,
+            hops: 0,
+            escape_hops: 0,
+            blocked_attempts: 0,
+        });
+        if self.cfg.record_events {
+            self.events.push(Event::Created {
+                cycle,
+                packet,
+                src,
+                dest,
+                flits,
+            });
+        }
+    }
+
+    #[inline]
+    fn packet_injected(&mut self, cycle: u32, packet: u32, node: u32, vc: u8) {
+        self.packets[packet as usize].injected = cycle;
+        if self.cfg.record_events {
+            self.events.push(Event::Injected {
+                cycle,
+                packet,
+                node,
+                vc,
+            });
+        }
+    }
+
+    #[inline]
+    fn header_routed(
+        &mut self,
+        cycle: u32,
+        packet: u32,
+        router: u32,
+        in_lane: u16,
+        out_lane: u16,
+        escape: bool,
+    ) {
+        let t = &mut self.packets[packet as usize];
+        t.hops += 1;
+        if escape {
+            t.escape_hops += 1;
+        }
+        if self.cfg.record_events {
+            self.events.push(Event::Routed {
+                cycle,
+                packet,
+                router,
+                in_lane,
+                out_lane,
+                escape,
+            });
+        }
+    }
+
+    #[inline]
+    fn routing_blocked(&mut self, cycle: u32, packet: u32, router: u32, in_lane: u16) {
+        self.packets[packet as usize].blocked_attempts += 1;
+        if self.cfg.record_events {
+            self.events.push(Event::Blocked {
+                cycle,
+                packet,
+                router,
+                in_lane,
+            });
+        }
+    }
+
+    #[inline]
+    fn link_flit(
+        &mut self,
+        _cycle: u32,
+        _packet: u32,
+        router: u32,
+        port: u16,
+        vc: u8,
+        _kind: LinkKind,
+    ) {
+        let lane = self.out_lane(router as usize, port as usize, vc as usize);
+        self.window_out[lane] += 1;
+        self.total_out[lane] += 1;
+    }
+
+    #[inline]
+    fn injection_flit(&mut self, _cycle: u32, _packet: u32, node: u32, vc: u8) {
+        self.window_inj[node as usize * self.geo.vcs + vc as usize] += 1;
+    }
+
+    #[inline]
+    fn packet_delivered(&mut self, cycle: u32, packet: u32, node: u32) {
+        let t = &mut self.packets[packet as usize];
+        debug_assert_eq!(t.dest, node, "delivered at the routed destination");
+        t.delivered = cycle;
+        if self.cfg.record_events {
+            self.events.push(Event::Delivered {
+                cycle,
+                packet,
+                node,
+            });
+        }
+    }
+
+    #[inline]
+    fn cycle_end(&mut self, cycle: u32) {
+        self.cycles_seen = cycle + 1;
+        if (cycle + 1).is_multiple_of(self.cfg.stride) {
+            self.samples.push(UtilizationSample {
+                end_cycle: cycle + 1,
+                out: self.window_out.clone(),
+                inj: self.window_inj.clone(),
+            });
+            self.window_out.fill(0);
+            self.window_inj.fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Geometry {
+        Geometry {
+            routers: 2,
+            ports: 3,
+            vcs: 2,
+            nodes: 2,
+        }
+    }
+
+    fn recorder(record_events: bool) -> FlightRecorder {
+        FlightRecorder::new(
+            TelemetryConfig {
+                stride: 10,
+                record_events,
+            },
+            geo(),
+        )
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total_latency() {
+        // Hand-built trace: created 5, injected 12, delivered 40,
+        // 3 hops, 8 flits → floor = 3·3 + 8 = 17 network cycles.
+        let t = PacketTrace {
+            src: 0,
+            dest: 1,
+            flits: 8,
+            created: 5,
+            injected: 12,
+            delivered: 40,
+            hops: 3,
+            escape_hops: 1,
+            blocked_attempts: 4,
+        };
+        let b = t.breakdown(7).unwrap();
+        assert_eq!(b.src_queue, 7);
+        assert_eq!(b.routing, 3);
+        assert_eq!(b.transfer, 2 * 3 + 8);
+        assert_eq!(b.blocked, (40 - 12) - 3 - 14);
+        assert_eq!(b.network(), 40 - 12);
+        assert_eq!(b.total(), 40 - 5);
+        assert_eq!(
+            b.src_queue + b.routing + b.blocked + b.transfer,
+            b.total(),
+            "components must sum to end-to-end latency"
+        );
+    }
+
+    #[test]
+    fn undelivered_packets_have_no_breakdown() {
+        let mut t = PacketTrace {
+            src: 0,
+            dest: 1,
+            flits: 4,
+            created: 0,
+            injected: NEVER,
+            delivered: NEVER,
+            hops: 0,
+            escape_hops: 0,
+            blocked_attempts: 0,
+        };
+        assert!(t.breakdown(0).is_none());
+        t.injected = 3;
+        assert!(t.breakdown(0).is_none(), "in flight: still no breakdown");
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline floor")]
+    fn impossible_latency_panics() {
+        let t = PacketTrace {
+            src: 0,
+            dest: 1,
+            flits: 8,
+            created: 0,
+            injected: 0,
+            delivered: 5, // < 3 hops · 3 + 8
+            hops: 3,
+            escape_hops: 0,
+            blocked_attempts: 0,
+        };
+        let _ = t.breakdown(0);
+    }
+
+    #[test]
+    fn stride_windows_sample_complete_only() {
+        let mut r = recorder(false);
+        // 25 cycles at stride 10 → two complete windows, tail dropped.
+        for c in 0..25u32 {
+            if c < 7 {
+                r.link_flit(c, 0, 1, 2, 1, LinkKind::Network);
+            }
+            r.injection_flit(c, 0, 0, 0);
+            r.cycle_end(c);
+        }
+        assert_eq!(r.samples().len(), 2);
+        assert_eq!(r.samples()[0].end_cycle, 10);
+        assert_eq!(r.samples()[1].end_cycle, 20);
+        // Channel (1,2) carried 7 flits, all in the first window.
+        let s = r.channel_series(1, 2);
+        assert_eq!(s.points, vec![(10.0, 0.7), (20.0, 0.0)]);
+        let lane = r.lane_series(1, 2, 1);
+        assert_eq!(lane.points, vec![(10.0, 0.7), (20.0, 0.0)]);
+        assert_eq!(
+            r.lane_series(1, 2, 0).points,
+            vec![(10.0, 0.0), (20.0, 0.0)]
+        );
+        // Injection channel of node 0 saturated in both windows.
+        let inj = r.injection_series(0);
+        assert_eq!(inj.points, vec![(10.0, 1.0), (20.0, 1.0)]);
+        // Busiest list covers totals including the dropped tail window.
+        assert_eq!(r.busiest_channels(4), vec![(1, 2, 7)]);
+    }
+
+    #[test]
+    fn lifecycle_events_record_in_order() {
+        let mut r = recorder(true);
+        r.packet_created(1, 0, 0, 1, 4);
+        r.packet_injected(3, 0, 0, 1);
+        r.header_routed(5, 0, 0, 1, 4, false);
+        r.routing_blocked(6, 0, 1, 4);
+        r.header_routed(7, 0, 1, 4, 2, true);
+        r.packet_delivered(20, 0, 1);
+        assert_eq!(r.events().len(), 6);
+        assert!(r.events().windows(2).all(|w| w[0].cycle() <= w[1].cycle()));
+        let t = r.packet_traces()[0];
+        assert_eq!((t.hops, t.escape_hops, t.blocked_attempts), (2, 1, 1));
+        assert_eq!((t.created, t.injected, t.delivered), (1, 3, 20));
+        // Events off → same trace, empty stream.
+        let mut q = recorder(false);
+        q.packet_created(1, 0, 0, 1, 4);
+        q.packet_injected(3, 0, 0, 1);
+        assert!(q.events().is_empty());
+        assert_eq!(q.packet_traces()[0].injected, 3);
+    }
+
+    #[test]
+    fn summary_means_match_hand_sums() {
+        let mut r = recorder(false);
+        r.packet_created(0, 0, 0, 1, 4);
+        r.packet_injected(2, 0, 0, 0);
+        r.header_routed(4, 0, 0, 0, 1, false);
+        r.packet_delivered(9, 0, 1); // floor 3+4=7, network 7 → blocked 0
+        r.packet_created(0, 1, 1, 0, 4);
+        r.packet_injected(5, 1, 1, 0);
+        r.header_routed(7, 1, 1, 0, 1, false);
+        r.packet_delivered(17, 1, 0); // network 12 → blocked 5
+        let s = r.breakdown_summary().unwrap();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.mean_src_queue, (2.0 + 5.0) / 2.0);
+        assert_eq!(s.mean_routing, 1.0);
+        assert_eq!(s.mean_blocked, 2.5);
+        assert_eq!(s.mean_transfer, 6.0);
+        assert_eq!(s.max_blocked, 5);
+        assert_eq!(s.mean_total, s.mean_src_queue + s.mean_network);
+        let table = r.breakdown_table();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.columns.len(), 11);
+    }
+}

@@ -55,4 +55,95 @@ for path in glob.glob(out + "/*.csv"):
 print(f"smoke: {len(manifests)} manifests, all artifacts parse")
 EOF
 
+echo "==> traced telemetry smoke"
+# Separate directory: traced manifests carry the /2 schema and must not
+# trip the /1 assertion over the repro_all smoke dir above.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACE_DIR"' EXIT
+cargo run --release --bin netperf -- run cube-duato-tiny --load 0.4 --quick \
+  --trace "$TRACE_DIR/t" --csv "$TRACE_DIR/run.csv" > "$TRACE_DIR/stdout.txt"
+cargo run --release -p bench --bin latency_breakdown -- --quick --out "$TRACE_DIR" \
+  >> "$TRACE_DIR/stdout.txt"
+for f in t.trace.jsonl t.trace.json t.breakdown.csv t.util.csv \
+    run.csv run.manifest.json latency_breakdown.csv latency_breakdown.manifest.json; do
+  [ -s "$TRACE_DIR/$f" ] || { echo "traced smoke: missing artifact $f" >&2; exit 1; }
+done
+
+# Validate the JSONL event log against the checked-in JSON schema
+# (dependency-free validator covering the subset the schema uses),
+# the Chrome trace envelope, the /2 manifests and the decomposition
+# identity in the breakdown CSVs.
+python3 - "$TRACE_DIR" scripts/trace.schema.json <<'EOF'
+import csv, json, sys
+out, schema_path = sys.argv[1], sys.argv[2]
+schema = json.load(open(schema_path))
+
+def check(obj, sch, path="$"):
+    if "const" in sch and obj != sch["const"]:
+        return f"{path}: {obj!r} != const {sch['const']!r}"
+    if "enum" in sch and obj not in sch["enum"]:
+        return f"{path}: {obj!r} not in enum"
+    t = sch.get("type")
+    if t == "object" and not isinstance(obj, dict):
+        return f"{path}: not an object"
+    if isinstance(obj, dict):
+        for key in sch.get("required", []):
+            if key not in obj:
+                return f"{path}: missing required {key}"
+        props = sch.get("properties", {})
+        if sch.get("additionalProperties", True) is False:
+            for key in obj:
+                if key not in props:
+                    return f"{path}: unexpected key {key}"
+        for key, sub in props.items():
+            if key in obj:
+                err = check(obj[key], sub, f"{path}.{key}")
+                if err:
+                    return err
+    if t == "integer":
+        if not isinstance(obj, int) or isinstance(obj, bool):
+            return f"{path}: not an integer"
+        if "minimum" in sch and obj < sch["minimum"]:
+            return f"{path}: {obj} < minimum {sch['minimum']}"
+    elif t == "boolean":
+        if not isinstance(obj, bool):
+            return f"{path}: not a boolean"
+    if "oneOf" in sch:
+        hits = [s for s in sch["oneOf"] if check(obj, s, path) is None]
+        if len(hits) != 1:
+            return f"{path}: matches {len(hits)} oneOf branches, want 1"
+    return None
+
+n = 0
+with open(out + "/t.trace.jsonl") as f:
+    for i, line in enumerate(f, 1):
+        err = check(json.loads(line), schema)
+        assert err is None, f"t.trace.jsonl line {i}: {err}"
+        n += 1
+assert n > 0, "empty event log"
+
+chrome = json.load(open(out + "/t.trace.json"))
+assert chrome["traceEvents"], "empty Chrome trace"
+assert chrome["displayTimeUnit"] == "ms"
+phases = {e.get("ph") for e in chrome["traceEvents"]}
+assert "X" in phases and "M" in phases, f"unexpected phase set {phases}"
+
+for name in ("run", "latency_breakdown"):
+    m = json.load(open(f"{out}/{name}.manifest.json"))
+    assert m["schema"] == "netperf-run-manifest/2", name
+    assert m["telemetry"]["stride"] >= 1, name
+
+for name, cols in (("t.breakdown", None), ("latency_breakdown", "mean")):
+    with open(f"{out}/{name}.csv") as f:
+        rows = list(csv.DictReader(f))
+    assert rows, f"{name}.csv is empty"
+    pre = "mean_" if cols else ""
+    tol = 1e-6 if cols else 0
+    for row in rows:
+        parts = sum(float(row[pre + c]) for c in ("src_queue", "routing", "blocked", "transfer"))
+        total = float(row[pre + "total"] if cols else row["total"])
+        assert abs(parts - total) <= tol, f"{name}.csv: {parts} != {total}"
+print(f"traced smoke: {n} events valid, decomposition sums check out")
+EOF
+
 echo "verify: OK"

@@ -23,6 +23,7 @@ use netperf::netsim::scenario::{
     default_load_grid, named, registry, InjectionModel, RoutingKind, RunLength, Scenario,
     ScenarioBuilder, SeedMode, Throttle, TopologySpec,
 };
+use netperf::telemetry::{trace, FlightRecorder, TelemetryConfig};
 use netperf::traffic::Pattern;
 use netstats::{Cell, Manifest, ManifestValue, Table};
 use std::time::Instant;
@@ -77,6 +78,12 @@ fn usage() -> ! {
          --load <frac>               offered load for `run` (default 0.5)\n\
          --grid a:b:step             load grid for `sweep` (default 0.05:1.0:0.05)\n\
          --csv <path>                write results as CSV (+ JSON manifest)\n\
+         --trace <stem>              record telemetry (alias --probe): writes\n\
+                                     <stem>[.lNNN].trace.jsonl (event log),\n\
+                                     <stem>[.lNNN].trace.json (Chrome about://tracing),\n\
+                                     <stem>[.lNNN].breakdown.csv (latency decomposition),\n\
+                                     <stem>[.lNNN].util.csv (channel utilization)\n\
+         --probe-stride <n>          utilization sampling stride in cycles (default 100)\n\
          \n\
          The historical flags-first form (netperf --topology ... --load ...)\n\
          is still accepted, with its historical fixed-seed, unthrottled\n\
@@ -133,10 +140,20 @@ fn parse_injection(spec: &str) -> Option<InjectionModel> {
 }
 
 fn cmd_list() {
-    println!("{:18} {:22} summary", "name", "label");
+    println!(
+        "{:18} {:22} {:13} {:3} summary",
+        "name", "label", "routing", "vcs"
+    );
     for e in registry() {
         let s = e.scenario();
-        println!("{:18} {:22} {}", e.name, s.label(), e.summary);
+        println!(
+            "{:18} {:22} {:13} {:3} {}",
+            e.name,
+            s.label(),
+            s.routing().name(),
+            s.vcs(),
+            e.summary
+        );
     }
     println!("\npaper set: cube-det cube-duato tree-1vc tree-2vc tree-4vc");
 }
@@ -147,6 +164,8 @@ struct Request {
     loads: Vec<f64>,
     csv: Option<String>,
     quick: bool,
+    /// Artifact stem for telemetry output (`--trace`/`--probe`).
+    trace: Option<String>,
 }
 
 fn parse_request(args: &[String], sweep: bool) -> Request {
@@ -172,6 +191,9 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
     let mut load = 0.5f64;
     let mut grid: Option<Vec<f64>> = None;
     let mut csv: Option<String> = None;
+    // Telemetry.
+    let mut trace: Option<String> = None;
+    let mut probe_stride: Option<u32> = None;
 
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> &str {
@@ -263,6 +285,16 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
                 grid = Some(parse_grid(g).unwrap_or_else(|| fail("bad --grid (want a:b:step)")));
             }
             "--csv" => csv = Some(val("--csv").to_string()),
+            "--trace" | "--probe" => trace = Some(val("--trace").to_string()),
+            "--probe-stride" => {
+                probe_stride = Some(
+                    val("--probe-stride")
+                        .parse()
+                        .ok()
+                        .filter(|&v: &u32| v >= 1)
+                        .unwrap_or_else(|| fail("bad --probe-stride (want an integer >= 1)")),
+                )
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
             positional if name.is_none() => name = Some(positional.to_string()),
@@ -345,6 +377,18 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
         b.build().unwrap_or_else(|e| fail(&e.to_string()))
     };
 
+    if probe_stride.is_some() && trace.is_none() {
+        fail("--probe-stride requires --trace");
+    }
+    let scenario = if trace.is_some() {
+        scenario.with_telemetry(TelemetryConfig {
+            stride: probe_stride.unwrap_or(100),
+            record_events: true,
+        })
+    } else {
+        scenario
+    };
+
     let loads = if sweep {
         grid.unwrap_or_else(default_load_grid)
     } else {
@@ -355,6 +399,7 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
         loads,
         csv,
         quick,
+        trace,
     }
 }
 
@@ -373,7 +418,20 @@ fn cmd_run(args: &[String], sweep: bool) {
     );
 
     let start = Instant::now();
-    let outcomes = s.sweep_outcomes(&req.loads);
+    // Traced runs go through the serial probed path (the recorder is a
+    // per-run accumulator); untraced runs keep the parallel sweep.
+    let (outcomes, recorders) = if req.trace.is_some() {
+        let mut outs = Vec::with_capacity(req.loads.len());
+        let mut recs = Vec::with_capacity(req.loads.len());
+        for &l in &req.loads {
+            let (o, r) = s.simulate_traced(l);
+            outs.push(o);
+            recs.push(r);
+        }
+        (outs, Some(recs))
+    } else {
+        (s.sweep_outcomes(&req.loads), None)
+    };
     let wall = start.elapsed().as_secs_f64();
 
     let mut table = results_table();
@@ -392,13 +450,68 @@ fn cmd_run(args: &[String], sweep: bool) {
         );
     }
 
+    if let Some(recs) = &recorders {
+        let stem = req.trace.as_deref().unwrap();
+        for (&load, rec) in req.loads.iter().zip(recs) {
+            write_trace_artifacts(stem, load, req.loads.len() > 1, rec);
+        }
+    }
+
     if let Some(path) = &req.csv {
         netstats::write_csv(&table, path).expect("write csv");
-        let manifest = cli_manifest(&req, wall, outcomes.len(), created, delivered);
+        let manifest = cli_manifest(
+            &req,
+            wall,
+            outcomes.len(),
+            created,
+            delivered,
+            recorders.as_deref(),
+        );
         let mpath = manifest_sibling(path);
         netstats::write_manifest(&manifest, &mpath).expect("write manifest");
         eprintln!("wrote {path}");
         eprintln!("wrote {mpath}");
+    }
+}
+
+/// Write the four telemetry artifacts of one traced load point:
+/// JSONL event log, Chrome trace, latency-decomposition CSV and
+/// channel-utilization CSV. Multi-load runs tag each file with the
+/// load percentage (`stem.l040.trace.jsonl`).
+fn write_trace_artifacts(stem: &str, load: f64, tagged: bool, rec: &FlightRecorder) {
+    let tag = if tagged {
+        format!(".l{:03}", (load * 100.0).round() as u32)
+    } else {
+        String::new()
+    };
+    let write = |suffix: &str, contents: String| {
+        let path = format!("{stem}{tag}{suffix}");
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create trace dir");
+            }
+        }
+        std::fs::write(&path, contents).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}");
+    };
+    write(".trace.jsonl", trace::events_jsonl(rec.events()));
+    write(".trace.json", trace::chrome_trace(rec));
+    write(".breakdown.csv", rec.breakdown_table().to_csv());
+    write(".util.csv", rec.utilization_series_table(8).to_csv());
+    if let Some(sum) = rec.breakdown_summary() {
+        println!(
+            "load {:>5.2}: latency decomposition (mean cycles over {} packets): \
+             src_queue {:.1} + routing {:.1} + blocked {:.1} + transfer {:.1} = {:.1} \
+             ({:.0}% blocked)",
+            load,
+            sum.packets,
+            sum.mean_src_queue,
+            sum.mean_routing,
+            sum.mean_blocked,
+            sum.mean_transfer,
+            sum.mean_total,
+            sum.blocked_share() * 100.0,
+        );
     }
 }
 
@@ -427,10 +540,22 @@ fn push_outcome(table: &mut Table, load: f64, out: &netperf::netsim::sim::SimOut
 }
 
 /// The run manifest written next to `--csv` output (same schema as the
-/// bench binaries').
-fn cli_manifest(req: &Request, wall: f64, sims: usize, created: u64, delivered: u64) -> Manifest {
+/// bench binaries'). Untraced runs keep the historical
+/// `netperf-run-manifest/1` bytes; traced runs advertise
+/// `netperf-run-manifest/2` and append a `telemetry` object.
+fn cli_manifest(
+    req: &Request,
+    wall: f64,
+    sims: usize,
+    created: u64,
+    delivered: u64,
+    recorders: Option<&[FlightRecorder]>,
+) -> Manifest {
     let mut m = Manifest::new();
-    m.push("schema", "netperf-run-manifest/1");
+    m.push(
+        "schema",
+        netstats::export::run_manifest_schema(recorders.is_some()),
+    );
     m.push("generator", "netperf-cli");
     m.push("artifact", req.csv.as_deref().unwrap_or(""));
     m.push("quick", req.quick);
@@ -453,6 +578,20 @@ fn cli_manifest(req: &Request, wall: f64, sims: usize, created: u64, delivered: 
     c.push("created_packets", created as f64);
     c.push("delivered_packets", delivered as f64);
     m.push("counters", ManifestValue::Object(c));
+    if let Some(recs) = recorders {
+        let cfg = req.scenario.telemetry().unwrap_or_default();
+        let mut t = Manifest::new();
+        t.push("stride", cfg.stride as f64);
+        t.push("record_events", cfg.record_events);
+        if let Some(stem) = &req.trace {
+            t.push("trace_stem", stem.as_str());
+        }
+        t.push(
+            "runs",
+            ManifestValue::List(recs.iter().map(|r| r.manifest().into()).collect()),
+        );
+        m.push("telemetry", t);
+    }
     m
 }
 

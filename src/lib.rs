@@ -18,6 +18,9 @@
 //! * [`netstats`] — statistics collection and CSV/JSON export.
 //! * [`netsim`] — the flit-level wormhole simulator, the scenario
 //!   plane (`netsim::scenario`) and the paper's experiment harness.
+//! * [`telemetry`] — the observability plane: zero-cost-when-off
+//!   engine probes, per-packet latency decomposition,
+//!   channel-utilization time series, JSONL/Chrome event traces.
 //! * [`analytic`] — closed-form latency/throughput baselines
 //!   (Agarwal-style M/D/1 contention models).
 //!
@@ -51,6 +54,7 @@ pub use costmodel;
 pub use netsim;
 pub use netstats;
 pub use routing;
+pub use telemetry;
 pub use topology;
 pub use traffic;
 
@@ -66,9 +70,12 @@ pub mod prelude {
         derived_seed, named, paper_scenarios, registry, InjectionModel, NamedScenario, RoutingKind,
         Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
     };
-    pub use netsim::sim::{SimConfig, SimOutcome};
+    pub use netsim::sim::{run_simulation_probed, SimConfig, SimOutcome};
     pub use netstats::export::{write_csv, write_manifest, Manifest, ManifestValue, Table};
     pub use routing::{CubeDeterministic, CubeDuato, TreeAdaptive};
+    pub use telemetry::{
+        Event, FlightRecorder, Geometry, LatencyBreakdown, NullProbe, Probe, TelemetryConfig,
+    };
     pub use topology::{KAryNCube, KAryNTree, NodeId, RouterId, Topology};
     pub use traffic::pattern::Pattern;
 }

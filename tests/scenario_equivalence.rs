@@ -414,3 +414,39 @@ fn throttle_rule_matches_the_papers_reference_28() {
         assert_eq!(cfg.injection_limit, None, "{name}");
     }
 }
+
+#[test]
+fn recording_probe_leaves_golden_counters_bit_identical() {
+    // The telemetry plane must be a pure observer: running the same
+    // scenario through `simulate_traced` (FlightRecorder probe, event
+    // log on) must reproduce the NullProbe goldens bit-for-bit.
+    for name in ["cube-duato", "tree-2vc"] {
+        let scenario = named(name)
+            .unwrap()
+            .with_run_length(RunLength::quick())
+            .with_telemetry(TelemetryConfig::default());
+        for load in [0.3, 0.9] {
+            let (out, rec) = scenario.simulate_traced(load);
+            let &(.., created, delivered, bits) = golden(scenario.label(), "uniform", load);
+            assert_eq!(out.created_packets, created, "{name} @ {load}: created");
+            assert_eq!(
+                out.delivered_packets, delivered,
+                "{name} @ {load}: delivered"
+            );
+            assert_eq!(
+                out.accepted_fraction.to_bits(),
+                bits,
+                "{name} @ {load}: accepted fraction perturbed by the probe"
+            );
+            // And the probe actually recorded the run it watched: it
+            // sees every delivery, including the warm-up ones the
+            // outcome's measured counter excludes.
+            assert!(!rec.events().is_empty(), "{name} @ {load}: no events");
+            assert!(
+                rec.breakdowns().len() as u64 >= delivered,
+                "{name} @ {load}: fewer breakdowns ({}) than measured deliveries ({delivered})",
+                rec.breakdowns().len()
+            );
+        }
+    }
+}

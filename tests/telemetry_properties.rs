@@ -1,0 +1,68 @@
+//! Property-based tests (proptest) for the telemetry plane: across
+//! randomized small scenarios, every delivered packet's latency
+//! decomposition must satisfy the exact accounting identity
+//! `src_queue + routing + blocked + transfer == delivered − created`,
+//! component by component against the raw packet trace.
+
+use proptest::prelude::*;
+
+use netperf::netsim::scenario::RoutingKind;
+use netperf::prelude::*;
+
+/// Small networks that keep a proptest case under ~50 ms.
+fn spec_for(topo: usize) -> (TopologySpec, RoutingKind, usize) {
+    match topo {
+        0 => (TopologySpec::cube(4, 2), RoutingKind::Duato, 4),
+        1 => (TopologySpec::tree(4, 2), RoutingKind::Adaptive, 2),
+        _ => (TopologySpec::mesh(4, 2), RoutingKind::Adaptive, 2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn latency_components_sum_exactly(
+        topo in 0usize..3,
+        pattern in 0usize..3,
+        load_pct in 10u32..90,
+        salt in any::<u64>(),
+    ) {
+        let load = f64::from(load_pct) / 100.0;
+        let (spec, routing, vcs) = spec_for(topo);
+        let pattern = [Pattern::Uniform, Pattern::Transpose, Pattern::Complement][pattern];
+        let scenario = Scenario::builder()
+            .topology(spec)
+            .routing(routing)
+            .vcs(vcs)
+            .pattern(pattern)
+            .seed(netperf::netsim::scenario::SeedMode::Derived { salt })
+            .run_length(RunLength { warmup: 100, total: 1200 })
+            .telemetry(TelemetryConfig { stride: 64, record_events: true })
+            .build()
+            .unwrap();
+        let (_, rec) = scenario.simulate_traced(load);
+
+        let breakdowns = rec.breakdowns();
+        prop_assert_eq!(
+            breakdowns.len(),
+            rec.packet_traces().iter().filter(|t| t.delivered != netperf::telemetry::NEVER).count(),
+            "one breakdown per delivered packet"
+        );
+        for b in &breakdowns {
+            let t = &rec.packet_traces()[b.packet as usize];
+            // The identity, checked against the raw per-packet stamps:
+            // the four components partition delivered − created.
+            prop_assert_eq!(
+                b.src_queue + b.routing + b.blocked + b.transfer,
+                t.delivered - t.created,
+                "components of packet {} do not sum to its lifetime", b.packet
+            );
+            // And each component matches its defining stamp.
+            prop_assert_eq!(b.src_queue, t.injected - t.created);
+            prop_assert_eq!(b.routing, u32::from(t.hops));
+            prop_assert_eq!(b.transfer, 2 * u32::from(t.hops) + u32::from(t.flits));
+            prop_assert_eq!(b.total(), t.delivered - t.created);
+        }
+    }
+}
