@@ -11,7 +11,8 @@
 //! | `fig7`     | Figure 7 | Absolute comparison of all five configurations (bits/ns, ns) |
 //! | `summary`  | §8–11    | Saturation points and headline claims vs the paper's numbers |
 //! | `ablation` | —        | Extensions: buffer depth, injection throttle, VC count sweeps |
-//! | `repro_all`| all      | Runs everything above and writes `results/` |
+//! | `fault_sweep` | —     | Degradation panel: accepted load/latency vs fraction of dead links |
+//! | `repro_all`| all      | Runs everything above (except `fault_sweep`) and writes `results/` |
 //!
 //! Every binary accepts `--quick` (shorter, noisier runs for smoke
 //! testing), `--seed <salt>` (rerun everything under an independent
@@ -21,6 +22,17 @@
 //! the scenario descriptions, seed salt, run length, engine feature
 //! flags, wall-clock time and headline counters of the run that
 //! produced it.
+//!
+//! ## Example
+//!
+//! The manifest always sits next to its artifact, named by stem:
+//!
+//! ```
+//! use std::path::Path;
+//!
+//! let m = bench::manifest_path(Path::new("results"), "fault_sweep.csv");
+//! assert_eq!(m, Path::new("results/fault_sweep.manifest.json"));
+//! ```
 
 #![warn(missing_docs)]
 

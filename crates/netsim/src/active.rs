@@ -13,7 +13,7 @@
 //! Membership updates during a phase are restricted by construction:
 //! a phase may remove the member it is currently visiting (it drained)
 //! and may insert into the worklists of *later* phases, but never
-//! inserts into the set it is iterating. [`ActiveSet::drain_ascending`]
+//! inserts into the set it is iterating. [`ActiveSet::for_each_ascending`]
 //! relies on this: it snapshots one word at a time, so removals of
 //! already-cleared bits and insertions elsewhere cannot be missed.
 

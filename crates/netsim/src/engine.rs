@@ -62,6 +62,7 @@
 //! on it as a runtime deadlock detector.
 
 use crate::active::ActiveSet;
+use crate::fault::{FaultModel, LinkFlip, NoFaults};
 use crate::flit::{Flit, PacketRec, HEAD, NEVER, TAIL};
 use crate::queue::FlitQueue;
 use crate::wiring::{Peer, Wiring};
@@ -73,6 +74,13 @@ use traffic::{InjectionProcess, Rng64, TrafficGen};
 
 /// Sentinel for "no route assigned".
 const NO_ROUTE: u32 = u32::MAX;
+
+/// Sentinel route for a lane whose head-of-line packet was declared
+/// undeliverable by the fault plane: the crossbar phase drains such a
+/// lane (one flit per cycle, credits returned upstream) instead of
+/// forwarding it. Distinct from `NO_ROUTE`, so the `routed` mask
+/// invariant (`routed` bit ⟺ `in_route[l] != NO_ROUTE`) still holds.
+const DROP_ROUTE: u32 = u32::MAX - 1;
 
 /// How many consecutive all-idle cycles (with flits in flight) before
 /// the watchdog declares a deadlock. Generous: a legal configuration can
@@ -152,6 +160,14 @@ pub struct Counters {
     /// Total flit movements executed (link + crossbar + injection
     /// pushes) — the engine-throughput unit of the benchmark harness.
     pub flit_moves: u64,
+    /// Packets abandoned in-network by the fault plane (every
+    /// admissible direction permanently dead); their flits are drained.
+    pub dropped_packets: u64,
+    /// Flits drained from dropped packets.
+    pub dropped_flits: u64,
+    /// Packets abandoned at the source because their source or
+    /// destination node is dead (never injected).
+    pub unroutable_packets: u64,
 }
 
 /// The flit-level simulation engine for one network + routing algorithm.
@@ -167,7 +183,19 @@ pub struct Counters {
 /// path as before the telemetry plane existed (pinned by
 /// `bench_engine`); [`Engine::with_probe`] attaches a recording probe
 /// such as `telemetry::FlightRecorder`.
-pub struct Engine<'a, A: RoutingAlgorithm + ?Sized = dyn RoutingAlgorithm, P: Probe = NullProbe> {
+///
+/// Finally, generic over the [`FaultModel`] degrading the network. The
+/// default [`NoFaults`] has `ACTIVE = false`, so every fault check
+/// (each written `F::ACTIVE && …`) constant-folds away and the healthy
+/// engine is the pre-fault-plane code, bit for bit;
+/// [`Engine::with_probe_and_faults`] attaches a compiled
+/// [`crate::fault::FaultState`].
+pub struct Engine<
+    'a,
+    A: RoutingAlgorithm + ?Sized = dyn RoutingAlgorithm,
+    P: Probe = NullProbe,
+    F: FaultModel = NoFaults,
+> {
     algo: &'a A,
     w: Wiring,
     vcs: usize,
@@ -211,6 +239,39 @@ pub struct Engine<'a, A: RoutingAlgorithm + ?Sized = dyn RoutingAlgorithm, P: Pr
     reply_buf: Vec<u32>,
     /// Telemetry observer ([`NullProbe`] = zero-cost no-op).
     probe: P,
+    /// Fault model ([`NoFaults`] = zero-cost no-op).
+    faults: F,
+    /// Scratch buffer for per-cycle fault transitions (reused).
+    fault_flips: Vec<LinkFlip>,
+    /// Stall captured by the watchdog when `report_stall` is set
+    /// (instead of panicking).
+    stall: Option<Stall>,
+    /// Report watchdog trips through [`Engine::stall`] rather than
+    /// panicking (set by [`Engine::run_checked`]).
+    report_stall: bool,
+}
+
+/// A watchdog trip, reported by [`Engine::run_checked`]: flits were in
+/// flight but nothing moved for the watchdog horizon — the network is
+/// deadlocked (or a fault configuration wedged it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stall {
+    /// Cycle at which the watchdog gave up.
+    pub cycle: u32,
+    /// Flits stuck in the network.
+    pub in_flight_flits: u64,
+    /// Consecutive cycles without a single flit movement.
+    pub idle_cycles: u32,
+}
+
+impl std::fmt::Display for Stall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deadlock watchdog: {} flits in flight, nothing moved for {} cycles (cycle {})",
+            self.in_flight_flits, self.idle_cycles, self.cycle
+        )
+    }
 }
 
 impl<'a, A: RoutingAlgorithm + ?Sized> Engine<'a, A> {
@@ -254,6 +315,35 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
         make_proc: &dyn Fn(usize) -> Box<dyn InjectionProcess>,
         seed: u64,
         probe: P,
+    ) -> Self {
+        Engine::with_probe_and_faults(
+            algo,
+            buf,
+            flits_per_packet,
+            pattern,
+            make_proc,
+            seed,
+            probe,
+            NoFaults,
+        )
+    }
+}
+
+impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe, F: FaultModel> Engine<'a, A, P, F> {
+    /// Build an engine observed by `probe` and degraded by `faults`
+    /// (see [`Engine::new`] for the other parameters). Pass a compiled
+    /// [`crate::fault::FaultState`]; the [`NoFaults`] default of the
+    /// other constructors compiles every fault check out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_probe_and_faults(
+        algo: &'a A,
+        buf: usize,
+        flits_per_packet: u16,
+        pattern: TrafficGen,
+        make_proc: &dyn Fn(usize) -> Box<dyn InjectionProcess>,
+        seed: u64,
+        probe: P,
+        faults: F,
     ) -> Self {
         let w = Wiring::from_topology(algo.topology());
         let vcs = algo.num_vcs();
@@ -335,6 +425,10 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
             inject_work: ActiveSet::new(num_nodes),
             reply_buf: Vec::new(),
             probe,
+            faults,
+            fault_flips: Vec::new(),
+            stall: None,
+            report_stall: false,
         }
     }
 
@@ -400,10 +494,46 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
         }
     }
 
+    /// Advance by `cycles` clocks with the watchdog reporting instead
+    /// of panicking: a run that stops making progress (flits in flight,
+    /// nothing moving for the watchdog horizon) returns the [`Stall`]
+    /// as a structured error rather than aborting the process.
+    pub fn run_checked(&mut self, cycles: u32) -> Result<(), Stall> {
+        self.report_stall = true;
+        for _ in 0..cycles {
+            self.step();
+            if let Some(s) = self.stall {
+                return Err(s);
+            }
+        }
+        Ok(())
+    }
+
+    /// The stall captured by the watchdog under [`Engine::run_checked`],
+    /// if any.
+    pub fn stall(&self) -> Option<Stall> {
+        self.stall
+    }
+
+    /// Apply this cycle's transient fault transitions and report them
+    /// to the probe. Called only when `F::ACTIVE`.
+    fn begin_fault_cycle(&mut self) {
+        let mut flips = std::mem::take(&mut self.fault_flips);
+        self.faults.begin_cycle(self.cycle, &mut flips);
+        for fl in flips.drain(..) {
+            self.probe
+                .fault_transition(self.cycle, fl.router, fl.port, fl.down);
+        }
+        self.fault_flips = flips; // return the allocation
+    }
+
     /// Execute one clock cycle (active-set stepper: only routers and
     /// nodes on the phase worklists are touched).
     pub fn step(&mut self) {
         self.moves_this_cycle = 0;
+        if F::ACTIVE {
+            self.begin_fault_cycle();
+        }
 
         // Phase 1: link. The worklists shrink only while their own
         // phase runs (a drained router is dropped right after its
@@ -478,6 +608,9 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
     #[cfg(any(test, feature = "reference-engine"))]
     pub fn step_reference(&mut self) {
         self.moves_this_cycle = 0;
+        if F::ACTIVE {
+            self.begin_fault_cycle();
+        }
 
         // Phase 1: link.
         for r in 0..self.w.num_routers {
@@ -536,14 +669,26 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
         if self.moves_this_cycle == 0 && self.counters.in_flight_flits > 0 {
             self.idle_cycles += 1;
             if self.idle_cycles >= WATCHDOG_CYCLES {
-                panic!(
-                    "deadlock watchdog: {} flits in flight, nothing moved for {} cycles \
-                     (cycle {}, algorithm {})",
-                    self.counters.in_flight_flits,
-                    self.idle_cycles,
-                    self.cycle,
-                    self.algo.name()
-                );
+                if self.report_stall {
+                    // Structured liveness failure for run_checked
+                    // callers; reset the horizon so a caller that keeps
+                    // stepping anyway is not re-tripped every cycle.
+                    self.stall = Some(Stall {
+                        cycle: self.cycle,
+                        in_flight_flits: self.counters.in_flight_flits,
+                        idle_cycles: self.idle_cycles,
+                    });
+                    self.idle_cycles = 0;
+                } else {
+                    panic!(
+                        "deadlock watchdog: {} flits in flight, nothing moved for {} cycles \
+                         (cycle {}, algorithm {})",
+                        self.counters.in_flight_flits,
+                        self.idle_cycles,
+                        self.cycle,
+                        self.algo.name()
+                    );
+                }
             }
         } else {
             self.idle_cycles = 0;
@@ -564,6 +709,9 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
         let ports = self.w.ports;
         let port_lanes = (1u64 << vcs) - 1;
         for p in 0..ports {
+            if F::ACTIVE && self.faults.channel_down(r, p) {
+                continue; // channel down: nothing crosses this cycle
+            }
             if MASKED && self.routers[r].out_occ & (port_lanes << (p * vcs)) == 0 {
                 continue; // nothing buffered towards this direction
             }
@@ -680,6 +828,9 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
     /// Link phase, one node-side injection channel (node -> router).
     /// `MASKED` as on [`Engine::link_router`].
     fn link_node<const MASKED: bool>(&mut self, n: usize) {
+        if F::ACTIVE && self.faults.node_dead(n) {
+            return; // dead node: its injection channel carries nothing
+        }
         let cycle = self.cycle;
         let vcs = self.vcs;
         let (r, p) = self.w.node_ports[n];
@@ -786,6 +937,10 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
     fn xbar_lane(&mut self, r: usize, l: usize) {
         let cycle = self.cycle;
         let vcs = self.vcs;
+        if F::ACTIVE && self.routers[r].in_route[l] == DROP_ROUTE {
+            self.drain_lane(r, l);
+            return;
+        }
         {
             let rs = &mut self.routers[r];
             let route = rs.in_route[l];
@@ -832,6 +987,57 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
                 }
                 Peer::None => unreachable!("flit arrived through an uncabled port"),
             }
+        }
+    }
+
+    /// Crossbar-phase handler for a lane whose head-of-line packet was
+    /// dropped by the fault plane (`in_route[l] == DROP_ROUTE`): sink
+    /// one flit per cycle instead of forwarding it, returning the
+    /// freed buffer's credit upstream exactly as a real forward would.
+    /// The drain counts as movement, so a draining network never trips
+    /// the watchdog; when the tail is sunk the lane is released and the
+    /// next header (if any) re-enters the routing phase.
+    fn drain_lane(&mut self, r: usize, l: usize) {
+        let cycle = self.cycle;
+        let vcs = self.vcs;
+        let rs = &mut self.routers[r];
+        let movable = matches!(rs.in_q[l].front(), Some(f) if f.moved < cycle);
+        if !movable {
+            return;
+        }
+        let f = rs.in_q[l].pop().unwrap();
+        if rs.in_q[l].is_empty() {
+            rs.in_occ &= !(1u64 << l);
+        }
+        self.counters.in_flight_flits -= 1;
+        self.counters.dropped_flits += 1;
+        self.moves_this_cycle += 1;
+        if f.is_tail() {
+            rs.in_route[l] = NO_ROUTE;
+            rs.routed &= !(1u64 << l);
+            if matches!(rs.in_q[l].front(), Some(nf) if nf.is_head()) {
+                rs.pending |= 1 << l;
+                self.route_work.insert(r);
+            }
+        }
+        // Acknowledgment upstream: the buffer slot is free again.
+        let (p, v) = (l / vcs, l % vcs);
+        match self.w.peer(r, p) {
+            Peer::Router {
+                router: r2,
+                port: p2,
+            } => {
+                let up = &mut self.routers[r2 as usize];
+                let ul = p2 as usize * vcs + v;
+                up.out_credits[ul] += 1;
+                debug_assert!(up.out_credits[ul] as usize <= up.out_q[ul].capacity());
+            }
+            Peer::Node(nn) => {
+                let node = &mut self.nodes[nn as usize];
+                node.credits[v] += 1;
+                debug_assert!(node.credits[v] as usize <= node.lanes[v].capacity());
+            }
+            Peer::None => unreachable!("flit arrived through an uncabled port"),
         }
     }
 
@@ -898,6 +1104,22 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
         self.algo
             .route(RouterId(r as u32), Some(in_port), NodeId(dest), &mut cand);
         debug_assert!(!cand.is_empty(), "routing function returned no candidate");
+        if F::ACTIVE && self.fault_unroutable(r, &cand) {
+            // Degraded-mode dead end: drop the packet and hand the lane
+            // to the crossbar phase for draining.
+            self.cand = cand;
+            self.start_drop(r, l, front.packet);
+            self.routers[r].route_rr = ((l + 1) % lanes) as u32;
+            return true;
+        }
+        // Degraded-mode reroute: at least one candidate direction is
+        // down, so whatever lane wins below is a detour.
+        let degraded = F::ACTIVE
+            && cand
+                .preferred
+                .iter()
+                .chain(cand.fallback.iter())
+                .any(|c| self.faults.channel_down(r, c.port as usize));
         let choice = self.select_output(r, &cand);
         self.cand = cand;
         match choice {
@@ -924,6 +1146,10 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
                     ol as u16,
                     used_fallback,
                 );
+                if degraded {
+                    self.probe
+                        .header_rerouted(cycle, front.packet, r as u32, ol as u16);
+                }
             }
             None => {
                 self.counters.routing_blocked += 1;
@@ -937,16 +1163,58 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
         true
     }
 
+    /// Fault-plane dead-end detection at routing time: whether this
+    /// header can never be routed to completion from `r`.
+    ///
+    /// * With a non-empty fallback (escape) class — the algorithms
+    ///   whose deadlock freedom rests on the escape network — the
+    ///   packet is unroutable as soon as **every escape direction is
+    ///   permanently dead**: routing on only adaptive lanes would void
+    ///   the deadlock-freedom argument, so escape-channel loss is
+    ///   reported as a structured drop rather than risked as a hang.
+    /// * Without a fallback class (fat-tree ascent/descent, where every
+    ///   candidate class is safe), the packet is unroutable only when
+    ///   every candidate direction is dead.
+    ///
+    /// Transiently-down channels never make a packet unroutable; they
+    /// only block it until the repair.
+    fn fault_unroutable(&self, r: usize, cand: &CandidateSet) -> bool {
+        let dead = |c: &routing::Candidate| self.faults.channel_dead(r, c.port as usize);
+        if !cand.fallback.is_empty() {
+            cand.fallback.iter().all(dead)
+        } else {
+            cand.preferred.iter().all(dead)
+        }
+    }
+
+    /// Declare the head-of-line packet of input lane `l` dropped: mark
+    /// the lane with `DROP_ROUTE` so the crossbar phase drains it, and
+    /// count the packet.
+    fn start_drop(&mut self, r: usize, l: usize, packet: u32) {
+        let rs = &mut self.routers[r];
+        rs.in_route[l] = DROP_ROUTE;
+        rs.routed |= 1u64 << l;
+        rs.pending &= !(1 << l);
+        self.xbar_work.insert(r);
+        self.counters.dropped_packets += 1;
+        self.probe.packet_dropped(self.cycle, packet, r as u32);
+    }
+
     /// The selection policy: among admissible preferred lanes pick the
     /// port with the most free virtual channels (fair random tie-break),
     /// then the lane with the most headroom on that port; fall back to
     /// the first admissible escape lane. Returns the chosen output-lane
-    /// index and whether the fallback class was used.
+    /// index and whether the fallback class was used. Lanes on
+    /// currently-down channels (fault plane) are never admissible.
     fn select_output(&mut self, r: usize, cand: &CandidateSet) -> Option<(usize, bool)> {
         let rs = &self.routers[r];
         let vcs = self.vcs;
-        let admissible =
-            |lane: usize| rs.out_bound & (1u64 << lane) == 0 && !rs.out_q[lane].is_full();
+        let faults = &self.faults;
+        let admissible = |lane: usize| {
+            rs.out_bound & (1u64 << lane) == 0
+                && !rs.out_q[lane].is_full()
+                && !(F::ACTIVE && faults.channel_down(r, lane / vcs))
+        };
 
         // Pass 1: best port among preferred candidates.
         let mut best_port: Option<usize> = None;
@@ -1039,6 +1307,23 @@ impl<'a, A: RoutingAlgorithm + ?Sized, P: Probe> Engine<'a, A, P> {
                     self.counters.created_packets += 1;
                     self.probe
                         .packet_created(cycle, id, n as u32, dest.0, flits);
+                }
+            }
+
+            // Fault plane: a packet whose source or destination node is
+            // dead can never be delivered — abandon it at the source
+            // (counted unroutable, never injected). Dead endpoints are
+            // known at cycle 0, so the source queue never wedges behind
+            // a doomed head.
+            if F::ACTIVE {
+                while let Some(&pkt) = self.nodes[n].src_queue.front() {
+                    let dest = self.packets[pkt as usize].dest as usize;
+                    if !self.faults.node_dead(n) && !self.faults.node_dead(dest) {
+                        break;
+                    }
+                    self.nodes[n].src_queue.pop_front();
+                    self.counters.unroutable_packets += 1;
+                    self.probe.packet_unroutable(cycle, pkt, n as u32);
                 }
             }
 

@@ -35,7 +35,7 @@
 //! time excluded).
 //!
 //! The [`scenario`] module is the compositional experiment layer: a
-//! validated [`Scenario`](scenario::Scenario) per design point
+//! validated [`Scenario`] per design point
 //! (topology × routing × VCs × pattern × injection × seeding), a
 //! named-scenario registry holding the paper's five configurations, and
 //! multi-threaded load sweeps producing the CNF curves of Figures 5–7.
@@ -48,11 +48,29 @@
 //! and [`sim::run_simulation_probed`] can record per-packet latency
 //! decompositions, channel-utilization time series and lifecycle event
 //! traces without perturbing — or slowing — untraced runs.
+//!
+//! Degradation: the [`fault`] module adds deterministic link/router
+//! fault injection behind the same zero-cost pattern (the engine is
+//! generic over a [`fault::FaultModel`], default
+//! [`fault::NoFaults`]); undeliverable packets are drained and counted
+//! rather than hanging the run.
+//!
+//! ```
+//! use netsim::scenario::named;
+//!
+//! // Build one of the paper's five configurations from the registry
+//! // and simulate a light load.
+//! let scenario = named("cube-duato-tiny").unwrap();
+//! let outcome = scenario.simulate(0.2);
+//! assert!(outcome.delivered_packets > 0);
+//! assert_eq!(outcome.dropped_packets, 0); // no faults attached
+//! ```
 
 #![warn(missing_docs)]
 pub mod active;
 pub mod engine;
 pub mod experiment;
+pub mod fault;
 pub mod flit;
 pub mod queue;
 pub mod scenario;
@@ -63,11 +81,12 @@ pub use experiment::{
     simulate_load, sweep, sweep_outcomes, sweep_outcomes_salted, CubeParams, ExperimentSpec,
     RunLength, SpecVisitor, TreeParams,
 };
+pub use fault::{FaultError, FaultModel, FaultPlan, FaultState, NoFaults};
 pub use scenario::{
     derived_seed, named, paper_scenarios, registry, InjectionModel, NamedScenario, RoutingKind,
     Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
 };
-pub use sim::{run_simulation_probed, SimConfig, SimOutcome};
+pub use sim::{run_simulation_probed, SimConfig, SimError, SimOutcome};
 pub use telemetry;
 
 /// Engine build-configuration flags, for run manifests: feature name →

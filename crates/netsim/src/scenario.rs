@@ -34,8 +34,17 @@
 //! derivations reproduce Tables 1 and 2 exactly, and the injection
 //! throttle follows the same rule). `tests/scenario_equivalence.rs`
 //! pins this against goldens captured before the refactor.
+//!
+//! Degradation: [`ScenarioBuilder::faults`] attaches a
+//! [`FaultPlan`] (validated against the topology at build time); the
+//! run helpers then compile it per run and use the faulted engine
+//! path, and the `try_*` variants report a wedged run as a structured
+//! [`SimError`] instead of panicking.
 
-use crate::sim::{run_simulation, run_simulation_probed, InjectionSpec, SimConfig, SimOutcome};
+#![deny(missing_docs)]
+
+use crate::fault::{FaultPlan, NoFaults};
+use crate::sim::{run_simulation_faulted, InjectionSpec, SimConfig, SimError, SimOutcome};
 use crate::wiring::Wiring;
 use costmodel::chien::RouterClass;
 use costmodel::normalize::NetworkNormalization;
@@ -44,7 +53,7 @@ use netstats::SweepCurve;
 use routing::{
     CubeDeterministic, CubeDuato, MeshAdaptive, MeshDeterministic, RoutingAlgorithm, TreeAdaptive,
 };
-use telemetry::{FlightRecorder, Geometry, TelemetryConfig};
+use telemetry::{FlightRecorder, Geometry, NullProbe, TelemetryConfig};
 use topology::{KAryNCube, KAryNMesh, KAryNTree};
 use traffic::Pattern;
 
@@ -297,6 +306,8 @@ pub enum ScenarioError {
     BadPattern(String),
     /// Packet size, buffer depth or run length is out of range.
     BadParameter(String),
+    /// The attached fault plan does not fit this topology.
+    BadFaults(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -307,7 +318,8 @@ impl std::fmt::Display for ScenarioError {
             | ScenarioError::UnsupportedCombination(m)
             | ScenarioError::BadVcs(m)
             | ScenarioError::BadPattern(m)
-            | ScenarioError::BadParameter(m) => write!(f, "{m}"),
+            | ScenarioError::BadParameter(m)
+            | ScenarioError::BadFaults(m) => write!(f, "{m}"),
         }
     }
 }
@@ -331,6 +343,7 @@ pub struct Scenario {
     packet_bytes: usize,
     throttle: Throttle,
     telemetry: Option<TelemetryConfig>,
+    faults: Option<FaultPlan>,
 }
 
 /// Validating builder for [`Scenario`].
@@ -348,6 +361,7 @@ pub struct ScenarioBuilder {
     packet_bytes: Option<usize>,
     throttle: Option<Throttle>,
     telemetry: Option<TelemetryConfig>,
+    faults: Option<FaultPlan>,
 }
 
 impl ScenarioBuilder {
@@ -424,6 +438,17 @@ impl ScenarioBuilder {
     /// observation overlay — it never changes simulation results.
     pub fn telemetry(mut self, t: TelemetryConfig) -> Self {
         self.telemetry = Some(t);
+        self
+    }
+
+    /// Attach a fault plan: deterministic dead links / dead routers /
+    /// transient outages, sampled from the plan's own seed and
+    /// validated against the topology when the scenario is built. An
+    /// empty plan (`FaultPlan::default()`) is accepted and behaves
+    /// bit-identically to no plan at all. Default: none (healthy
+    /// network, fault machinery compiled out of the hot path).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -535,6 +560,15 @@ impl ScenarioBuilder {
                 "packet size must be >= 1 byte".into(),
             ));
         }
+        if let Some(plan) = &self.faults {
+            // Compile once against the real wiring so an impossible
+            // plan (too many routers, zero-link shape, …) is rejected
+            // here, not mid-run. The run helpers recompile from the
+            // same plan + wiring, so success here guarantees success
+            // there.
+            plan.compile(&wiring_of(topology))
+                .map_err(|e| ScenarioError::BadFaults(e.to_string()))?;
+        }
         let label = self.label.unwrap_or_else(|| match (topology, routing) {
             (TopologySpec::Cube { .. }, RoutingKind::Deterministic) => "cube, deterministic".into(),
             // Cube + adaptive was rejected by the combination check
@@ -557,7 +591,18 @@ impl ScenarioBuilder {
             packet_bytes,
             throttle: self.throttle.unwrap_or(Throttle::Auto),
             telemetry: self.telemetry,
+            faults: self.faults,
         })
+    }
+}
+
+/// The physical wiring of a topology spec (used to validate and
+/// compile fault plans).
+fn wiring_of(t: TopologySpec) -> Wiring {
+    match t {
+        TopologySpec::Cube { k, n } => Wiring::from_topology(&KAryNCube::new(k, n)),
+        TopologySpec::Tree { k, n } => Wiring::from_topology(&KAryNTree::new(k, n)),
+        TopologySpec::Mesh { k, n } => Wiring::from_topology(&KAryNMesh::new(k, n)),
     }
 }
 
@@ -617,6 +662,11 @@ impl Scenario {
         self.telemetry
     }
 
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Same scenario under a different traffic pattern.
     ///
     /// # Panics
@@ -649,6 +699,15 @@ impl Scenario {
     pub fn with_telemetry(mut self, t: TelemetryConfig) -> Self {
         self.telemetry = Some(t);
         self
+    }
+
+    /// Same scenario with a different fault plan (or none), re-validated
+    /// against the topology. Fails with [`ScenarioError::BadFaults`] if
+    /// the plan does not fit.
+    pub fn with_faults(self, plan: Option<FaultPlan>) -> Result<Self, ScenarioError> {
+        let mut b = scenario_to_builder(&self);
+        b.faults = plan;
+        b.build()
     }
 
     /// The derived Chien router class for this configuration.
@@ -761,29 +820,72 @@ impl Scenario {
     }
 
     /// Simulate one offered load, monomorphized per routing algorithm.
+    ///
+    /// # Panics
+    /// Panics if the run deadlocks (the watchdog fires). A healthy
+    /// scenario never deadlocks by construction; with a fault plan
+    /// attached, prefer [`Scenario::try_simulate`] to get the stall as
+    /// a structured error.
     pub fn simulate(&self, fraction: f64) -> SimOutcome {
-        struct Run<'c>(&'c SimConfig);
+        self.try_simulate(fraction)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Simulate one offered load, reporting a wedged run as a
+    /// structured [`SimError`] instead of panicking. Without a fault
+    /// plan (or with an empty one) the outcome is bit-identical to
+    /// [`Scenario::simulate`].
+    pub fn try_simulate(&self, fraction: f64) -> Result<SimOutcome, SimError> {
+        struct Run<'c> {
+            cfg: &'c SimConfig,
+            faults: Option<&'c FaultPlan>,
+        }
         impl SpecVisitor for Run<'_> {
-            type Out = SimOutcome;
-            fn visit<A: RoutingAlgorithm>(self, algo: A) -> SimOutcome {
-                run_simulation(&algo, self.0)
+            type Out = Result<SimOutcome, SimError>;
+            fn visit<A: RoutingAlgorithm>(self, algo: A) -> Self::Out {
+                match self.faults {
+                    None => run_simulation_faulted(&algo, self.cfg, NullProbe, NoFaults),
+                    Some(plan) => {
+                        let w = Wiring::from_topology(algo.topology());
+                        let state = plan.compile(&w).expect("fault plan validated at build");
+                        run_simulation_faulted(&algo, self.cfg, NullProbe, state)
+                    }
+                }
+                .map(|(out, _)| out)
             }
         }
         let cfg = self.config_at(fraction);
-        self.with_algorithm(Run(&cfg))
+        self.with_algorithm(Run {
+            cfg: &cfg,
+            faults: self.faults.as_ref(),
+        })
     }
 
     /// Simulate one offered load with a [`FlightRecorder`] attached,
     /// returning the outcome (bit-identical to [`Scenario::simulate`])
     /// and the recording. Uses the scenario's attached
     /// [`TelemetryConfig`], or the default when none was set.
+    ///
+    /// # Panics
+    /// Panics if the run deadlocks; see [`Scenario::try_simulate_traced`].
     pub fn simulate_traced(&self, fraction: f64) -> (SimOutcome, FlightRecorder) {
+        self.try_simulate_traced(fraction)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Scenario::simulate_traced`] with deadlocks reported as a
+    /// structured [`SimError`] instead of a panic.
+    pub fn try_simulate_traced(
+        &self,
+        fraction: f64,
+    ) -> Result<(SimOutcome, FlightRecorder), SimError> {
         struct Traced<'c> {
             cfg: &'c SimConfig,
             tcfg: TelemetryConfig,
+            faults: Option<&'c FaultPlan>,
         }
         impl SpecVisitor for Traced<'_> {
-            type Out = (SimOutcome, FlightRecorder);
+            type Out = Result<(SimOutcome, FlightRecorder), SimError>;
             fn visit<A: RoutingAlgorithm>(self, algo: A) -> Self::Out {
                 let w = Wiring::from_topology(algo.topology());
                 let geo = Geometry {
@@ -792,12 +894,23 @@ impl Scenario {
                     vcs: algo.num_vcs(),
                     nodes: w.num_nodes,
                 };
-                run_simulation_probed(&algo, self.cfg, FlightRecorder::new(self.tcfg, geo))
+                let rec = FlightRecorder::new(self.tcfg, geo);
+                match self.faults {
+                    None => run_simulation_faulted(&algo, self.cfg, rec, NoFaults),
+                    Some(plan) => {
+                        let state = plan.compile(&w).expect("fault plan validated at build");
+                        run_simulation_faulted(&algo, self.cfg, rec, state)
+                    }
+                }
             }
         }
         let cfg = self.config_at(fraction);
         let tcfg = self.telemetry.unwrap_or_default();
-        self.with_algorithm(Traced { cfg: &cfg, tcfg })
+        self.with_algorithm(Traced {
+            cfg: &cfg,
+            tcfg,
+            faults: self.faults.as_ref(),
+        })
     }
 
     /// Sweep a load grid in parallel, returning the full outcome at
@@ -808,10 +921,24 @@ impl Scenario {
     /// matter); finished outcomes flow back over a channel tagged with
     /// their grid index and are placed without any shared mutable
     /// state. Thread count can be pinned with `NETPERF_THREADS`.
+    ///
+    /// # Panics
+    /// Panics if any load point deadlocks; see
+    /// [`Scenario::try_sweep_outcomes`].
     pub fn sweep_outcomes(&self, fractions: &[f64]) -> Vec<SimOutcome> {
+        self.try_sweep_outcomes(fractions)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Scenario::sweep_outcomes`] with deadlocks reported as a
+    /// structured [`SimError`]. If several load points stall, the error
+    /// of the lowest-index point is returned (deterministic regardless
+    /// of thread scheduling).
+    pub fn try_sweep_outcomes(&self, fractions: &[f64]) -> Result<Vec<SimOutcome>, SimError> {
         let threads = sweep_threads().min(fractions.len());
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, SimOutcome)>();
+        type Point = (usize, Result<SimOutcome, SimError>);
+        let (tx, rx) = std::sync::mpsc::channel::<Point>();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -822,7 +949,7 @@ impl Scenario {
                         if i >= fractions.len() {
                             break;
                         }
-                        let out = self.simulate(fractions[i]);
+                        let out = self.try_simulate(fractions[i]);
                         if tx.send((i, out)).is_err() {
                             break;
                         }
@@ -831,7 +958,7 @@ impl Scenario {
             }
         });
         drop(tx); // all worker clones are done; close the channel
-        let mut results: Vec<Option<SimOutcome>> = vec![None; fractions.len()];
+        let mut results: Vec<Option<Result<SimOutcome, SimError>>> = vec![None; fractions.len()];
         for (i, out) in rx {
             debug_assert!(results[i].is_none(), "load point {i} simulated twice");
             results[i] = Some(out);
@@ -901,6 +1028,19 @@ impl Scenario {
             tm.push("record_events", t.record_events);
             m.push("telemetry", ManifestValue::Object(tm));
         }
+        if let Some(plan) = &self.faults {
+            let state = plan
+                .compile(&wiring_of(self.topology))
+                .expect("fault plan validated at build");
+            let mut fm = Manifest::new();
+            fm.push("spec", plan.spec_string());
+            fm.push("digest", format!("0x{:016x}", plan.digest()));
+            fm.push("dead_links", state.dead_links() as f64);
+            fm.push("dead_routers", state.dead_routers() as f64);
+            fm.push("dead_nodes", state.dead_nodes() as f64);
+            fm.push("transient_links", state.transient_links() as f64);
+            m.push("faults", ManifestValue::Object(fm));
+        }
         m
     }
 }
@@ -920,6 +1060,7 @@ fn scenario_to_builder(s: &Scenario) -> ScenarioBuilder {
         packet_bytes: Some(s.packet_bytes),
         throttle: Some(s.throttle),
         telemetry: s.telemetry,
+        faults: s.faults.clone(),
     }
 }
 
@@ -1009,7 +1150,7 @@ fn must(b: ScenarioBuilder) -> Scenario {
 /// presentation order.
 pub const PAPER_FIVE: [&str; 5] = ["cube-det", "cube-duato", "tree-1vc", "tree-2vc", "tree-4vc"];
 
-static REGISTRY: [NamedScenario; 9] = [
+static REGISTRY: [NamedScenario; 11] = [
     NamedScenario {
         name: "cube-det",
         summary: "paper: 16-ary 2-cube, dimension-order deterministic, 4 VCs",
@@ -1112,6 +1253,34 @@ static REGISTRY: [NamedScenario; 9] = [
                     .routing(RoutingKind::Adaptive)
                     .vcs(2)
                     .run_length(RunLength::quick()),
+            )
+        },
+    },
+    // The fault entries keep the default labels so they share traffic
+    // seeds with their healthy counterparts: the degradation shown is
+    // pure fault effect, not a different noise realization.
+    NamedScenario {
+        name: "cube-duato-5pct",
+        summary: "fault: cube-duato with 5% of links dead (seed-derived)",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::cube(16, 2))
+                    .routing(RoutingKind::Duato)
+                    .faults(FaultPlan::dead_links(0.05)),
+            )
+        },
+    },
+    NamedScenario {
+        name: "tree-4vc-5pct",
+        summary: "fault: tree-4vc with 5% of links dead (seed-derived)",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tree(4, 4))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(4)
+                    .faults(FaultPlan::dead_links(0.05)),
             )
         },
     },
@@ -1301,6 +1470,38 @@ mod tests {
                 "{inj:?} long-run rate {rate}"
             );
         }
+    }
+
+    #[test]
+    fn faulted_scenarios_build_run_and_manifest() {
+        // A plan that cannot fit the topology is rejected at build time.
+        assert!(matches!(
+            Scenario::builder()
+                .topology(TopologySpec::cube(4, 2))
+                .routing(RoutingKind::Duato)
+                .faults(FaultPlan {
+                    routers: 1000,
+                    ..FaultPlan::default()
+                })
+                .build(),
+            Err(ScenarioError::BadFaults(_))
+        ));
+        // A registry fault entry runs and accounts for every packet.
+        let s = named("cube-duato-5pct")
+            .unwrap()
+            .with_run_length(RunLength::quick());
+        let out = s.try_simulate(0.3).unwrap();
+        assert!(out.delivered_packets > 0);
+        assert!(out.dropped_packets + out.unroutable_packets > 0);
+        // Its manifest names the plan.
+        let m = s.manifest().to_json();
+        for needle in ["\"faults\"", "\"spec\": \"links=0.05\"", "\"dead_links\":"] {
+            assert!(m.contains(needle), "manifest missing {needle}:\n{m}");
+        }
+        // Stripping the plan restores the healthy scenario.
+        let healthy = s.with_faults(None).unwrap();
+        assert!(healthy.faults().is_none());
+        assert!(!healthy.manifest().to_json().contains("\"faults\""));
     }
 
     #[test]

@@ -6,12 +6,33 @@
 //! network latency is averaged over packets injected during the
 //! measurement window (source queueing excluded).
 
-use crate::engine::Engine;
+use crate::engine::{Engine, Stall};
+use crate::fault::{FaultModel, NoFaults};
 use crate::flit::NEVER;
 use netstats::{Accumulator, Histogram};
 use routing::RoutingAlgorithm;
 use telemetry::{NullProbe, Probe};
 use traffic::{Bernoulli, InjectionProcess, OnOffBursty, Pattern, Periodic, TrafficGen};
+
+/// Why a checked simulation run could not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The engine's liveness watchdog tripped: flits in flight but no
+    /// movement for the watchdog horizon. With the deadlock-free
+    /// routing functions this indicates a wedged fault configuration
+    /// (or an engine bug), reported as data instead of a panic.
+    Deadlock(Stall),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// How packets are created at each node.
 #[derive(Clone, Copy, Debug)]
@@ -150,6 +171,13 @@ pub struct SimOutcome {
     pub backlog_packets: usize,
     /// Fraction of routed headers that used an escape lane.
     pub escape_fraction: f64,
+    /// Packets dropped in-network by the fault plane during the
+    /// measurement window (same window as `created_packets`); zero
+    /// without faults.
+    pub dropped_packets: u64,
+    /// Packets abandoned at the source (dead endpoint) during the
+    /// measurement window; zero without faults.
+    pub unroutable_packets: u64,
     /// 95% batch-means confidence interval for the accepted bandwidth
     /// (in flits per node per cycle, 10 batches over the measurement
     /// window).
@@ -193,11 +221,27 @@ pub fn run_simulation_probed<A: RoutingAlgorithm + ?Sized, P: Probe>(
     cfg: &SimConfig,
     probe: P,
 ) -> (SimOutcome, P) {
+    run_simulation_faulted(algo, cfg, probe, NoFaults).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_simulation_probed`] with a fault model degrading the network,
+/// and the watchdog reporting instead of panicking: a wedged run
+/// returns [`SimError::Deadlock`] as data.
+///
+/// With [`NoFaults`] this is bit-identical to the fault-free run — the
+/// engine's fault checks compile out — which is exactly what
+/// `run_simulation_probed` calls.
+pub fn run_simulation_faulted<A: RoutingAlgorithm + ?Sized, P: Probe, F: FaultModel>(
+    algo: &A,
+    cfg: &SimConfig,
+    probe: P,
+    faults: F,
+) -> Result<(SimOutcome, P), SimError> {
     assert!(cfg.warmup_cycles < cfg.total_cycles);
     let num_nodes = algo.topology().num_nodes();
     let pattern = TrafficGen::new(cfg.pattern, num_nodes);
     let injection = cfg.injection;
-    let mut eng = Engine::with_probe(
+    let mut eng = Engine::with_probe_and_faults(
         algo,
         cfg.buffer_depth,
         cfg.flits_per_packet,
@@ -205,11 +249,13 @@ pub fn run_simulation_probed<A: RoutingAlgorithm + ?Sized, P: Probe>(
         &move |_| injection.build(),
         cfg.seed,
         probe,
+        faults,
     );
     eng.set_injection_limit(cfg.injection_limit);
     eng.set_request_reply(cfg.request_reply);
 
-    eng.run(cfg.warmup_cycles);
+    eng.run_checked(cfg.warmup_cycles)
+        .map_err(SimError::Deadlock)?;
     let warm = eng.counters();
 
     // Run the measurement window in NUM_BATCHES contiguous batches and
@@ -226,7 +272,7 @@ pub fn run_simulation_probed<A: RoutingAlgorithm + ?Sized, P: Probe>(
         if this == 0 {
             continue;
         }
-        eng.run(this);
+        eng.run_checked(this).map_err(SimError::Deadlock)?;
         let now = eng.counters().delivered_flits;
         batches.push((now - prev_delivered) as f64 / (this as f64 * num_nodes as f64));
         prev_delivered = now;
@@ -265,9 +311,11 @@ pub fn run_simulation_probed<A: RoutingAlgorithm + ?Sized, P: Probe>(
         created_packets: created,
         backlog_packets: eng.source_queue_len(),
         escape_fraction: end.escape_routings as f64 / routed as f64,
+        dropped_packets: end.dropped_packets - warm.dropped_packets,
+        unroutable_packets: end.unroutable_packets - warm.unroutable_packets,
         accepted_ci: batches.ci95(),
     };
-    (outcome, eng.into_probe())
+    Ok((outcome, eng.into_probe()))
 }
 
 #[cfg(test)]

@@ -23,6 +23,17 @@
 //! machine-checks the deadlock-freedom arguments (acyclic CDG for the
 //! deterministic and tree algorithms, acyclic escape sub-CDG with
 //! indirect dependencies for Duato's).
+//!
+//! ## Example
+//!
+//! ```
+//! use routing::{CubeDuato, RoutingAlgorithm};
+//! use topology::KAryNCube;
+//!
+//! let duato = CubeDuato::new(KAryNCube::new(16, 2));
+//! assert_eq!(duato.num_vcs(), 4);            // 2 adaptive + 2 escape
+//! assert_eq!(duato.degrees_of_freedom(), 6); // the paper's F
+//! ```
 
 #![warn(missing_docs)]
 pub mod algo;

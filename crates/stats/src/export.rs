@@ -304,7 +304,18 @@ fn render_object(m: &Manifest, indent: usize, out: &mut String) {
 /// when a run actually recorded telemetry, so untraced manifests stay
 /// byte-identical to version 1.
 pub fn run_manifest_schema(with_telemetry: bool) -> &'static str {
-    if with_telemetry {
+    run_manifest_schema_tag(with_telemetry, false)
+}
+
+/// The `schema` tag of a run manifest, fault plane included. Version 3
+/// adds a `faults` object plus delivered/dropped/unroutable counters
+/// and is emitted **only** when a fault plan was attached, so healthy
+/// manifests stay byte-identical to versions 1/2 regardless of the
+/// fault machinery existing.
+pub fn run_manifest_schema_tag(with_telemetry: bool, with_faults: bool) -> &'static str {
+    if with_faults {
+        "netperf-run-manifest/3"
+    } else if with_telemetry {
         "netperf-run-manifest/2"
     } else {
         "netperf-run-manifest/1"
@@ -454,6 +465,23 @@ mod tests {
     fn manifest_schema_versions() {
         assert_eq!(run_manifest_schema(false), "netperf-run-manifest/1");
         assert_eq!(run_manifest_schema(true), "netperf-run-manifest/2");
+        assert_eq!(
+            run_manifest_schema_tag(false, false),
+            "netperf-run-manifest/1"
+        );
+        assert_eq!(
+            run_manifest_schema_tag(true, false),
+            "netperf-run-manifest/2"
+        );
+        // Faults dominate: a traced faulted run is still version 3.
+        assert_eq!(
+            run_manifest_schema_tag(false, true),
+            "netperf-run-manifest/3"
+        );
+        assert_eq!(
+            run_manifest_schema_tag(true, true),
+            "netperf-run-manifest/3"
+        );
     }
 
     fn sample_manifest() -> Manifest {

@@ -16,6 +16,20 @@
 //! * [`export`] — dependency-free CSV and JSON writers for the
 //!   benchmark harness output, including the [`export::Manifest`]
 //!   run-manifest documents written next to each artifact.
+//!
+//! ## Example
+//!
+//! ```
+//! use netstats::Accumulator;
+//!
+//! let mut latency = Accumulator::new();
+//! for x in [10.0, 20.0, 30.0] {
+//!     latency.push(x);
+//! }
+//! assert_eq!(latency.count(), 3);
+//! assert_eq!(latency.mean(), 20.0);
+//! assert_eq!(latency.max(), 30.0);
+//! ```
 
 #![warn(missing_docs)]
 pub mod accum;

@@ -22,6 +22,20 @@
 //!
 //! The recorder never touches simulation state or RNGs; enabling it
 //! cannot change any counter, seed, or golden number.
+//!
+//! ## Example
+//!
+//! The recorder is just a [`Probe`]; anything that calls the probe
+//! methods — normally the engine — feeds it:
+//!
+//! ```
+//! use telemetry::{FlightRecorder, Geometry, Probe, TelemetryConfig};
+//!
+//! let geo = Geometry { routers: 4, ports: 6, vcs: 2, nodes: 8 };
+//! let mut rec = FlightRecorder::new(TelemetryConfig::default(), geo);
+//! rec.packet_created(0, /*packet*/ 0, /*src*/ 1, /*dest*/ 5, /*flits*/ 4);
+//! assert_eq!(rec.events().len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -95,6 +95,38 @@ pub trait Probe {
     fn cycle_end(&mut self, cycle: u32) {
         let _ = cycle;
     }
+
+    /// Fault plane: the undirected link leaving `router` through `port`
+    /// transitioned (`down` = outage began, `!down` = repaired).
+    /// Reported once per link, on its canonical direction. Defaulted to
+    /// a no-op so existing probes keep compiling.
+    #[inline(always)]
+    fn fault_transition(&mut self, cycle: u32, router: u32, port: u16, down: bool) {
+        let _ = (cycle, router, port, down);
+    }
+
+    /// Fault plane: the packet's header found every admissible
+    /// direction at `router` permanently dead; the packet is dropped
+    /// and its flits will be drained.
+    #[inline(always)]
+    fn packet_dropped(&mut self, cycle: u32, packet: u32, router: u32) {
+        let _ = (cycle, packet, router);
+    }
+
+    /// Fault plane: the packet was abandoned at source node `node`
+    /// because its source or destination node is dead.
+    #[inline(always)]
+    fn packet_unroutable(&mut self, cycle: u32, packet: u32, node: u32) {
+        let _ = (cycle, packet, node);
+    }
+
+    /// Fault plane: a header was routed at `router` while at least one
+    /// of its candidate directions was down — the route taken is a
+    /// degraded-mode detour.
+    #[inline(always)]
+    fn header_rerouted(&mut self, cycle: u32, packet: u32, router: u32, out_lane: u16) {
+        let _ = (cycle, packet, router, out_lane);
+    }
 }
 
 /// The do-nothing probe: the engine's default type parameter.

@@ -72,6 +72,49 @@ pub enum Event {
         /// Destination node.
         node: u32,
     },
+    /// Fault plane: a link transitioned between up and down.
+    Fault {
+        /// Cycle of the transition.
+        cycle: u32,
+        /// Router on the canonical side of the link.
+        router: u32,
+        /// Port of the link at that router.
+        port: u16,
+        /// `true` = outage began, `false` = repaired.
+        down: bool,
+    },
+    /// Fault plane: a packet was dropped at a router (every admissible
+    /// direction permanently dead).
+    Dropped {
+        /// Cycle of the drop decision.
+        cycle: u32,
+        /// Packet id.
+        packet: u32,
+        /// Router where the header dead-ended.
+        router: u32,
+    },
+    /// Fault plane: a packet was abandoned at its source (source or
+    /// destination node dead).
+    Unroutable {
+        /// Cycle of abandonment.
+        cycle: u32,
+        /// Packet id.
+        packet: u32,
+        /// Source node.
+        node: u32,
+    },
+    /// Fault plane: a header was routed while at least one candidate
+    /// direction was down — a degraded-mode detour.
+    Rerouted {
+        /// Cycle of the decision.
+        cycle: u32,
+        /// Packet id.
+        packet: u32,
+        /// Router that routed around the outage.
+        router: u32,
+        /// Output lane granted.
+        out_lane: u16,
+    },
 }
 
 impl Event {
@@ -82,7 +125,11 @@ impl Event {
             | Event::Injected { cycle, .. }
             | Event::Routed { cycle, .. }
             | Event::Blocked { cycle, .. }
-            | Event::Delivered { cycle, .. } => cycle,
+            | Event::Delivered { cycle, .. }
+            | Event::Fault { cycle, .. }
+            | Event::Dropped { cycle, .. }
+            | Event::Unroutable { cycle, .. }
+            | Event::Rerouted { cycle, .. } => cycle,
         }
     }
 }
@@ -256,6 +303,10 @@ pub struct FlightRecorder {
     total_out: Vec<u64>,
     samples: Vec<UtilizationSample>,
     cycles_seen: u32,
+    fault_transitions: u64,
+    dropped_packets: u64,
+    unroutable_packets: u64,
+    rerouted_hops: u64,
 }
 
 impl FlightRecorder {
@@ -281,6 +332,10 @@ impl FlightRecorder {
             total_out: vec![0; out_lanes],
             samples: Vec::new(),
             cycles_seen: 0,
+            fault_transitions: 0,
+            dropped_packets: 0,
+            unroutable_packets: 0,
+            rerouted_hops: 0,
         }
     }
 
@@ -315,6 +370,28 @@ impl FlightRecorder {
     /// [`TelemetryConfig::stride`] cycles.
     pub fn samples(&self) -> &[UtilizationSample] {
         &self.samples
+    }
+
+    /// Link up/down transitions observed (0 on a healthy run).
+    pub fn fault_transitions(&self) -> u64 {
+        self.fault_transitions
+    }
+
+    /// Packets dropped at a dead-ended router (0 on a healthy run).
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
+    }
+
+    /// Packets abandoned at a dead source/destination (0 on a healthy
+    /// run).
+    pub fn unroutable_packets(&self) -> u64 {
+        self.unroutable_packets
+    }
+
+    /// Routing decisions taken while a candidate direction was down
+    /// (degraded-mode detours; 0 on a healthy run).
+    pub fn rerouted_hops(&self) -> u64 {
+        self.rerouted_hops
     }
 
     /// Latency decompositions for every delivered packet, in packet-id
@@ -506,6 +583,21 @@ impl FlightRecorder {
         m.push("packets_tracked", self.packets.len() as f64);
         m.push("events", self.events.len() as f64);
         m.push("utilization_windows", self.samples.len() as f64);
+        // Fault counters appear only when something faulty actually
+        // happened, so healthy-run manifests are byte-identical to
+        // pre-fault-plane recordings.
+        if self.fault_transitions > 0 {
+            m.push("fault_transitions", self.fault_transitions as f64);
+        }
+        if self.dropped_packets > 0 {
+            m.push("dropped_packets", self.dropped_packets as f64);
+        }
+        if self.unroutable_packets > 0 {
+            m.push("unroutable_packets", self.unroutable_packets as f64);
+        }
+        if self.rerouted_hops > 0 {
+            m.push("rerouted_hops", self.rerouted_hops as f64);
+        }
         m
     }
 }
@@ -619,6 +711,56 @@ impl Probe for FlightRecorder {
                 cycle,
                 packet,
                 node,
+            });
+        }
+    }
+
+    #[inline]
+    fn fault_transition(&mut self, cycle: u32, router: u32, port: u16, down: bool) {
+        self.fault_transitions += 1;
+        if self.cfg.record_events {
+            self.events.push(Event::Fault {
+                cycle,
+                router,
+                port,
+                down,
+            });
+        }
+    }
+
+    #[inline]
+    fn packet_dropped(&mut self, cycle: u32, packet: u32, router: u32) {
+        self.dropped_packets += 1;
+        if self.cfg.record_events {
+            self.events.push(Event::Dropped {
+                cycle,
+                packet,
+                router,
+            });
+        }
+    }
+
+    #[inline]
+    fn packet_unroutable(&mut self, cycle: u32, packet: u32, node: u32) {
+        self.unroutable_packets += 1;
+        if self.cfg.record_events {
+            self.events.push(Event::Unroutable {
+                cycle,
+                packet,
+                node,
+            });
+        }
+    }
+
+    #[inline]
+    fn header_rerouted(&mut self, cycle: u32, packet: u32, router: u32, out_lane: u16) {
+        self.rerouted_hops += 1;
+        if self.cfg.record_events {
+            self.events.push(Event::Rerouted {
+                cycle,
+                packet,
+                router,
+                out_lane,
             });
         }
     }

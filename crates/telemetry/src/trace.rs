@@ -66,6 +66,40 @@ pub fn event_jsonl_line(e: &Event) -> String {
             "{{\"cycle\":{cycle},\"ev\":\"delivered\",\"packet\":{packet},\
              \"node\":{node}}}"
         ),
+        Event::Fault {
+            cycle,
+            router,
+            port,
+            down,
+        } => format!(
+            "{{\"cycle\":{cycle},\"ev\":\"fault\",\"router\":{router},\
+             \"port\":{port},\"down\":{down}}}"
+        ),
+        Event::Dropped {
+            cycle,
+            packet,
+            router,
+        } => format!(
+            "{{\"cycle\":{cycle},\"ev\":\"dropped\",\"packet\":{packet},\
+             \"router\":{router}}}"
+        ),
+        Event::Unroutable {
+            cycle,
+            packet,
+            node,
+        } => format!(
+            "{{\"cycle\":{cycle},\"ev\":\"unroutable\",\"packet\":{packet},\
+             \"node\":{node}}}"
+        ),
+        Event::Rerouted {
+            cycle,
+            packet,
+            router,
+            out_lane,
+        } => format!(
+            "{{\"cycle\":{cycle},\"ev\":\"rerouted\",\"packet\":{packet},\
+             \"router\":{router},\"out_lane\":{out_lane}}}"
+        ),
     }
 }
 
@@ -133,18 +167,35 @@ pub fn chrome_trace(rec: &FlightRecorder) -> String {
     let mut instants = 0usize;
     let mut dropped = 0usize;
     for e in rec.events() {
-        if let Event::Blocked { cycle, router, .. } = *e {
-            if instants >= CHROME_MAX_INSTANTS {
-                dropped += 1;
-                continue;
-            }
-            instants += 1;
-            let _ = write!(
-                out,
-                ",\n{{\"name\":\"blocked\",\"cat\":\"routing\",\"ph\":\"i\",\
-                 \"s\":\"t\",\"ts\":{cycle},\"pid\":1,\"tid\":{router}}}"
-            );
+        // Instant rows on pid 1: routing stalls plus the fault plane's
+        // lifecycle (outage transitions and packet drops), all subject
+        // to the same cap.
+        let (name, cat, cycle, router) = match *e {
+            Event::Blocked { cycle, router, .. } => ("blocked", "routing", cycle, router),
+            Event::Fault {
+                cycle,
+                router,
+                down,
+                ..
+            } => (
+                if down { "fault_down" } else { "fault_up" },
+                "fault",
+                cycle,
+                router,
+            ),
+            Event::Dropped { cycle, router, .. } => ("packet_dropped", "fault", cycle, router),
+            _ => continue,
+        };
+        if instants >= CHROME_MAX_INSTANTS {
+            dropped += 1;
+            continue;
         }
+        instants += 1;
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\
+             \"s\":\"t\",\"ts\":{cycle},\"pid\":1,\"tid\":{router}}}"
+        );
     }
     if dropped > 0 {
         let _ = write!(

@@ -23,6 +23,7 @@ use netperf::netsim::scenario::{
     default_load_grid, named, registry, InjectionModel, RoutingKind, RunLength, Scenario,
     ScenarioBuilder, SeedMode, Throttle, TopologySpec,
 };
+use netperf::netsim::FaultPlan;
 use netperf::telemetry::{trace, FlightRecorder, TelemetryConfig};
 use netperf::traffic::Pattern;
 use netstats::{Cell, Manifest, ManifestValue, Table};
@@ -73,6 +74,10 @@ fn usage() -> ! {
          --seed <salt>               salt the derived per-run seeds (default 0)\n\
          --fixed-seed <int>          one fixed seed for every load point\n\
          --label <text>              override the display label (feeds the seed)\n\
+         --faults <spec>             deterministic fault plan: comma-separated\n\
+                                     links=<frac>, routers=<count>,\n\
+                                     transient=<links>:<period>:<down>, seed=<int>,\n\
+                                     or the literal none (default: healthy network)\n\
          \n\
          run/sweep control:\n\
          --load <frac>               offered load for `run` (default 0.5)\n\
@@ -194,6 +199,9 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
     // Telemetry.
     let mut trace: Option<String> = None;
     let mut probe_stride: Option<u32> = None;
+    // Fault plane. Outer None = flag absent; inner None = explicit
+    // `--faults none` (strips a registry entry's plan).
+    let mut faults: Option<Option<FaultPlan>> = None;
 
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> &str {
@@ -279,6 +287,12 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
                 )
             }
             "--quick" => quick = true,
+            "--faults" => {
+                let spec = val("--faults");
+                let plan = FaultPlan::parse(spec)
+                    .unwrap_or_else(|e| fail(&format!("bad --faults spec: {e}")));
+                faults = Some((!plan.is_empty()).then_some(plan));
+            }
             "--load" => load = val("--load").parse().unwrap_or_else(|_| fail("bad --load")),
             "--sweep" | "--grid" => {
                 let g = val("--grid");
@@ -377,6 +391,13 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
         b.build().unwrap_or_else(|e| fail(&e.to_string()))
     };
 
+    let scenario = match faults {
+        Some(plan) => scenario
+            .with_faults(plan)
+            .unwrap_or_else(|e| fail(&e.to_string())),
+        None => scenario,
+    };
+
     if probe_stride.is_some() && trace.is_none() {
         fail("--probe-stride requires --trace");
     }
@@ -417,31 +438,59 @@ fn cmd_run(args: &[String], sweep: bool) {
         norm.timing().clock_ns(),
     );
 
+    let faulted = s.faults().is_some();
+    if let Some(plan) = s.faults() {
+        println!(
+            "faults: {} (digest 0x{:016x})",
+            plan.spec_string(),
+            plan.digest()
+        );
+    }
+
     let start = Instant::now();
     // Traced runs go through the serial probed path (the recorder is a
-    // per-run accumulator); untraced runs keep the parallel sweep.
+    // per-run accumulator); untraced runs keep the parallel sweep. A
+    // wedged run (possible under aggressive fault plans) surfaces as a
+    // one-line structured error, not a panic backtrace.
     let (outcomes, recorders) = if req.trace.is_some() {
         let mut outs = Vec::with_capacity(req.loads.len());
         let mut recs = Vec::with_capacity(req.loads.len());
         for &l in &req.loads {
-            let (o, r) = s.simulate_traced(l);
+            let (o, r) = s
+                .try_simulate_traced(l)
+                .unwrap_or_else(|e| fail(&e.to_string()));
             outs.push(o);
             recs.push(r);
         }
         (outs, Some(recs))
     } else {
-        (s.sweep_outcomes(&req.loads), None)
+        (
+            s.try_sweep_outcomes(&req.loads)
+                .unwrap_or_else(|e| fail(&e.to_string())),
+            None,
+        )
     };
     let wall = start.elapsed().as_secs_f64();
 
-    let mut table = results_table();
+    let mut table = results_table(faulted);
     let (mut created, mut delivered) = (0u64, 0u64);
+    let (mut dropped, mut unroutable) = (0u64, 0u64);
     for (&load, out) in req.loads.iter().zip(&outcomes) {
         created += out.created_packets;
         delivered += out.delivered_packets;
-        push_outcome(&mut table, load, out);
+        dropped += out.dropped_packets;
+        unroutable += out.unroutable_packets;
+        push_outcome(&mut table, load, out, faulted);
+        let degraded = if faulted {
+            format!(
+                " ({} dropped, {} unroutable)",
+                out.dropped_packets, out.unroutable_packets
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "load {:>5.2}: accepted {:>6.3} of capacity, latency {:>7.1} cycles (p99 {:>6.0}), {} packets",
+            "load {:>5.2}: accepted {:>6.3} of capacity, latency {:>7.1} cycles (p99 {:>6.0}), {} packets{degraded}",
             load,
             out.accepted_fraction,
             out.mean_latency_cycles(),
@@ -463,8 +512,7 @@ fn cmd_run(args: &[String], sweep: bool) {
             &req,
             wall,
             outcomes.len(),
-            created,
-            delivered,
+            [created, delivered, dropped, unroutable],
             recorders.as_deref(),
         );
         let mpath = manifest_sibling(path);
@@ -515,8 +563,10 @@ fn write_trace_artifacts(stem: &str, load: f64, tagged: bool, rec: &FlightRecord
     }
 }
 
-fn results_table() -> Table {
-    Table::with_columns([
+/// Result columns; the fault columns appear only on faulted runs so
+/// healthy CSV output keeps its historical shape.
+fn results_table(faulted: bool) -> Table {
+    let mut cols = vec![
         "offered_fraction",
         "generated_fraction",
         "accepted_fraction",
@@ -524,11 +574,20 @@ fn results_table() -> Table {
         "latency_p99_cycles",
         "delivered_packets",
         "backlog_packets",
-    ])
+    ];
+    if faulted {
+        cols.extend(["dropped_packets", "unroutable_packets"]);
+    }
+    Table::with_columns(cols)
 }
 
-fn push_outcome(table: &mut Table, load: f64, out: &netperf::netsim::sim::SimOutcome) {
-    table.push_row(vec![
+fn push_outcome(
+    table: &mut Table,
+    load: f64,
+    out: &netperf::netsim::sim::SimOutcome,
+    faulted: bool,
+) {
+    let mut row = vec![
         Cell::Num(load),
         Cell::Num(out.generated_fraction),
         Cell::Num(out.accepted_fraction),
@@ -536,25 +595,32 @@ fn push_outcome(table: &mut Table, load: f64, out: &netperf::netsim::sim::SimOut
         Cell::Num(out.latency_hist.quantile(0.99).unwrap_or(f64::NAN)),
         Cell::Num(out.delivered_packets as f64),
         Cell::Num(out.backlog_packets as f64),
-    ]);
+    ];
+    if faulted {
+        row.push(Cell::Num(out.dropped_packets as f64));
+        row.push(Cell::Num(out.unroutable_packets as f64));
+    }
+    table.push_row(row);
 }
 
 /// The run manifest written next to `--csv` output (same schema as the
 /// bench binaries'). Untraced runs keep the historical
 /// `netperf-run-manifest/1` bytes; traced runs advertise
-/// `netperf-run-manifest/2` and append a `telemetry` object.
+/// `netperf-run-manifest/2` and append a `telemetry` object; faulted
+/// runs advertise `netperf-run-manifest/3` and add drop accounting
+/// (the scenario object then carries a `faults` description).
 fn cli_manifest(
     req: &Request,
     wall: f64,
     sims: usize,
-    created: u64,
-    delivered: u64,
+    [created, delivered, dropped, unroutable]: [u64; 4],
     recorders: Option<&[FlightRecorder]>,
 ) -> Manifest {
+    let faulted = req.scenario.faults().is_some();
     let mut m = Manifest::new();
     m.push(
         "schema",
-        netstats::export::run_manifest_schema(recorders.is_some()),
+        netstats::export::run_manifest_schema_tag(recorders.is_some(), faulted),
     );
     m.push("generator", "netperf-cli");
     m.push("artifact", req.csv.as_deref().unwrap_or(""));
@@ -577,6 +643,10 @@ fn cli_manifest(
     c.push("simulations", sims as f64);
     c.push("created_packets", created as f64);
     c.push("delivered_packets", delivered as f64);
+    if faulted {
+        c.push("dropped_packets", dropped as f64);
+        c.push("unroutable_packets", unroutable as f64);
+    }
     m.push("counters", ManifestValue::Object(c));
     if let Some(recs) = recorders {
         let cfg = req.scenario.telemetry().unwrap_or_default();
@@ -710,7 +780,7 @@ fn legacy(args: &[String]) {
     );
 
     let loads = sweep.unwrap_or_else(|| vec![load]);
-    let mut table = results_table();
+    let mut table = results_table(false);
     for &l in &loads {
         let out = scenario.simulate(l);
         println!(
@@ -721,7 +791,7 @@ fn legacy(args: &[String]) {
             out.latency_hist.quantile(0.99).unwrap_or(f64::NAN),
             out.delivered_packets
         );
-        push_outcome(&mut table, l, &out);
+        push_outcome(&mut table, l, &out, false);
     }
     if let Some(path) = &csv {
         netstats::write_csv(&table, path).expect("write csv");

@@ -17,7 +17,9 @@
 //!   performance normalization.
 //! * [`netstats`] — statistics collection and CSV/JSON export.
 //! * [`netsim`] — the flit-level wormhole simulator, the scenario
-//!   plane (`netsim::scenario`) and the paper's experiment harness.
+//!   plane (`netsim::scenario`), the fault plane (`netsim::fault`,
+//!   deterministic link/router fault injection with degraded-mode
+//!   routing) and the paper's experiment harness.
 //! * [`telemetry`] — the observability plane: zero-cost-when-off
 //!   engine probes, per-packet latency decomposition,
 //!   channel-utilization time series, JSONL/Chrome event traces.
@@ -66,11 +68,16 @@ pub mod prelude {
         default_load_grid, simulate_load, sweep, sweep_outcomes, sweep_outcomes_salted, CubeParams,
         ExperimentSpec, RunLength, TreeParams,
     };
+    pub use netsim::fault::{
+        FaultError, FaultModel, FaultPlan, FaultState, NoFaults, TransientSpec,
+    };
     pub use netsim::scenario::{
         derived_seed, named, paper_scenarios, registry, InjectionModel, NamedScenario, RoutingKind,
         Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
     };
-    pub use netsim::sim::{run_simulation_probed, SimConfig, SimOutcome};
+    pub use netsim::sim::{
+        run_simulation_faulted, run_simulation_probed, SimConfig, SimError, SimOutcome,
+    };
     pub use netstats::export::{write_csv, write_manifest, Manifest, ManifestValue, Table};
     pub use routing::{CubeDeterministic, CubeDuato, TreeAdaptive};
     pub use telemetry::{
