@@ -1,12 +1,15 @@
 //! Engine benchmark-baseline harness.
 //!
 //! Runs fixed paper-scale workloads (the five router configurations of
-//! the paper on their 256-node networks, uniform traffic) once with the
-//! active-set stepper ([`Engine::step`]) and once with the naive
+//! the paper on their 256-node networks, uniform traffic) with the
+//! active-set stepper ([`Engine::step`]) and with the naive
 //! scan-everything reference stepper ([`Engine::step_reference`]),
 //! measuring wall-clock throughput of each: simulated cycles per second
-//! and flit-moves per second. Both engines are asserted bit-identical
-//! before their numbers are reported, so the comparison is between two
+//! and flit-moves per second. Every timed leg follows the same
+//! discipline — one untimed warm-up iteration, then the median of three
+//! timed iterations — so single-run scheduler noise cannot invert a
+//! comparison. Both engines are asserted bit-identical before their
+//! numbers are reported, so the comparison is between two
 //! implementations of the *same* simulation.
 //!
 //! Writes `BENCH_engine.json` (override with `--out <path>`): one
@@ -115,6 +118,25 @@ fn recorder_for<A: RoutingAlgorithm + ?Sized>(algo: &A) -> FlightRecorder {
     )
 }
 
+/// Measurement discipline for every timed leg: one full-length warm-up
+/// iteration (page faults, allocator growth, and frequency ramp-up land
+/// here, not in a timed run), then the median elapsed time of three
+/// timed iterations. The runs are deterministic, so the counters of any
+/// iteration are the counters of all of them; medians reject the
+/// one-off scheduler hiccups that previously produced a *negative*
+/// probe overhead at load 0.1.
+fn warmed_median_of_3(mut run: impl FnMut() -> (f64, Counters)) -> (f64, Counters) {
+    let _ = run(); // warm-up, untimed
+    let (s0, counters) = run();
+    let (s1, c1) = run();
+    let (s2, c2) = run();
+    debug_assert_eq!(counters, c1);
+    debug_assert_eq!(counters, c2);
+    let mut secs = [s0, s1, s2];
+    secs.sort_by(f64::total_cmp);
+    (secs[1], counters)
+}
+
 /// Time one engine run; returns (elapsed seconds, final counters).
 fn time_run<A: RoutingAlgorithm + ?Sized>(
     algo: &A,
@@ -143,10 +165,7 @@ struct TimeOptimized<'c> {
 impl SpecVisitor for TimeOptimized<'_> {
     type Out = (f64, Counters);
     fn visit<A: RoutingAlgorithm>(self, algo: A) -> (f64, Counters) {
-        // Warm the code path and the allocator once (first-touch page
-        // faults would otherwise land in the first timed run).
-        let _ = time_run(&algo, self.cfg, self.cycles.min(1_000), false);
-        time_run(&algo, self.cfg, self.cycles, false)
+        warmed_median_of_3(|| time_run(&algo, self.cfg, self.cycles, false))
     }
 }
 
@@ -160,12 +179,12 @@ struct TimeTraced<'c> {
 impl SpecVisitor for TimeTraced<'_> {
     type Out = (f64, Counters);
     fn visit<A: RoutingAlgorithm>(self, algo: A) -> (f64, Counters) {
-        let mut warm = build_engine_probed(&algo, self.cfg, recorder_for(&algo));
-        warm.run(self.cycles.min(1_000));
-        let mut eng = build_engine_probed(&algo, self.cfg, recorder_for(&algo));
-        let start = Instant::now();
-        eng.run(self.cycles);
-        (start.elapsed().as_secs_f64(), eng.counters())
+        warmed_median_of_3(|| {
+            let mut eng = build_engine_probed(&algo, self.cfg, recorder_for(&algo));
+            let start = Instant::now();
+            eng.run(self.cycles);
+            (start.elapsed().as_secs_f64(), eng.counters())
+        })
     }
 }
 
@@ -211,7 +230,8 @@ fn main() {
             // full-scan reference stepper behind dynamic dispatch (the
             // pre-optimization configuration).
             let (opt_secs, opt_counters) = spec.with_algorithm(TimeOptimized { cfg: &cfg, cycles });
-            let (ref_secs, ref_counters) = time_run(algo.as_ref(), &cfg, cycles, true);
+            let (ref_secs, ref_counters) =
+                warmed_median_of_3(|| time_run(algo.as_ref(), &cfg, cycles, true));
             let (traced_secs, traced_counters) =
                 spec.with_algorithm(TimeTraced { cfg: &cfg, cycles });
             assert_eq!(
@@ -270,6 +290,10 @@ fn to_json(samples: &[Sample], low_speedup: f64, mean_probe: f64, seed_salt: u64
     j.push_str(
         "  \"probe\": \"traced = FlightRecorder (stride-100 utilization, events off); \
          optimized/baseline run the default NullProbe build\",\n",
+    );
+    j.push_str(
+        "  \"protocol\": \"per leg: one untimed full-length warm-up iteration, \
+         then the median elapsed time of three timed iterations\",\n",
     );
     let _ = writeln!(j, "  \"seed_salt\": \"0x{seed_salt:016x}\",");
     let _ = writeln!(j, "  \"mean_low_load_speedup\": {low_speedup:.3},");

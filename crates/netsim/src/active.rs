@@ -72,6 +72,21 @@ impl ActiveSet {
         self.words[wi]
     }
 
+    /// The backing words as a shared slice (read-only snapshot view).
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The backing words as a mutable slice. Used by the sharded
+    /// stepper, which hands each worker the word sub-range covering its
+    /// id range; shard boundaries are 64-aligned, so the per-shard word
+    /// slices partition the set exactly.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Visit every member in ascending order. The callback may mutate
     /// the set through other references only per the module contract
     /// (remove the current member / insert into *other* sets); this

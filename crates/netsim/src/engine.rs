@@ -61,6 +61,8 @@
 //! `routing` crate this must never fire, and the integration tests rely
 //! on it as a runtime deadlock detector.
 
+pub mod shard;
+
 use crate::active::ActiveSet;
 use crate::fault::{FaultModel, LinkFlip, NoFaults};
 use crate::flit::{Flit, PacketRec, HEAD, NEVER, TAIL};

@@ -77,14 +77,15 @@ pub mod scenario;
 pub mod sim;
 pub mod wiring;
 
+pub use engine::shard::ShardPlan;
 pub use experiment::{
     simulate_load, sweep, sweep_outcomes, sweep_outcomes_salted, CubeParams, ExperimentSpec,
     RunLength, SpecVisitor, TreeParams,
 };
 pub use fault::{FaultError, FaultModel, FaultPlan, FaultState, NoFaults};
 pub use scenario::{
-    derived_seed, named, paper_scenarios, registry, InjectionModel, NamedScenario, RoutingKind,
-    Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
+    derived_seed, named, paper_scenarios, parse_threads, registry, InjectionModel, NamedScenario,
+    RoutingKind, Scenario, ScenarioBuilder, ScenarioError, SeedMode, Throttle, TopologySpec,
 };
 pub use sim::{run_simulation_probed, SimConfig, SimError, SimOutcome};
 pub use telemetry;

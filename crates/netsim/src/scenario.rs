@@ -44,7 +44,10 @@
 #![deny(missing_docs)]
 
 use crate::fault::{FaultPlan, NoFaults};
-use crate::sim::{run_simulation_faulted, InjectionSpec, SimConfig, SimError, SimOutcome};
+use crate::sim::{
+    run_simulation_faulted, run_simulation_faulted_sharded, InjectionSpec, SimConfig, SimError,
+    SimOutcome,
+};
 use crate::wiring::Wiring;
 use costmodel::chien::RouterClass;
 use costmodel::normalize::NetworkNormalization;
@@ -344,6 +347,7 @@ pub struct Scenario {
     throttle: Throttle,
     telemetry: Option<TelemetryConfig>,
     faults: Option<FaultPlan>,
+    shards: usize,
 }
 
 /// Validating builder for [`Scenario`].
@@ -362,6 +366,7 @@ pub struct ScenarioBuilder {
     throttle: Option<Throttle>,
     telemetry: Option<TelemetryConfig>,
     faults: Option<FaultPlan>,
+    shards: Option<usize>,
 }
 
 impl ScenarioBuilder {
@@ -449,6 +454,20 @@ impl ScenarioBuilder {
     /// network, fault machinery compiled out of the hot path).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Domain-decompose each run into this many shards, stepped with
+    /// deterministic phase barriers (see
+    /// [`Engine::shard_plan`](crate::engine::Engine::shard_plan)).
+    /// Sharding is an execution detail, not an experiment axis: every
+    /// shard count produces bit-identical outcomes, manifests, and
+    /// traces, so it is deliberately absent from [`Scenario::manifest`].
+    /// Default: 1 (the serial stepper). A request beyond the router
+    /// count is clamped at run time with a warning; 0 is rejected at
+    /// build time.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
         self
     }
 
@@ -560,6 +579,12 @@ impl ScenarioBuilder {
                 "packet size must be >= 1 byte".into(),
             ));
         }
+        let shards = self.shards.unwrap_or(1);
+        if shards == 0 {
+            return Err(ScenarioError::BadParameter(
+                "shard count must be >= 1".into(),
+            ));
+        }
         if let Some(plan) = &self.faults {
             // Compile once against the real wiring so an impossible
             // plan (too many routers, zero-link shape, …) is rejected
@@ -592,6 +617,7 @@ impl ScenarioBuilder {
             throttle: self.throttle.unwrap_or(Throttle::Auto),
             telemetry: self.telemetry,
             faults: self.faults,
+            shards,
         })
     }
 }
@@ -665,6 +691,24 @@ impl Scenario {
     /// The attached fault plan, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The shard count each run is decomposed into (1 = serial).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Same scenario stepped with a different shard count — a pure
+    /// execution choice, bit-identical for every value (see
+    /// [`ScenarioBuilder::shards`]).
+    ///
+    /// # Panics
+    /// Panics on `shards == 0` (the builder rejects it too; the CLI
+    /// validates before calling).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be >= 1");
+        self.shards = shards;
+        self
     }
 
     /// Same scenario under a different traffic pattern.
@@ -836,19 +880,59 @@ impl Scenario {
     /// plan (or with an empty one) the outcome is bit-identical to
     /// [`Scenario::simulate`].
     pub fn try_simulate(&self, fraction: f64) -> Result<SimOutcome, SimError> {
+        self.try_simulate_sharded(fraction, self.shards, self.worker_threads())
+    }
+
+    /// [`Scenario::try_simulate`] with the shard and worker-thread
+    /// counts given explicitly (overriding the scenario's own setting
+    /// and `NETPERF_THREADS`). Bit-identical for every combination;
+    /// `shards <= 1` is the serial stepper.
+    pub fn try_simulate_sharded(
+        &self,
+        fraction: f64,
+        shards: usize,
+        threads: usize,
+    ) -> Result<SimOutcome, SimError> {
         struct Run<'c> {
             cfg: &'c SimConfig,
             faults: Option<&'c FaultPlan>,
+            shards: usize,
+            threads: usize,
         }
         impl SpecVisitor for Run<'_> {
             type Out = Result<SimOutcome, SimError>;
             fn visit<A: RoutingAlgorithm>(self, algo: A) -> Self::Out {
-                match self.faults {
-                    None => run_simulation_faulted(&algo, self.cfg, NullProbe, NoFaults),
-                    Some(plan) => {
-                        let w = Wiring::from_topology(algo.topology());
-                        let state = plan.compile(&w).expect("fault plan validated at build");
-                        run_simulation_faulted(&algo, self.cfg, NullProbe, state)
+                if self.shards > 1 {
+                    match self.faults {
+                        None => run_simulation_faulted_sharded(
+                            &algo,
+                            self.cfg,
+                            NullProbe,
+                            NoFaults,
+                            self.shards,
+                            self.threads,
+                        ),
+                        Some(plan) => {
+                            let w = Wiring::from_topology(algo.topology());
+                            let state = plan.compile(&w).expect("fault plan validated at build");
+                            run_simulation_faulted_sharded(
+                                &algo,
+                                self.cfg,
+                                NullProbe,
+                                state,
+                                self.shards,
+                                self.threads,
+                            )
+                        }
+                    }
+                } else {
+                    match self.faults {
+                        None => run_simulation_faulted(&algo, self.cfg, NullProbe, NoFaults),
+                        Some(plan) => {
+                            let w = Wiring::from_topology(algo.topology());
+                            let state = plan.compile(&w).expect("fault plan validated at build");
+                            run_simulation_faulted(&algo, self.cfg, NullProbe, state)
+                        }
                     }
                 }
                 .map(|(out, _)| out)
@@ -858,7 +942,20 @@ impl Scenario {
         self.with_algorithm(Run {
             cfg: &cfg,
             faults: self.faults.as_ref(),
+            shards,
+            threads,
         })
+    }
+
+    /// Worker threads for the scenario's own sharded runs: capped by
+    /// the shard count (extra threads would idle) and governed by
+    /// `NETPERF_THREADS` / available parallelism like the sweep pool.
+    fn worker_threads(&self) -> usize {
+        if self.shards <= 1 {
+            1
+        } else {
+            sweep_threads().min(self.shards)
+        }
     }
 
     /// Simulate one offered load with a [`FlightRecorder`] attached,
@@ -879,10 +976,24 @@ impl Scenario {
         &self,
         fraction: f64,
     ) -> Result<(SimOutcome, FlightRecorder), SimError> {
+        self.try_simulate_traced_sharded(fraction, self.shards, self.worker_threads())
+    }
+
+    /// [`Scenario::try_simulate_traced`] with explicit shard and
+    /// worker-thread counts. The recording — like the outcome — is
+    /// bit-identical for every combination.
+    pub fn try_simulate_traced_sharded(
+        &self,
+        fraction: f64,
+        shards: usize,
+        threads: usize,
+    ) -> Result<(SimOutcome, FlightRecorder), SimError> {
         struct Traced<'c> {
             cfg: &'c SimConfig,
             tcfg: TelemetryConfig,
             faults: Option<&'c FaultPlan>,
+            shards: usize,
+            threads: usize,
         }
         impl SpecVisitor for Traced<'_> {
             type Out = Result<(SimOutcome, FlightRecorder), SimError>;
@@ -895,11 +1006,35 @@ impl Scenario {
                     nodes: w.num_nodes,
                 };
                 let rec = FlightRecorder::new(self.tcfg, geo);
-                match self.faults {
-                    None => run_simulation_faulted(&algo, self.cfg, rec, NoFaults),
-                    Some(plan) => {
-                        let state = plan.compile(&w).expect("fault plan validated at build");
-                        run_simulation_faulted(&algo, self.cfg, rec, state)
+                if self.shards > 1 {
+                    match self.faults {
+                        None => run_simulation_faulted_sharded(
+                            &algo,
+                            self.cfg,
+                            rec,
+                            NoFaults,
+                            self.shards,
+                            self.threads,
+                        ),
+                        Some(plan) => {
+                            let state = plan.compile(&w).expect("fault plan validated at build");
+                            run_simulation_faulted_sharded(
+                                &algo,
+                                self.cfg,
+                                rec,
+                                state,
+                                self.shards,
+                                self.threads,
+                            )
+                        }
+                    }
+                } else {
+                    match self.faults {
+                        None => run_simulation_faulted(&algo, self.cfg, rec, NoFaults),
+                        Some(plan) => {
+                            let state = plan.compile(&w).expect("fault plan validated at build");
+                            run_simulation_faulted(&algo, self.cfg, rec, state)
+                        }
                     }
                 }
             }
@@ -910,6 +1045,8 @@ impl Scenario {
             cfg: &cfg,
             tcfg,
             faults: self.faults.as_ref(),
+            shards,
+            threads,
         })
     }
 
@@ -1061,6 +1198,7 @@ fn scenario_to_builder(s: &Scenario) -> ScenarioBuilder {
         throttle: Some(s.throttle),
         telemetry: s.telemetry,
         faults: s.faults.clone(),
+        shards: Some(s.shards),
     }
 }
 
@@ -1095,19 +1233,41 @@ pub trait SpecVisitor {
     fn visit<A: RoutingAlgorithm + 'static>(self, algo: A) -> Self::Out;
 }
 
-/// Worker-thread count for [`Scenario::sweep_outcomes`]: the
-/// `NETPERF_THREADS` environment variable if set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// Worker-thread count for [`Scenario::sweep_outcomes`] and for the
+/// sharded stepper's workers: the `NETPERF_THREADS` environment
+/// variable if set to a positive integer, otherwise the machine's
+/// available parallelism.
+///
+/// Lenient by design — library callers may inherit arbitrary
+/// environments, so garbage silently falls back to the default. The
+/// CLI validates the variable up front with [`parse_threads`] and
+/// refuses to start on a value this function would ignore.
 pub fn sweep_threads() -> usize {
     std::env::var("NETPERF_THREADS")
         .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
+        .and_then(|v| parse_threads(&v).ok())
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
         })
+}
+
+/// Strict parse of a `NETPERF_THREADS`-style thread count: a positive
+/// decimal integer (surrounding whitespace tolerated). Returns a
+/// one-line description of the problem otherwise — the CLI surfaces it
+/// as `error: ...` and exits 2.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    let trimmed = value.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "thread count must be >= 1, got {trimmed:?} (unset NETPERF_THREADS for the default)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "thread count must be a positive integer, got {value:?}"
+        )),
+    }
 }
 
 /// The default load grid used for the figures: 5% to 100% of capacity
@@ -1150,7 +1310,7 @@ fn must(b: ScenarioBuilder) -> Scenario {
 /// presentation order.
 pub const PAPER_FIVE: [&str; 5] = ["cube-det", "cube-duato", "tree-1vc", "tree-2vc", "tree-4vc"];
 
-static REGISTRY: [NamedScenario; 11] = [
+static REGISTRY: [NamedScenario; 14] = [
     NamedScenario {
         name: "cube-det",
         summary: "paper: 16-ary 2-cube, dimension-order deterministic, 4 VCs",
@@ -1284,6 +1444,45 @@ static REGISTRY: [NamedScenario; 11] = [
             )
         },
     },
+    // Beyond-paper scale axis: the regimes the related work targets
+    // (thousands of end nodes) that the sharded stepper exists to
+    // serve. Same paper protocol, bigger shapes — pair with
+    // `--shards`/`NETPERF_THREADS` on multicore hosts.
+    NamedScenario {
+        name: "tree-4ary-6",
+        summary: "scale: 4-ary 6-tree (4096 nodes), minimal adaptive, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tree(4, 6))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(4),
+            )
+        },
+    },
+    NamedScenario {
+        name: "cube-32ary-2",
+        summary: "scale: 32-ary 2-cube (1024 nodes), Duato, 2+2 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::cube(32, 2))
+                    .routing(RoutingKind::Duato),
+            )
+        },
+    },
+    NamedScenario {
+        name: "tree-16k",
+        summary: "scale: 4-ary 7-tree (16384 nodes), minimal adaptive, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tree(4, 7))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(4),
+            )
+        },
+    },
 ];
 
 /// All registry entries, paper configurations first.
@@ -1387,6 +1586,65 @@ mod tests {
                 })),
             ScenarioError::BadParameter(_)
         ));
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::cube(4, 2))
+                .shards(0)),
+            ScenarioError::BadParameter(_)
+        ));
+    }
+
+    #[test]
+    fn shards_are_an_execution_detail() {
+        // Default 1, carried by the builder and with_shards, and
+        // deliberately absent from the manifest (bit-identical runs
+        // must produce byte-identical manifests).
+        let base = named("cube-duato-tiny").unwrap();
+        assert_eq!(base.shards(), 1);
+        let sharded = base.clone().with_shards(4);
+        assert_eq!(sharded.shards(), 4);
+        assert_eq!(
+            format!("{:?}", base.manifest()),
+            format!("{:?}", sharded.manifest())
+        );
+        let built = must(
+            Scenario::builder()
+                .topology(TopologySpec::cube(4, 2))
+                .shards(2),
+        );
+        assert_eq!(built.shards(), 2);
+        // Sharded and serial execution agree on the outcome.
+        let serial = base.simulate(0.3);
+        let split = sharded.try_simulate_sharded(0.3, 2, 1).unwrap();
+        assert_eq!(serial.delivered_packets, split.delivered_packets);
+        assert_eq!(serial.created_packets, split.created_packets);
+        assert_eq!(
+            serial.accepted_fraction.to_bits(),
+            split.accepted_fraction.to_bits()
+        );
+    }
+
+    #[test]
+    fn thread_parse_is_strict() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("four").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("1.5").is_err());
+    }
+
+    #[test]
+    fn scale_registry_entries_build() {
+        for (name, nodes) in [
+            ("tree-4ary-6", 4096),
+            ("cube-32ary-2", 1024),
+            ("tree-16k", 16384),
+        ] {
+            let s = named(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(s.topology().num_nodes(), nodes, "{name}");
+        }
     }
 
     #[test]

@@ -237,6 +237,43 @@ pub fn run_simulation_faulted<A: RoutingAlgorithm + ?Sized, P: Probe, F: FaultMo
     probe: P,
     faults: F,
 ) -> Result<(SimOutcome, P), SimError> {
+    measure(algo, cfg, probe, faults, |eng, cycles| {
+        eng.run_checked(cycles)
+    })
+}
+
+/// [`run_simulation_faulted`] on the sharded stepper: the run is
+/// decomposed into `shards` domains stepped by `threads` worker threads
+/// (see [`Engine::shard_plan`]). Bit-identical to the serial run for
+/// every shard/thread count; `shards <= 1` *is* the serial run.
+pub fn run_simulation_faulted_sharded<A: RoutingAlgorithm + ?Sized, P: Probe, F>(
+    algo: &A,
+    cfg: &SimConfig,
+    probe: P,
+    faults: F,
+    shards: usize,
+    threads: usize,
+) -> Result<(SimOutcome, P), SimError>
+where
+    F: FaultModel + Sync,
+{
+    let mut plan = None;
+    measure(algo, cfg, probe, faults, |eng, cycles| {
+        let plan = plan.get_or_insert_with(|| eng.shard_plan(shards, threads));
+        eng.run_checked_sharded(cycles, plan)
+    })
+}
+
+/// The shared measurement protocol: build the engine, run the warm-up,
+/// run the measurement window in batches through `run` (which chooses
+/// the stepper), and assemble the outcome.
+fn measure<A: RoutingAlgorithm + ?Sized, P: Probe, F: FaultModel>(
+    algo: &A,
+    cfg: &SimConfig,
+    probe: P,
+    faults: F,
+    mut run: impl FnMut(&mut Engine<'_, A, P, F>, u32) -> Result<(), Stall>,
+) -> Result<(SimOutcome, P), SimError> {
     assert!(cfg.warmup_cycles < cfg.total_cycles);
     let num_nodes = algo.topology().num_nodes();
     let pattern = TrafficGen::new(cfg.pattern, num_nodes);
@@ -254,8 +291,7 @@ pub fn run_simulation_faulted<A: RoutingAlgorithm + ?Sized, P: Probe, F: FaultMo
     eng.set_injection_limit(cfg.injection_limit);
     eng.set_request_reply(cfg.request_reply);
 
-    eng.run_checked(cfg.warmup_cycles)
-        .map_err(SimError::Deadlock)?;
+    run(&mut eng, cfg.warmup_cycles).map_err(SimError::Deadlock)?;
     let warm = eng.counters();
 
     // Run the measurement window in NUM_BATCHES contiguous batches and
@@ -272,7 +308,7 @@ pub fn run_simulation_faulted<A: RoutingAlgorithm + ?Sized, P: Probe, F: FaultMo
         if this == 0 {
             continue;
         }
-        eng.run_checked(this).map_err(SimError::Deadlock)?;
+        run(&mut eng, this).map_err(SimError::Deadlock)?;
         let now = eng.counters().delivered_flits;
         batches.push((now - prev_delivered) as f64 / (this as f64 * num_nodes as f64));
         prev_delivered = now;

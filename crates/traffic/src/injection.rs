@@ -19,7 +19,12 @@ use crate::rng::Rng64;
 /// A per-node packet creation process. At most one packet is created per
 /// node per cycle (rates are well below 1 in all experiments: at full
 /// capacity a 64-byte packet is created once every 32 cycles).
-pub trait InjectionProcess {
+///
+/// `Send` is a supertrait so per-node state (which boxes one of these)
+/// can migrate to the worker threads of the sharded engine stepper;
+/// processes are plain state machines, so this costs implementations
+/// nothing.
+pub trait InjectionProcess: Send {
     /// Advance one cycle; return `true` if a packet is created.
     fn tick(&mut self, rng: &mut Rng64) -> bool;
 

@@ -199,4 +199,60 @@ assert any_dropped, "no faulted row dropped anything"
 print(f"fault smoke: {len(rows)} rows, 5 configs x {len(fracs)} fractions, accounting holds")
 EOF
 
+echo "==> shard-equivalence smoke"
+# A sharded run is an execution detail: the CSV must be byte-identical
+# to the serial run's, and the manifest identical up to wall-clock
+# time. Same relative artifact name in both directories so the
+# manifests' "artifact" fields match too.
+SHARD_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACE_DIR" "$FAULT_DIR" "$SHARD_DIR"' EXIT
+mkdir -p "$SHARD_DIR/serial" "$SHARD_DIR/sharded"
+( cd "$SHARD_DIR/serial" && "$OLDPWD/target/release/netperf" run cube-duato-tiny \
+    --load 0.4 --quick --csv run.csv > stdout.txt )
+( cd "$SHARD_DIR/sharded" && "$OLDPWD/target/release/netperf" run cube-duato-tiny \
+    --load 0.4 --quick --shards 2 --csv run.csv > stdout.txt )
+cmp "$SHARD_DIR/serial/run.csv" "$SHARD_DIR/sharded/run.csv" \
+  || { echo "shard smoke: sharded CSV differs from serial" >&2; exit 1; }
+diff <(grep -v '"wall_clock_secs"' "$SHARD_DIR/serial/run.manifest.json") \
+     <(grep -v '"wall_clock_secs"' "$SHARD_DIR/sharded/run.manifest.json") \
+  || { echo "shard smoke: sharded manifest differs from serial" >&2; exit 1; }
+# Bad shard counts must fail structured: exit 2, one "error:" line.
+if cargo run --release -q --bin netperf -- run cube-duato-tiny --shards 0 \
+    2> "$SHARD_DIR/err.txt"; then
+  echo "shard smoke: --shards 0 was accepted" >&2; exit 1
+fi
+grep -q '^error:' "$SHARD_DIR/err.txt" \
+  || { echo "shard smoke: unstructured error output" >&2; cat "$SHARD_DIR/err.txt" >&2; exit 1; }
+if NETPERF_THREADS=abc cargo run --release -q --bin netperf -- \
+    run cube-duato-tiny --quick 2> "$SHARD_DIR/err2.txt"; then
+  echo "shard smoke: bad NETPERF_THREADS was accepted" >&2; exit 1
+fi
+grep -q '^error:' "$SHARD_DIR/err2.txt" \
+  || { echo "shard smoke: unstructured error output" >&2; cat "$SHARD_DIR/err2.txt" >&2; exit 1; }
+echo "shard smoke: serial and --shards 2 artifacts are byte-identical"
+
+echo "==> scale_sweep --quick smoke"
+cargo run --release -p bench --bin scale_sweep -- --quick --out "$SHARD_DIR" \
+  > "$SHARD_DIR/stdout.txt" 2>&1
+python3 - "$SHARD_DIR" <<'EOF'
+import csv, json, sys
+out = sys.argv[1]
+panel = json.load(open(out + "/scale_sweep.json"))
+assert panel["host_cpus"] >= 1 and panel["quick"] is True
+cells = panel["cells"]
+assert cells, "empty scale panel"
+by_cfg = {}
+for c in cells:
+    by_cfg.setdefault(c["config"], []).append(c)
+for cfg, group in by_cfg.items():
+    moves = {c["flit_moves"] for c in group}
+    assert len(moves) == 1, f"{cfg}: flit_moves differ across shard counts: {moves}"
+    shard_counts = sorted(c["shards"] for c in group)
+    assert shard_counts[0] == 1 and len(shard_counts) >= 3, (cfg, shard_counts)
+with open(out + "/scale_sweep.csv") as f:
+    rows = list(csv.DictReader(f))
+assert len(rows) == len(cells)
+print(f"scale smoke: {len(cells)} cells over {len(by_cfg)} sizes, counters agree")
+EOF
+
 echo "verify: OK"

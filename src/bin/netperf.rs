@@ -20,8 +20,8 @@
 //! load point (default `0x5EED`) and no source throttling.
 
 use netperf::netsim::scenario::{
-    default_load_grid, named, registry, InjectionModel, RoutingKind, RunLength, Scenario,
-    ScenarioBuilder, SeedMode, Throttle, TopologySpec,
+    default_load_grid, named, parse_threads, registry, InjectionModel, RoutingKind, RunLength,
+    Scenario, ScenarioBuilder, SeedMode, Throttle, TopologySpec,
 };
 use netperf::netsim::FaultPlan;
 use netperf::telemetry::{trace, FlightRecorder, TelemetryConfig};
@@ -30,6 +30,14 @@ use netstats::{Cell, Manifest, ManifestValue, Table};
 use std::time::Instant;
 
 fn main() {
+    // Validate the thread-count override up front: the library helpers
+    // silently ignore garbage, but an interactive user who typed
+    // NETPERF_THREADS=0 deserves an error, not a silent default.
+    if let Ok(v) = std::env::var("NETPERF_THREADS") {
+        if let Err(e) = parse_threads(&v) {
+            fail(&format!("bad NETPERF_THREADS: {e}"));
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
@@ -82,6 +90,9 @@ fn usage() -> ! {
          run/sweep control:\n\
          --load <frac>               offered load for `run` (default 0.5)\n\
          --grid a:b:step             load grid for `sweep` (default 0.05:1.0:0.05)\n\
+         --shards <int>              domain-decompose each run into this many shards\n\
+                                     (default 1 = serial; results are bit-identical\n\
+                                     for every value; clamped to the router count)\n\
          --csv <path>                write results as CSV (+ JSON manifest)\n\
          --trace <stem>              record telemetry (alias --probe): writes\n\
                                      <stem>[.lNNN].trace.jsonl (event log),\n\
@@ -89,6 +100,11 @@ fn usage() -> ! {
                                      <stem>[.lNNN].breakdown.csv (latency decomposition),\n\
                                      <stem>[.lNNN].util.csv (channel utilization)\n\
          --probe-stride <n>          utilization sampling stride in cycles (default 100)\n\
+         \n\
+         environment:\n\
+         NETPERF_THREADS             worker threads for sweeps and sharded runs\n\
+                                     (positive integer; default: the machine's\n\
+                                     available parallelism)\n\
          \n\
          The historical flags-first form (netperf --topology ... --load ...)\n\
          is still accepted, with its historical fixed-seed, unthrottled\n\
@@ -199,6 +215,8 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
     // Telemetry.
     let mut trace: Option<String> = None;
     let mut probe_stride: Option<u32> = None;
+    // Intra-run sharding (execution detail: results are bit-identical).
+    let mut shards: Option<usize> = None;
     // Fault plane. Outer None = flag absent; inner None = explicit
     // `--faults none` (strips a registry entry's plan).
     let mut faults: Option<Option<FaultPlan>> = None;
@@ -309,6 +327,15 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
                         .unwrap_or_else(|| fail("bad --probe-stride (want an integer >= 1)")),
                 )
             }
+            "--shards" => {
+                shards = Some(
+                    val("--shards")
+                        .parse()
+                        .ok()
+                        .filter(|&v: &usize| v >= 1)
+                        .unwrap_or_else(|| fail("bad --shards (want an integer >= 1)")),
+                )
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
             positional if name.is_none() => name = Some(positional.to_string()),
@@ -408,6 +435,11 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
         })
     } else {
         scenario
+    };
+
+    let scenario = match shards {
+        Some(n) => scenario.with_shards(n),
+        None => scenario,
     };
 
     let loads = if sweep {

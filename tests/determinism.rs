@@ -70,6 +70,79 @@ fn seeds_differ_across_grid_points_and_specs() {
     assert_ne!(c1.seed, c3.seed);
 }
 
+/// FNV-1a over a string: a stable digest for comparing telemetry
+/// event streams without holding two full JSONL dumps in the failure
+/// message.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_at_scale() {
+    // The beyond-paper 4096-node registry entry, shortened to test
+    // length: every (shards, worker-threads) combination must produce
+    // the exact SimOutcome of the serial stepper — all fields, not a
+    // summary — and the exact telemetry event stream (compared by
+    // digest of the JSONL export). The worker-thread axis is what
+    // NETPERF_THREADS controls for sharded scenario runs; the explicit
+    // parameter keeps the test free of process-global env mutation.
+    let scenario = netperf::netsim::named("tree-4ary-6")
+        .expect("scale registry entry")
+        .with_run_length(RunLength {
+            warmup: 100,
+            total: 400,
+        });
+    let load = 0.3;
+
+    let serial = scenario.try_simulate_sharded(load, 1, 1).unwrap();
+    let serial_fp = format!("{serial:?}");
+    for (shards, threads) in [(2, 1), (2, 4), (4, 1), (4, 4)] {
+        let sharded = scenario
+            .try_simulate_sharded(load, shards, threads)
+            .unwrap();
+        assert_eq!(
+            serial_fp,
+            format!("{sharded:?}"),
+            "outcome diverged with {shards} shards x {threads} threads"
+        );
+    }
+    assert!(
+        serial.delivered_packets > 0,
+        "run too short to mean anything"
+    );
+
+    // Traced runs: same outcome and the same event stream.
+    let traced = scenario.clone().with_telemetry(TelemetryConfig {
+        stride: 100,
+        record_events: true,
+    });
+    let (out1, rec1) = traced.try_simulate_traced_sharded(load, 1, 1).unwrap();
+    let jsonl1 = netperf::telemetry::trace::events_jsonl(rec1.events());
+    assert!(!jsonl1.is_empty(), "recorder captured no events");
+    for (shards, threads) in [(2, 1), (4, 4)] {
+        let (out_n, rec_n) = traced
+            .try_simulate_traced_sharded(load, shards, threads)
+            .unwrap();
+        assert_eq!(serial_fp, format!("{out1:?}"));
+        assert_eq!(
+            format!("{out1:?}"),
+            format!("{out_n:?}"),
+            "traced outcome diverged with {shards} shards x {threads} threads"
+        );
+        let jsonl_n = netperf::telemetry::trace::events_jsonl(rec_n.events());
+        assert_eq!(
+            fnv64(&jsonl1),
+            fnv64(&jsonl_n),
+            "telemetry event stream diverged with {shards} shards x {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn engine_counters_are_stable_across_runs_of_paper_network() {
     // A short paper-size run, twice; guards the hot path against

@@ -1,4 +1,4 @@
-//! Observational equivalence of the active-set engine.
+//! Observational equivalence of the active-set and sharded engines.
 //!
 //! The engine's worklist/bitmask fast path must be a pure optimization:
 //! for every one of the paper's five router configurations, at loads
@@ -8,11 +8,20 @@
 //! [`Engine::step_reference`] (compiled under the `reference-engine`
 //! feature). This is the contract the benchmark harness relies on when
 //! it reports the two steppers' throughput as comparable.
+//!
+//! The sharded stepper ([`Engine::step_sharded`]) extends the same
+//! contract one level up: for every shard count and thread count it
+//! must be bit-identical to [`Engine::step`] — counters, the packet
+//! table, *and* the telemetry event stream — including under an active
+//! fault model and a recording probe.
 
 use netsim::engine::Engine;
+use netsim::fault::{FaultPlan, FaultState};
 use netsim::sim::SimConfig;
+use netsim::wiring::Wiring;
 use netsim::{ExperimentSpec, RunLength};
 use routing::RoutingAlgorithm;
+use telemetry::{trace, FlightRecorder, Geometry, NullProbe, TelemetryConfig};
 use traffic::{Bernoulli, InjectionProcess, TrafficGen};
 
 /// Build one engine for a paper spec's config (the same construction
@@ -104,4 +113,225 @@ fn paper_configs_saturation_load() {
     for spec in ExperimentSpec::paper_five() {
         assert_equivalent(&spec, 1.2, 2_000);
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded stepper ≡ serial stepper.
+// ---------------------------------------------------------------------
+
+/// Run the serial stepper and one sharded stepper per requested
+/// `(shards, threads)` combination in lockstep on the same
+/// configuration and assert bit-identical observable state throughout.
+fn assert_sharded_equivalent(
+    spec: &ExperimentSpec,
+    fraction: f64,
+    cycles: u32,
+    combos: &[(usize, usize)],
+) {
+    let len = RunLength {
+        warmup: 500,
+        total: cycles,
+    };
+    let cfg = spec.config_at(traffic::Pattern::Uniform, fraction, len);
+    let algo = spec.build_algorithm();
+    let mut serial = build_engine(algo.as_ref(), &cfg);
+    let mut sharded: Vec<_> = combos
+        .iter()
+        .map(|&(s, t)| {
+            let eng = build_engine(algo.as_ref(), &cfg);
+            let plan = eng.shard_plan(s, t);
+            assert!(
+                plan.shards() >= 2,
+                "{}: want a real decomposition",
+                spec.label()
+            );
+            (eng, plan)
+        })
+        .collect();
+    for cycle in 0..cycles {
+        serial.step();
+        for (eng, plan) in sharded.iter_mut() {
+            eng.step_sharded(plan);
+        }
+        if cycle % 512 == 0 {
+            for ((eng, plan), &(s, t)) in sharded.iter().zip(combos) {
+                assert_eq!(
+                    serial.counters(),
+                    eng.counters(),
+                    "{} at load {fraction}: shards={s} threads={t} (plan {}x{}) diverged at cycle {cycle}",
+                    spec.label(),
+                    plan.shards(),
+                    plan.threads(),
+                );
+            }
+        }
+    }
+    for ((eng, _), &(s, t)) in sharded.iter().zip(combos) {
+        assert_eq!(
+            serial.counters(),
+            eng.counters(),
+            "{} at load {fraction}: shards={s} threads={t} final counters diverged",
+            spec.label()
+        );
+        assert_eq!(
+            serial.packets(),
+            eng.packets(),
+            "{} at load {fraction}: shards={s} threads={t} packet tables diverged",
+            spec.label()
+        );
+        assert_eq!(eng.check_worklist_invariant(), Ok(()), "{}", spec.label());
+        assert_eq!(eng.check_credit_invariant(), Ok(()), "{}", spec.label());
+    }
+    assert!(
+        serial.counters().delivered_packets > 0,
+        "{} at load {fraction}: nothing delivered",
+        spec.label()
+    );
+}
+
+/// All five paper configurations: sequential shard execution (2 and 4
+/// shards) and one-thread-per-shard execution must both match the
+/// serial stepper bit for bit at a busy load.
+#[test]
+fn paper_configs_sharded() {
+    for spec in ExperimentSpec::paper_five() {
+        assert_sharded_equivalent(&spec, 0.5, 1_500, &[(2, 1), (4, 1), (4, 4)]);
+    }
+}
+
+/// Saturation, where every handoff queue and the routing RNG are
+/// maximally exercised.
+#[test]
+fn paper_configs_sharded_saturation() {
+    for spec in ExperimentSpec::paper_five() {
+        assert_sharded_equivalent(&spec, 1.2, 1_000, &[(4, 4)]);
+    }
+}
+
+/// The fault plane must survive sharding: dead links and a dead router
+/// force drops, reroutes, and unroutable packets, and the sharded
+/// stepper must reproduce every one of them bit for bit.
+#[test]
+fn sharded_matches_serial_under_faults() {
+    let spec = &ExperimentSpec::paper_five()[0];
+    let cycles = 1_500;
+    let len = RunLength {
+        warmup: 500,
+        total: cycles,
+    };
+    let cfg = spec.config_at(traffic::Pattern::Uniform, 0.5, len);
+    let algo = spec.build_algorithm();
+    let plan = FaultPlan {
+        link_fraction: 0.05,
+        routers: 1,
+        ..FaultPlan::default()
+    };
+    let build = || -> Engine<'_, dyn RoutingAlgorithm, NullProbe, FaultState> {
+        let state = plan
+            .compile(&Wiring::from_topology(algo.topology()))
+            .expect("fault plan compiles");
+        let pattern = TrafficGen::new(cfg.pattern, algo.topology().num_nodes());
+        let rate = cfg.injection.mean_rate();
+        let mut eng = Engine::with_probe_and_faults(
+            algo.as_ref(),
+            cfg.buffer_depth,
+            cfg.flits_per_packet,
+            pattern,
+            &move |_| Box::new(Bernoulli::new(rate)) as Box<dyn InjectionProcess>,
+            cfg.seed,
+            NullProbe,
+            state,
+        );
+        eng.set_injection_limit(cfg.injection_limit);
+        eng.set_request_reply(cfg.request_reply);
+        eng
+    };
+    let mut serial = build();
+    let mut sharded = build();
+    let mut shard_plan = sharded.shard_plan(4, 4);
+    for _ in 0..cycles {
+        serial.step();
+        sharded.step_sharded(&mut shard_plan);
+    }
+    assert_eq!(
+        serial.counters(),
+        sharded.counters(),
+        "faulted counters diverged"
+    );
+    assert_eq!(
+        serial.packets(),
+        sharded.packets(),
+        "faulted packet tables diverged"
+    );
+    assert!(serial.counters().dropped_packets + serial.counters().unroutable_packets > 0);
+}
+
+/// A recording probe observes identical event streams (same events,
+/// same order — compared through the JSONL serialization) under the
+/// sharded stepper, because link-phase events are replayed in serial
+/// order at the barrier and every other phase emits serially.
+#[test]
+fn sharded_matches_serial_event_stream() {
+    let spec = &ExperimentSpec::paper_five()[0];
+    let cycles = 1_200;
+    let len = RunLength {
+        warmup: 400,
+        total: cycles,
+    };
+    let cfg = spec.config_at(traffic::Pattern::Uniform, 0.5, len);
+    let algo = spec.build_algorithm();
+    let build = || -> Engine<'_, dyn RoutingAlgorithm, FlightRecorder> {
+        let topo = algo.topology();
+        let w = Wiring::from_topology(topo);
+        let rec = FlightRecorder::new(
+            TelemetryConfig {
+                stride: 100,
+                record_events: true,
+            },
+            Geometry {
+                routers: w.num_routers,
+                ports: w.ports,
+                vcs: algo.num_vcs(),
+                nodes: w.num_nodes,
+            },
+        );
+        let pattern = TrafficGen::new(cfg.pattern, topo.num_nodes());
+        let rate = cfg.injection.mean_rate();
+        let mut eng = Engine::with_probe(
+            algo.as_ref(),
+            cfg.buffer_depth,
+            cfg.flits_per_packet,
+            pattern,
+            &move |_| Box::new(Bernoulli::new(rate)) as Box<dyn InjectionProcess>,
+            cfg.seed,
+            rec,
+        );
+        eng.set_injection_limit(cfg.injection_limit);
+        eng.set_request_reply(cfg.request_reply);
+        eng
+    };
+    let mut serial = build();
+    let mut sharded = build();
+    let mut shard_plan = sharded.shard_plan(4, 4);
+    for _ in 0..cycles {
+        serial.step();
+        sharded.step_sharded(&mut shard_plan);
+    }
+    assert_eq!(
+        serial.counters(),
+        sharded.counters(),
+        "traced counters diverged"
+    );
+    assert_eq!(
+        serial.packets(),
+        sharded.packets(),
+        "traced packet tables diverged"
+    );
+    let serial_events = trace::events_jsonl(serial.into_probe().events());
+    let sharded_events = trace::events_jsonl(sharded.into_probe().events());
+    assert!(!serial_events.is_empty(), "no events recorded");
+    assert_eq!(
+        serial_events, sharded_events,
+        "telemetry event streams diverged"
+    );
 }
