@@ -172,13 +172,8 @@ fn main() {
 /// Dead-link count of a plan compiled against the scenario's topology
 /// (for the panel's `dead_links` column).
 fn compiled_dead_links(s: &netsim::Scenario, plan: &FaultPlan) -> usize {
-    use netsim::scenario::TopologySpec;
     use netsim::wiring::Wiring;
-    let w = match s.topology() {
-        TopologySpec::Cube { k, n } => Wiring::from_topology(&topology::KAryNCube::new(k, n)),
-        TopologySpec::Tree { k, n } => Wiring::from_topology(&topology::KAryNTree::new(k, n)),
-        TopologySpec::Mesh { k, n } => Wiring::from_topology(&topology::KAryNMesh::new(k, n)),
-    };
+    let w = Wiring::from_topology(&*s.topology().build());
     plan.compile(&w)
         .expect("plan validated at scenario build")
         .dead_links()

@@ -282,6 +282,13 @@ fn to_json(cells: &[Cell], host_cpus: usize, quick: bool) -> String {
          to the serial run\",\n",
     );
     let _ = writeln!(j, "  \"host_cpus\": {host_cpus},");
+    // `host_cpus` is the historical key; record the raw probe under its
+    // own name too so artifacts from different hosts compare directly.
+    let _ = writeln!(
+        j,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
     let _ = writeln!(j, "  \"quick\": {quick},");
     if host_cpus == 1 {
         j.push_str(

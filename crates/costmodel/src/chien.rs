@@ -167,6 +167,18 @@ pub enum RouterClass {
         /// Virtual channels.
         vcs: usize,
     },
+    /// Minimal adaptive routing on a tapered k-ary n-tree: `k` down
+    /// links but only `up = ceil(k/taper)` up links per switch, so
+    /// `F = (k + up - 1)·V` and `P = (k + up)·V`. Reduces to
+    /// [`RouterClass::TreeAdaptive`] at `up = k`.
+    TaperedTreeAdaptive {
+        /// Tree arity (down links per switch).
+        k: usize,
+        /// Surviving up links per switch, `ceil(k/taper)`.
+        up: usize,
+        /// Virtual channels.
+        vcs: usize,
+    },
     /// Dimension-order routing on a k-ary n-mesh.
     MeshDeterministic {
         /// Mesh dimension.
@@ -203,6 +215,10 @@ impl RouterClass {
             }
             RouterClass::TreeAdaptive { k, vcs } => {
                 ((2 * k - 1) * vcs, 2 * k * vcs, vcs, WireClass::Medium)
+            }
+            RouterClass::TaperedTreeAdaptive { k, up, vcs } => {
+                assert!(up >= 1 && up <= k, "taper must leave 1..=k up links");
+                ((k + up - 1) * vcs, (k + up) * vcs, vcs, WireClass::Medium)
             }
             RouterClass::MeshDeterministic { n, vcs } => {
                 (1, 2 * n * vcs + 1, vcs, WireClass::Short)
@@ -342,6 +358,25 @@ mod tests {
                 (7 * v, 8 * v, v, WireClass::Medium)
             );
         }
+    }
+
+    #[test]
+    fn tapered_tree_reduces_to_the_full_tree_at_up_equals_k() {
+        for (k, v) in [(4usize, 1usize), (4, 2), (4, 4), (8, 2)] {
+            assert_eq!(
+                RouterClass::TaperedTreeAdaptive { k, up: k, vcs: v }.chien_parameters(),
+                RouterClass::TreeAdaptive { k, vcs: v }.chien_parameters()
+            );
+        }
+        // A 2:1 taper shrinks both the decision logic and the crossbar.
+        let tapered = RouterClass::TaperedTreeAdaptive {
+            k: 4,
+            up: 2,
+            vcs: 2,
+        };
+        assert_eq!(tapered.chien_parameters(), (10, 12, 2, WireClass::Medium));
+        let full = RouterClass::TreeAdaptive { k: 4, vcs: 2 };
+        assert!(tapered.timing().clock_ns() <= full.timing().clock_ns());
     }
 
     #[test]

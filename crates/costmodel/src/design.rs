@@ -1,0 +1,447 @@
+//! Design-space enumeration under physical constraints.
+//!
+//! The paper's comparison is a two-point design study: at equal pin
+//! count and equal peak bandwidth, is the 256-node machine better built
+//! as a 16-ary 2-cube or a 4-ary 4-tree? This module generalizes the
+//! question into an optimizer over the whole registered family table:
+//! given a node count and a per-router pin budget, enumerate every
+//! `(family, k, n, taper, vcs)` candidate, derive its router clock from
+//! [`crate::chien`], its capacity from the topology's bisection, and an
+//! analytic throughput screen where the workspace has an exact model
+//! (cube and tree; the tapered tree reuses the tree model scaled by its
+//! taper — documented approximation; mesh and THC pass through to
+//! simulation unscreened).
+//!
+//! ## The pin model
+//!
+//! A router's dominant package cost is its data pins. Following the
+//! paper's normalization — 4-byte flits/data paths on direct networks,
+//! 2-byte on indirect ones, transferred as half-flit *phits* so a port
+//! carries `flit_bits / 2` wires per direction:
+//!
+//! ```text
+//! pins(router) = ports * 2 directions * flit_bits / 2
+//! ```
+//!
+//! This reproduces the paper's equal-cost pairing exactly: the 16-ary
+//! 2-cube router (5 ports x 2 x 16) and the 4-ary 4-tree switch
+//! (8 ports x 2 x 8) both come out near the ~200-pin envelope of a
+//! 0.8 um gate array (160 and 128 data pins respectively), while a
+//! 256-node torus-embedded hypercube (13 ports x 2 x 16 = 416) is
+//! honestly over any such budget.
+//!
+//! The enumeration *keeps* infeasible points (flagged) so a design
+//! report shows what the budget excluded; the simulation stage in the
+//! `netperf design` subcommand runs only the feasible survivors.
+
+use crate::chien::RouterClass;
+use crate::normalize::NetworkNormalization;
+use analytic::{CubeModel, TreeModel};
+use topology::{KAryNCube, KAryNMesh, KAryNTree, TaperedKAryNTree, Topology, TorusHypercube};
+
+/// The two physical constraints a design study fixes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DesignBudget {
+    /// Number of processing nodes the machine must connect.
+    pub nodes: usize,
+    /// Data-pin budget per router package.
+    pub pin_budget: usize,
+}
+
+/// One priced point of the design space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// Family slug from the topology registry.
+    pub family: &'static str,
+    /// Radix / arity.
+    pub k: usize,
+    /// Dimensions / levels (binary dimensions for the THC).
+    pub n: usize,
+    /// Oversubscription ratio (1 except tapered trees).
+    pub taper: usize,
+    /// Virtual channels per link.
+    pub vcs: usize,
+    /// Routing algorithm the family's default scenario uses.
+    pub routing: &'static str,
+    /// Node count (equals the budget's by construction).
+    pub nodes: usize,
+    /// Router / switch count.
+    pub routers: usize,
+    /// Ports per router, node/link ports included.
+    pub ports_per_router: usize,
+    /// Flit and data-path width in bytes (4 direct, 2 indirect).
+    pub flit_bytes: usize,
+    /// Data pins per router under the phit model.
+    pub pins_per_router: usize,
+    /// Whether the point fits the pin budget.
+    pub feasible: bool,
+    /// Bidirectional links across the narrowest canonical bisection.
+    pub bisection_links: usize,
+    /// Per-node uniform-traffic capacity, flits/cycle.
+    pub capacity_flits_per_cycle: f64,
+    /// Router clock period from Chien's model, ns.
+    pub clock_ns: f64,
+    /// Which router stage limits the clock.
+    pub clock_bottleneck: &'static str,
+    /// Aggregate capacity in absolute units, bits/ns.
+    pub capacity_bits_per_ns: f64,
+    /// Analytic saturation estimate as a fraction of capacity, where a
+    /// closed-form model exists (`None`: screen in simulation only).
+    pub analytic_saturation_fraction: Option<f64>,
+    /// The screen's absolute throughput estimate, bits/ns.
+    pub predicted_bits_per_ns: Option<f64>,
+}
+
+impl DesignPoint {
+    /// Stable one-line identity for reports, e.g.
+    /// `tapered-tree k=4 n=4 taper=2 adaptive-4vc`.
+    pub fn id(&self) -> String {
+        let mut s = format!("{} k={} n={}", self.family, self.k, self.n);
+        if self.taper != 1 {
+            s.push_str(&format!(" taper={}", self.taper));
+        }
+        s.push_str(&format!(" {}-{}vc", self.routing, self.vcs));
+        s
+    }
+}
+
+/// Integer `n`-th roots of `nodes`: every `(k, n)` with `k^n == nodes`,
+/// `k >= 2`, `n >= 1`, smallest `n` first.
+fn shapes_of(nodes: usize) -> Vec<(usize, usize)> {
+    let mut shapes = Vec::new();
+    for n in 1..=usize::BITS as usize {
+        let k = (nodes as f64).powf(1.0 / n as f64).round() as usize;
+        if k < 2 {
+            break;
+        }
+        if (k as u64).checked_pow(n as u32) == Some(nodes as u64) {
+            shapes.push((k, n));
+        }
+    }
+    shapes
+}
+
+/// Virtual-channel axis each family's default routing algorithm
+/// supports (the paper's evaluated settings).
+const TREE_VCS: &[usize] = &[1, 2, 4];
+
+/// The enumeration axes of one candidate: which family/routing row it
+/// came from and the shape knobs it was instantiated with.
+struct Axes {
+    family: &'static str,
+    routing: &'static str,
+    k: usize,
+    n: usize,
+    taper: usize,
+    vcs: usize,
+}
+
+fn point(
+    budget: &DesignBudget,
+    axes: Axes,
+    topo: &dyn Topology,
+    bisection_links: usize,
+    class: RouterClass,
+    norm: NetworkNormalization,
+    analytic_saturation_fraction: Option<f64>,
+) -> DesignPoint {
+    let ports = topo.ports(topology::RouterId(0));
+    let flit_bytes = norm.flit_bytes();
+    // ports x 2 directions x (flit_bits / 2) phit wires.
+    let pins = ports * flit_bytes * 8;
+    let timing = class.timing();
+    DesignPoint {
+        family: axes.family,
+        k: axes.k,
+        n: axes.n,
+        taper: axes.taper,
+        vcs: axes.vcs,
+        routing: axes.routing,
+        nodes: topo.num_nodes(),
+        routers: topo.num_routers(),
+        ports_per_router: ports,
+        flit_bytes,
+        pins_per_router: pins,
+        feasible: pins <= budget.pin_budget,
+        bisection_links,
+        capacity_flits_per_cycle: norm.capacity_flits_per_cycle(),
+        clock_ns: timing.clock_ns(),
+        clock_bottleneck: timing.bottleneck(),
+        capacity_bits_per_ns: norm.capacity_bits_per_ns(),
+        analytic_saturation_fraction,
+        predicted_bits_per_ns: analytic_saturation_fraction
+            .map(|f| norm.fraction_to_bits_per_ns(f.min(1.0))),
+    }
+}
+
+/// Enumerate and price every design point with exactly `budget.nodes`
+/// nodes, feasible or not. Points are emitted family by family in
+/// registry order; the caller ranks them (analytically via
+/// [`DesignPoint::predicted_bits_per_ns`], or by simulating the
+/// feasible ones).
+///
+/// Families whose canonical bisection needs an even radix (cube, mesh,
+/// tree, tapered tree) skip odd-`k` shapes; the THC accepts any radix.
+pub fn enumerate(budget: &DesignBudget) -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    let shapes = shapes_of(budget.nodes);
+
+    for &(k, n) in &shapes {
+        if !k.is_multiple_of(2) {
+            continue;
+        }
+        // Direct pair: cube under Duato (the paper's stronger cube
+        // algorithm), mesh under dimension order — both at the cube's
+        // canonical 4 VCs.
+        let cube = KAryNCube::new(k, n);
+        let model = CubeModel::new(k, n, 16);
+        points.push(point(
+            budget,
+            Axes {
+                family: "cube",
+                routing: "duato",
+                k,
+                n,
+                taper: 1,
+                vcs: 4,
+            },
+            &cube,
+            cube.bisection_links(),
+            RouterClass::CubeDuato { n, vcs: 4 },
+            NetworkNormalization::cube(&cube, RouterClass::CubeDuato { n, vcs: 4 }.timing()),
+            Some(model.saturation_fraction()),
+        ));
+        let mesh = KAryNMesh::new(k, n);
+        points.push(point(
+            budget,
+            Axes {
+                family: "mesh",
+                routing: "deterministic",
+                k,
+                n,
+                taper: 1,
+                vcs: 4,
+            },
+            &mesh,
+            mesh.bisection_links(),
+            RouterClass::MeshDeterministic { n, vcs: 4 },
+            NetworkNormalization::mesh(
+                &mesh,
+                RouterClass::MeshDeterministic { n, vcs: 4 }.timing(),
+            ),
+            None, // no closed-form mesh model in the workspace
+        ));
+    }
+
+    for &(k, n) in &shapes {
+        if !k.is_multiple_of(2) {
+            continue;
+        }
+        for &vcs in TREE_VCS {
+            let tree = KAryNTree::new(k, n);
+            let model = TreeModel::new(k, n, 32);
+            points.push(point(
+                budget,
+                Axes {
+                    family: "tree",
+                    routing: "adaptive",
+                    k,
+                    n,
+                    taper: 1,
+                    vcs,
+                },
+                &tree,
+                tree.bisection_links(),
+                RouterClass::TreeAdaptive { k, vcs },
+                NetworkNormalization::tree(&tree, RouterClass::TreeAdaptive { k, vcs }.timing()),
+                Some(model.saturation_fraction()),
+            ));
+        }
+        // Tapered variants: practical oversubscription ratios (powers of
+        // two, plus the full collapse to one up link), one point per
+        // distinct surviving up-link count (different tapers can round
+        // to the same `ceil(k/taper)`).
+        let tapers = (1..)
+            .map(|e| 1usize << e)
+            .take_while(|t| *t < k)
+            .chain(std::iter::once(k));
+        let mut seen_up = vec![k];
+        for taper in tapers {
+            let up = k.div_ceil(taper);
+            if seen_up.contains(&up) {
+                continue;
+            }
+            seen_up.push(up);
+            for &vcs in TREE_VCS {
+                let tree = TaperedKAryNTree::new(k, n, taper);
+                // Approximation: the full tree's contention model, with
+                // saturation clipped to the tapered capacity.
+                let model = TreeModel::new(k, n, 32);
+                let sat = model
+                    .saturation_fraction()
+                    .min(tree.uniform_capacity_flits_per_cycle());
+                points.push(point(
+                    budget,
+                    Axes {
+                        family: "tapered-tree",
+                        routing: "adaptive",
+                        k,
+                        n,
+                        taper,
+                        vcs,
+                    },
+                    &tree,
+                    tree.bisection_links(),
+                    RouterClass::TaperedTreeAdaptive { k, up, vcs },
+                    NetworkNormalization::tapered_tree(
+                        &tree,
+                        RouterClass::TaperedTreeAdaptive { k, up, vcs }.timing(),
+                    ),
+                    Some(sat),
+                ));
+            }
+        }
+    }
+
+    // THC shapes: k^2 * 2^d == nodes, d >= 1.
+    for k in 2..budget.nodes {
+        let square = k * k;
+        if square * 2 > budget.nodes {
+            break;
+        }
+        let rest = budget.nodes / square;
+        if square * rest != budget.nodes || !rest.is_power_of_two() {
+            continue;
+        }
+        let d = rest.trailing_zeros() as usize;
+        let thc = TorusHypercube::new(k, d);
+        let dims = thc.dims();
+        points.push(point(
+            budget,
+            Axes {
+                family: "thc",
+                routing: "deterministic",
+                k,
+                n: d,
+                taper: 1,
+                vcs: 4,
+            },
+            &thc,
+            thc.bisection_links(),
+            RouterClass::CubeDeterministic { n: dims, vcs: 4 },
+            NetworkNormalization::thc(
+                &thc,
+                RouterClass::CubeDeterministic { n: dims, vcs: 4 }.timing(),
+            ),
+            None, // screened in simulation only
+        ));
+    }
+
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_budget() -> DesignBudget {
+        DesignBudget {
+            nodes: 256,
+            pin_budget: 160,
+        }
+    }
+
+    #[test]
+    fn shapes_are_exact_roots() {
+        assert_eq!(shapes_of(256), vec![(256, 1), (16, 2), (4, 4), (2, 8)]);
+        assert_eq!(shapes_of(81), vec![(81, 1), (9, 2), (3, 4)]);
+        assert_eq!(shapes_of(7), vec![(7, 1)]);
+    }
+
+    #[test]
+    fn the_papers_two_designs_are_both_feasible_at_160_pins() {
+        let points = enumerate(&paper_budget());
+        let cube = points
+            .iter()
+            .find(|p| p.family == "cube" && p.k == 16 && p.n == 2)
+            .unwrap();
+        assert_eq!(cube.pins_per_router, 160); // 5 ports x 2 x 16
+        assert!(cube.feasible);
+        let tree = points
+            .iter()
+            .find(|p| p.family == "tree" && p.k == 4 && p.n == 4 && p.vcs == 4)
+            .unwrap();
+        assert_eq!(tree.pins_per_router, 128); // 8 ports x 2 x 8
+        assert!(tree.feasible);
+    }
+
+    #[test]
+    fn every_256_node_thc_busts_the_paper_pin_budget() {
+        let points = enumerate(&paper_budget());
+        let thcs: Vec<_> = points.iter().filter(|p| p.family == "thc").collect();
+        assert!(!thcs.is_empty());
+        // Smallest 256-node THC router: 2x2 torus x 6-cube, 17 ports.
+        assert!(thcs.iter().all(|p| !p.feasible && p.pins_per_router > 160));
+    }
+
+    #[test]
+    fn all_points_have_the_budgeted_node_count() {
+        let points = enumerate(&paper_budget());
+        assert!(
+            points.len() > 20,
+            "expected a rich space, got {}",
+            points.len()
+        );
+        for p in &points {
+            assert_eq!(p.nodes, 256, "{}", p.id());
+            assert!(p.clock_ns > 0.0);
+            assert!(p.capacity_bits_per_ns > 0.0);
+            if let Some(f) = p.analytic_saturation_fraction {
+                assert!(f > 0.0, "{}", p.id());
+            }
+        }
+    }
+
+    #[test]
+    fn tapered_points_dedupe_on_surviving_up_links() {
+        let points = enumerate(&paper_budget());
+        // k=4: taper 2 (up 2) and taper >= 4 (up 1); taper 3 duplicates
+        // up 2 and must not appear.
+        let tapers: Vec<usize> = points
+            .iter()
+            .filter(|p| p.family == "tapered-tree" && p.k == 4 && p.vcs == 4)
+            .map(|p| p.taper)
+            .collect();
+        assert_eq!(tapers, vec![2, 4]);
+    }
+
+    #[test]
+    fn analytic_screen_reproduces_the_papers_ordering_at_equal_cost() {
+        // At the paper's budget the screened throughput of the cube
+        // exceeds the tree's: the core claim of Section 10.
+        let points = enumerate(&paper_budget());
+        let cube = points
+            .iter()
+            .find(|p| p.family == "cube" && p.k == 16)
+            .unwrap();
+        let tree = points
+            .iter()
+            .find(|p| p.family == "tree" && p.k == 4 && p.vcs == 4)
+            .unwrap();
+        assert!(
+            cube.predicted_bits_per_ns.unwrap() > tree.predicted_bits_per_ns.unwrap(),
+            "cube {:?} vs tree {:?}",
+            cube.predicted_bits_per_ns,
+            tree.predicted_bits_per_ns
+        );
+    }
+
+    #[test]
+    fn ids_are_stable_and_readable() {
+        let p = enumerate(&paper_budget())
+            .into_iter()
+            .find(|p| p.family == "tapered-tree" && p.k == 4 && p.taper == 2 && p.vcs == 4)
+            .unwrap();
+        assert_eq!(p.id(), "tapered-tree k=4 n=4 taper=2 adaptive-4vc");
+    }
+}

@@ -13,10 +13,20 @@
 //!    capacity under uniform traffic, and converts simulator outputs
 //!    (flits/cycle, cycles) into the absolute units of Figure 7
 //!    (bits/ns, ns).
+//!
+//! The [`design`] module turns the two ingredients into an optimizer:
+//! given a node count and a per-router pin budget it enumerates every
+//! registered topology family's candidate shapes, prices each with the
+//! Chien-derived clock and the bisection capacity, and screens them
+//! with the closed-form models from the `analytic` crate where one
+//! exists. The `netperf design` subcommand ranks the feasible
+//! survivors by short simulations.
 
 #![warn(missing_docs)]
 pub mod chien;
+pub mod design;
 pub mod normalize;
 
 pub use chien::{ChienModel, RouterTiming, WireClass};
+pub use design::{enumerate as enumerate_designs, DesignBudget, DesignPoint};
 pub use normalize::{NetworkKind, NetworkNormalization};

@@ -27,7 +27,7 @@
 //! ns).
 
 use crate::chien::RouterTiming;
-use topology::{KAryNCube, KAryNMesh, KAryNTree};
+use topology::{KAryNCube, KAryNMesh, KAryNTree, TaperedKAryNTree, TorusHypercube};
 
 /// Which family a normalization describes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -39,6 +39,12 @@ pub enum NetworkKind {
     /// k-ary n-mesh with 4-byte flits (extension: a cube without the
     /// wrap-around links, same router pin count as the cube).
     Mesh,
+    /// Tapered k-ary n-tree with 2-byte flits (extension: same switch
+    /// data path as the full tree, fewer up links).
+    TaperedTree,
+    /// Torus-embedded hypercube with 4-byte flits (extension: a direct
+    /// network like the cube).
+    Thc,
 }
 
 /// Physical normalization of one network configuration.
@@ -88,6 +94,32 @@ impl NetworkNormalization {
             num_nodes: mesh.num_nodes(),
             flit_bytes: 4,
             capacity_flits_per_cycle: mesh.uniform_capacity_flits_per_cycle(),
+            timing,
+        }
+    }
+
+    /// Normalization for a tapered k-ary n-tree (extension; 2-byte flits
+    /// like the full tree, capacity cut by the root-level taper).
+    pub fn tapered_tree(tree: &TaperedKAryNTree, timing: RouterTiming) -> Self {
+        use topology::Topology;
+        NetworkNormalization {
+            kind: NetworkKind::TaperedTree,
+            num_nodes: tree.num_nodes(),
+            flit_bytes: 2,
+            capacity_flits_per_cycle: tree.uniform_capacity_flits_per_cycle(),
+            timing,
+        }
+    }
+
+    /// Normalization for a torus-embedded hypercube (extension; 4-byte
+    /// flits like the cube, capacity from its narrowest bisection).
+    pub fn thc(thc: &TorusHypercube, timing: RouterTiming) -> Self {
+        use topology::Topology;
+        NetworkNormalization {
+            kind: NetworkKind::Thc,
+            num_nodes: thc.num_nodes(),
+            flit_bytes: 4,
+            capacity_flits_per_cycle: thc.uniform_capacity_flits_per_cycle(),
             timing,
         }
     }
@@ -240,6 +272,37 @@ mod tests {
         assert_eq!(m.flits_per_packet(), 16);
         // Half the bisection of the torus: half the uniform capacity.
         assert!((m.capacity_flits_per_cycle() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tapered_tree_normalization_caps_at_the_taper() {
+        use crate::chien::RouterClass;
+        let t = TaperedKAryNTree::new(4, 4, 2);
+        let timing = RouterClass::TaperedTreeAdaptive {
+            k: 4,
+            up: 2,
+            vcs: 4,
+        }
+        .timing();
+        let n = NetworkNormalization::tapered_tree(&t, timing);
+        assert_eq!(n.kind(), NetworkKind::TaperedTree);
+        assert_eq!(n.flits_per_packet(), 32);
+        // 2:1 taper over 3 switch levels: (1/2)^3 of full bisection,
+        // capacity 2 * (1/2)^3 = 0.25 flits/node/cycle.
+        assert!((n.capacity_flits_per_cycle() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thc_normalization_mirrors_the_cube_family() {
+        use crate::chien::RouterClass;
+        let t = TorusHypercube::new(4, 4);
+        let timing = RouterClass::CubeDeterministic { n: 6, vcs: 4 }.timing();
+        let n = NetworkNormalization::thc(&t, timing);
+        assert_eq!(n.kind(), NetworkKind::Thc);
+        assert_eq!(n.flits_per_packet(), 16);
+        // The 4x4 torus cut (2N/k = 128) matches the hypercube cut
+        // (N/2 = 128): full capacity, clipped at 1 flit/node/cycle.
+        assert!((n.capacity_flits_per_cycle() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -54,10 +54,11 @@ use costmodel::normalize::NetworkNormalization;
 use netstats::export::{Manifest, ManifestValue};
 use netstats::SweepCurve;
 use routing::{
-    CubeDeterministic, CubeDuato, MeshAdaptive, MeshDeterministic, RoutingAlgorithm, TreeAdaptive,
+    CubeDeterministic, CubeDuato, MeshAdaptive, MeshDeterministic, RoutingAlgorithm,
+    TaperedTreeAdaptive, ThcDeterministic, TreeAdaptive,
 };
 use telemetry::{FlightRecorder, Geometry, NullProbe, TelemetryConfig};
-use topology::{KAryNCube, KAryNMesh, KAryNTree};
+use topology::{FamilyShape, KAryNCube, KAryNMesh, KAryNTree, TaperedKAryNTree, TorusHypercube};
 use traffic::Pattern;
 
 /// One axis of the design space: the network family and its shape.
@@ -84,6 +85,24 @@ pub enum TopologySpec {
         /// Dimension.
         n: usize,
     },
+    /// Tapered k-ary n-tree: `ceil(k/taper)` up links per switch,
+    /// 2-byte flits like the full tree.
+    TaperedTree {
+        /// Arity.
+        k: usize,
+        /// Levels.
+        n: usize,
+        /// Oversubscription ratio (>= 1; 1 wires the full tree).
+        taper: usize,
+    },
+    /// Torus-embedded hypercube: a `k x k` torus crossed with a
+    /// `d`-dimensional binary cube, 4-byte flits like the cube.
+    Thc {
+        /// Torus radix.
+        k: usize,
+        /// Binary (hypercube) dimension count.
+        d: usize,
+    },
 }
 
 impl TopologySpec {
@@ -102,22 +121,44 @@ impl TopologySpec {
         TopologySpec::Mesh { k, n }
     }
 
-    /// Family name as used by the CLI (`cube`, `tree`, `mesh`).
+    /// A tapered k-ary n-tree with the given oversubscription ratio.
+    pub fn tapered_tree(k: usize, n: usize, taper: usize) -> Self {
+        TopologySpec::TaperedTree { k, n, taper }
+    }
+
+    /// A torus-embedded hypercube: `k x k` torus crossed with a
+    /// `d`-dimensional binary cube.
+    pub fn thc(k: usize, d: usize) -> Self {
+        TopologySpec::Thc { k, d }
+    }
+
+    /// Family slug as used by the CLI — the canonical name of the entry
+    /// in [`topology::families`], so parse → `family()` → parse is a
+    /// fixed point.
     pub fn family(&self) -> &'static str {
         match self {
             TopologySpec::Cube { .. } => "cube",
             TopologySpec::Tree { .. } => "tree",
             TopologySpec::Mesh { .. } => "mesh",
+            TopologySpec::TaperedTree { .. } => "tapered-tree",
+            TopologySpec::Thc { .. } => "thc",
         }
     }
 
-    /// Build a spec from a CLI family name plus shape.
+    /// Build a spec from a CLI family name plus shape. Accepts every
+    /// alias registered in [`topology::families`] (e.g. `torus` for
+    /// `cube`, `fat-tree` for `tree`). For the tapered tree, `n` counts
+    /// levels and the canonical 2:1 taper is assumed (override with
+    /// [`TopologySpec::with_taper`]); for the THC, `n` is the binary
+    /// dimension count `d`.
     pub fn parse(family: &str, k: usize, n: usize) -> Option<Self> {
-        Some(match family {
-            "cube" | "torus" => TopologySpec::cube(k, n),
-            "tree" | "fat-tree" | "fattree" => TopologySpec::tree(k, n),
+        Some(match topology::family(family)?.slug {
+            "cube" => TopologySpec::cube(k, n),
+            "tree" => TopologySpec::tree(k, n),
             "mesh" => TopologySpec::mesh(k, n),
-            _ => return None,
+            "tapered-tree" => TopologySpec::tapered_tree(k, n, 2),
+            "thc" => TopologySpec::thc(k, n),
+            other => unreachable!("family {other} registered but not mapped to a spec"),
         })
     }
 
@@ -126,22 +167,88 @@ impl TopologySpec {
         match *self {
             TopologySpec::Cube { k, .. }
             | TopologySpec::Tree { k, .. }
-            | TopologySpec::Mesh { k, .. } => k,
+            | TopologySpec::Mesh { k, .. }
+            | TopologySpec::TaperedTree { k, .. }
+            | TopologySpec::Thc { k, .. } => k,
         }
     }
 
-    /// The dimension/level count.
+    /// The dimension/level count (the binary dimension count for the
+    /// THC).
     pub fn n(&self) -> usize {
         match *self {
             TopologySpec::Cube { n, .. }
             | TopologySpec::Tree { n, .. }
-            | TopologySpec::Mesh { n, .. } => n,
+            | TopologySpec::Mesh { n, .. }
+            | TopologySpec::TaperedTree { n, .. } => n,
+            TopologySpec::Thc { d, .. } => d,
         }
     }
 
-    /// Number of processing nodes (`k^n` for all three families).
+    /// The oversubscription ratio: 1 for every family except the
+    /// tapered tree.
+    pub fn taper(&self) -> usize {
+        match *self {
+            TopologySpec::TaperedTree { taper, .. } => taper,
+            _ => 1,
+        }
+    }
+
+    /// Same spec with the taper replaced; `None` for families without a
+    /// taper axis.
+    pub fn with_taper(self, taper: usize) -> Option<Self> {
+        match self {
+            TopologySpec::TaperedTree { k, n, .. } => Some(TopologySpec::tapered_tree(k, n, taper)),
+            _ => None,
+        }
+    }
+
+    /// The generic shape axes this spec instantiates its family with.
+    fn family_shape(&self) -> FamilyShape {
+        FamilyShape {
+            k: self.k(),
+            n: self.n(),
+            taper: self.taper(),
+        }
+    }
+
+    /// The registered family row backing this spec.
+    fn family_entry(&self) -> &'static topology::Family {
+        topology::family(self.family()).expect("every spec family is registered")
+    }
+
+    /// Number of processing nodes (`k^n`; `k^2 · 2^d` for the THC) —
+    /// delegated to the family table so the spec and the topology can
+    /// never disagree.
     pub fn num_nodes(&self) -> usize {
-        self.k().pow(self.n() as u32)
+        (self.family_entry().num_nodes)(&self.family_shape())
+    }
+
+    /// Builds the topology instance this spec describes, through the
+    /// family registry.
+    pub fn build(&self) -> Box<dyn topology::Topology> {
+        (self.family_entry().build)(&self.family_shape())
+    }
+
+    /// Number of routers/switches (requires building the instance;
+    /// construction is O(shape), not O(nodes)).
+    pub fn num_routers(&self) -> usize {
+        self.build().num_routers()
+    }
+
+    /// Bidirectional links across the canonical bisection; `None` where
+    /// the canonical cut is undefined (odd radix on grid/tree families).
+    pub fn bisection_links(&self) -> Option<usize> {
+        match *self {
+            TopologySpec::Thc { k, d } => Some(TorusHypercube::new(k, d).bisection_links()),
+            spec if !spec.k().is_multiple_of(2) => None,
+            TopologySpec::Cube { k, n } => Some(KAryNCube::new(k, n).bisection_links()),
+            TopologySpec::Tree { k, n } => Some(KAryNTree::new(k, n).bisection_links()),
+            TopologySpec::Mesh { k, n } => Some(KAryNMesh::new(k, n).bisection_links()),
+            TopologySpec::TaperedTree { k, n, taper } => {
+                Some(TaperedKAryNTree::new(k, n, taper).bisection_links())
+            }
+        }
     }
 
     /// Short human-readable description, e.g. `16-ary 2-cube`.
@@ -150,6 +257,10 @@ impl TopologySpec {
             TopologySpec::Cube { k, n } => format!("{k}-ary {n}-cube"),
             TopologySpec::Tree { k, n } => format!("{k}-ary {n}-tree"),
             TopologySpec::Mesh { k, n } => format!("{k}-ary {n}-mesh"),
+            TopologySpec::TaperedTree { k, n, taper } => {
+                format!("{k}-ary {n}-tree (taper {taper})")
+            }
+            TopologySpec::Thc { k, d } => format!("{k}x{k} torus x {d}-cube"),
         }
     }
 }
@@ -489,10 +600,16 @@ impl ScenarioBuilder {
                 topology.family()
             )));
         }
+        if topology.taper() < 1 {
+            return Err(ScenarioError::BadShape(format!(
+                "taper must be >= 1, got {}",
+                topology.taper()
+            )));
+        }
         let routing = self.routing.unwrap_or(match topology {
             TopologySpec::Cube { .. } => RoutingKind::Duato,
-            TopologySpec::Tree { .. } => RoutingKind::Adaptive,
-            TopologySpec::Mesh { .. } => RoutingKind::Deterministic,
+            TopologySpec::Tree { .. } | TopologySpec::TaperedTree { .. } => RoutingKind::Adaptive,
+            TopologySpec::Mesh { .. } | TopologySpec::Thc { .. } => RoutingKind::Deterministic,
         });
         let vcs = self.vcs.unwrap_or(4);
         match (topology, routing) {
@@ -512,6 +629,13 @@ impl ScenarioBuilder {
                     ));
                 }
             }
+            (TopologySpec::TaperedTree { .. }, RoutingKind::Adaptive) => {
+                if vcs < 1 {
+                    return Err(ScenarioError::BadVcs(
+                        "tapered-tree-adaptive needs at least one virtual channel".into(),
+                    ));
+                }
+            }
             (TopologySpec::Mesh { .. }, RoutingKind::Deterministic) => {
                 if vcs < 1 {
                     return Err(ScenarioError::BadVcs(
@@ -526,10 +650,18 @@ impl ScenarioBuilder {
                     ));
                 }
             }
+            (TopologySpec::Thc { .. }, RoutingKind::Deterministic) => {
+                // Same two-virtual-network dateline design as the cube.
+                if vcs != 4 {
+                    return Err(ScenarioError::BadVcs(format!(
+                        "thc routing is defined for exactly 4 virtual channels, got {vcs}"
+                    )));
+                }
+            }
             (t, r) => {
                 return Err(ScenarioError::UnsupportedCombination(format!(
                     "no {} routing on the {}; supported: cube+det, cube+duato, \
-                     tree+adaptive, mesh+det, mesh+adaptive",
+                     tree+adaptive, tapered-tree+adaptive, mesh+det, mesh+adaptive, thc+det",
                     r.name(),
                     t.family()
                 )));
@@ -600,8 +732,12 @@ impl ScenarioBuilder {
             // above, so Duato is the only remaining cube arm.
             (TopologySpec::Cube { .. }, _) => "cube, Duato".into(),
             (TopologySpec::Tree { .. }, _) => format!("fat tree, {vcs} vc"),
+            (TopologySpec::TaperedTree { taper, .. }, _) => {
+                format!("tapered tree, {vcs} vc (taper {taper})")
+            }
             (TopologySpec::Mesh { .. }, RoutingKind::Deterministic) => "mesh, deterministic".into(),
             (TopologySpec::Mesh { .. }, _) => "mesh, adaptive".into(),
+            (TopologySpec::Thc { .. }, _) => "torus hypercube, deterministic".into(),
         });
         Ok(Scenario {
             label,
@@ -625,11 +761,9 @@ impl ScenarioBuilder {
 /// The physical wiring of a topology spec (used to validate and
 /// compile fault plans).
 fn wiring_of(t: TopologySpec) -> Wiring {
-    match t {
-        TopologySpec::Cube { k, n } => Wiring::from_topology(&KAryNCube::new(k, n)),
-        TopologySpec::Tree { k, n } => Wiring::from_topology(&KAryNTree::new(k, n)),
-        TopologySpec::Mesh { k, n } => Wiring::from_topology(&KAryNMesh::new(k, n)),
-    }
+    // Table-driven through the family registry: one builder per family,
+    // so a new family needs no arm here at all.
+    Wiring::from_topology(&*t.build())
 }
 
 impl Scenario {
@@ -763,10 +897,18 @@ impl Scenario {
             }
             (TopologySpec::Cube { .. }, _) => RouterClass::CubeDuato { n, vcs },
             (TopologySpec::Tree { .. }, _) => RouterClass::TreeAdaptive { k, vcs },
+            (TopologySpec::TaperedTree { taper, .. }, _) => RouterClass::TaperedTreeAdaptive {
+                k,
+                up: k.div_ceil(taper),
+                vcs,
+            },
             (TopologySpec::Mesh { .. }, RoutingKind::Deterministic) => {
                 RouterClass::MeshDeterministic { n, vcs }
             }
             (TopologySpec::Mesh { .. }, _) => RouterClass::MeshAdaptive { n, vcs },
+            // The THC router is structurally a (2+d)-dimensional cube
+            // router: same crossbar radix, same two-network lane split.
+            (TopologySpec::Thc { d, .. }, _) => RouterClass::CubeDeterministic { n: 2 + d, vcs },
         }
     }
 
@@ -783,6 +925,12 @@ impl Scenario {
             }
             TopologySpec::Mesh { k, n } => {
                 NetworkNormalization::mesh(&KAryNMesh::new(k, n), timing)
+            }
+            TopologySpec::TaperedTree { k, n, taper } => {
+                NetworkNormalization::tapered_tree(&TaperedKAryNTree::new(k, n, taper), timing)
+            }
+            TopologySpec::Thc { k, d } => {
+                NetworkNormalization::thc(&TorusHypercube::new(k, d), timing)
             }
         }
     }
@@ -816,6 +964,13 @@ impl Scenario {
                 v.visit(MeshDeterministic::new(KAryNMesh::new(k, n), vcs))
             }
             (TopologySpec::Mesh { .. }, _) => v.visit(MeshAdaptive::new(KAryNMesh::new(k, n), vcs)),
+            (TopologySpec::TaperedTree { taper, .. }, _) => v.visit(TaperedTreeAdaptive::new(
+                TaperedKAryNTree::new(k, n, taper),
+                vcs,
+            )),
+            (TopologySpec::Thc { k, d }, _) => {
+                v.visit(ThcDeterministic::new(TorusHypercube::new(k, d)))
+            }
         }
     }
 
@@ -854,7 +1009,12 @@ impl Scenario {
             // threshold sensitivity.
             Throttle::Auto => match self.topology {
                 TopologySpec::Cube { n, .. } => Some((n * self.vcs) as u32),
-                TopologySpec::Tree { .. } | TopologySpec::Mesh { .. } => None,
+                // The THC shares the cube's dateline lane design, so it
+                // gets the same half-of-2·dims·V threshold.
+                TopologySpec::Thc { d, .. } => Some(((2 + d) * self.vcs) as u32),
+                TopologySpec::Tree { .. }
+                | TopologySpec::TaperedTree { .. }
+                | TopologySpec::Mesh { .. } => None,
             },
             Throttle::Off => None,
             Throttle::Limit(l) => Some(l),
@@ -1310,7 +1470,7 @@ fn must(b: ScenarioBuilder) -> Scenario {
 /// presentation order.
 pub const PAPER_FIVE: [&str; 5] = ["cube-det", "cube-duato", "tree-1vc", "tree-2vc", "tree-4vc"];
 
-static REGISTRY: [NamedScenario; 14] = [
+static REGISTRY: [NamedScenario; 16] = [
     NamedScenario {
         name: "cube-det",
         summary: "paper: 16-ary 2-cube, dimension-order deterministic, 4 VCs",
@@ -1480,6 +1640,31 @@ static REGISTRY: [NamedScenario; 14] = [
                     .topology(TopologySpec::tree(4, 7))
                     .routing(RoutingKind::Adaptive)
                     .vcs(4),
+            )
+        },
+    },
+    // Design-plane families: the oversubscribed tree and the
+    // torus-embedded hypercube, at the paper's 256-node scale.
+    NamedScenario {
+        name: "tapered-tree-4vc",
+        summary: "design: 4-ary 4-tree tapered 2:1, minimal adaptive, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::tapered_tree(4, 4, 2))
+                    .routing(RoutingKind::Adaptive)
+                    .vcs(4),
+            )
+        },
+    },
+    NamedScenario {
+        name: "thc-det",
+        summary: "design: 4x4 torus x 4-cube (256 nodes), dimension-order, 4 VCs",
+        build: || {
+            must(
+                Scenario::builder()
+                    .topology(TopologySpec::thc(4, 4))
+                    .routing(RoutingKind::Deterministic),
             )
         },
     },
@@ -1653,6 +1838,8 @@ mod tests {
             TopologySpec::cube(16, 2),
             TopologySpec::tree(4, 4),
             TopologySpec::mesh(8, 3),
+            TopologySpec::tapered_tree(4, 4, 2),
+            TopologySpec::thc(4, 2),
         ] {
             assert_eq!(TopologySpec::parse(t.family(), t.k(), t.n()), Some(t));
         }
@@ -1665,6 +1852,114 @@ mod tests {
             assert_eq!(RoutingKind::parse(r.name()), Some(r));
         }
         assert_eq!(RoutingKind::parse("chaos"), None);
+    }
+
+    #[test]
+    fn every_registered_alias_parses_to_the_slugs_spec() {
+        // parse → family() → parse is a fixed point, through every alias
+        // of every registered family (the aliases come from the same
+        // table parse consults, so this catches a family added to the
+        // registry but not mapped to a spec).
+        for f in topology::families() {
+            let canonical =
+                TopologySpec::parse(f.slug, 4, 2).expect("every registered slug must parse");
+            assert_eq!(canonical.family(), f.slug, "slug must round-trip");
+            assert_eq!(
+                TopologySpec::parse(canonical.family(), canonical.k(), canonical.n()),
+                Some(canonical),
+                "{} is not a parse fixed point",
+                f.slug
+            );
+            for alias in f.aliases {
+                assert_eq!(
+                    TopologySpec::parse(alias, 4, 2),
+                    Some(canonical),
+                    "alias {alias} diverges from slug {}",
+                    f.slug
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn taper_rides_along_the_spec() {
+        let t = TopologySpec::tapered_tree(4, 4, 2);
+        assert_eq!(t.taper(), 2);
+        assert_eq!(t.with_taper(4), Some(TopologySpec::tapered_tree(4, 4, 4)));
+        // Only the tapered family carries a taper axis.
+        assert_eq!(TopologySpec::cube(16, 2).taper(), 1);
+        assert_eq!(TopologySpec::cube(16, 2).with_taper(2), None);
+        // Parsing defaults the taper to the 2:1 oversubscription.
+        assert_eq!(
+            TopologySpec::parse("tapered-tree", 4, 4),
+            Some(TopologySpec::tapered_tree(4, 4, 2))
+        );
+        // Structural accessors flow through the family table. The
+        // taper shrinks the upper levels, so the tapered tree has
+        // fewer switches than the full tree's 256: 8+16+32+64.
+        assert_eq!(t.num_nodes(), 256);
+        assert_eq!(t.num_routers(), 120);
+        assert!(t.num_routers() < TopologySpec::tree(4, 4).num_routers());
+        assert_eq!(t.bisection_links(), Some(16)); // (k/2) · up^(n-1) = 2 · 8
+        assert_eq!(TopologySpec::thc(4, 2).num_nodes(), 64);
+        assert_eq!(TopologySpec::mesh(5, 2).bisection_links(), None);
+    }
+
+    #[test]
+    fn new_family_combinations_are_validated() {
+        let err = |b: ScenarioBuilder| b.build().unwrap_err();
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::tapered_tree(4, 2, 2))
+                .routing(RoutingKind::Duato)),
+            ScenarioError::UnsupportedCombination(_)
+        ));
+        assert!(matches!(
+            err(Scenario::builder().topology(TopologySpec::thc(4, 2)).vcs(2)),
+            ScenarioError::BadVcs(_)
+        ));
+        assert!(matches!(
+            err(Scenario::builder()
+                .topology(TopologySpec::thc(4, 2))
+                .routing(RoutingKind::Adaptive)),
+            ScenarioError::UnsupportedCombination(_)
+        ));
+        // Defaults: adaptive on the tapered tree, deterministic on the THC.
+        let tapered = must(Scenario::builder().topology(TopologySpec::tapered_tree(4, 2, 2)));
+        assert_eq!(tapered.routing(), RoutingKind::Adaptive);
+        assert_eq!(tapered.label(), "tapered tree, 4 vc (taper 2)");
+        let thc = must(Scenario::builder().topology(TopologySpec::thc(4, 2)));
+        assert_eq!(thc.routing(), RoutingKind::Deterministic);
+        assert_eq!(thc.label(), "torus hypercube, deterministic");
+        assert_eq!(thc.topology().describe(), "4x4 torus x 2-cube");
+    }
+
+    #[test]
+    fn new_family_scenarios_simulate() {
+        let quick = RunLength {
+            warmup: 200,
+            total: 1500,
+        };
+        let tapered = must(
+            Scenario::builder()
+                .topology(TopologySpec::tapered_tree(4, 2, 2))
+                .vcs(2)
+                .run_length(quick),
+        );
+        let out = tapered.simulate(0.3);
+        assert!(out.delivered_packets > 0);
+        assert!(out.accepted_fraction > 0.0);
+        let thc = must(
+            Scenario::builder()
+                .topology(TopologySpec::thc(4, 2))
+                .run_length(quick),
+        );
+        let out = thc.simulate(0.3);
+        assert!(out.delivered_packets > 0);
+        assert!(out.accepted_fraction > 0.0);
+        // The THC inherits the cube's source-throttle threshold.
+        assert_eq!(thc.config_at(0.5).injection_limit, Some(16));
+        assert_eq!(tapered.config_at(0.5).injection_limit, None);
     }
 
     #[test]

@@ -239,8 +239,10 @@ mod tests {
     use super::*;
     use crate::dor::CubeDeterministic;
     use crate::duato::CubeDuato;
+    use crate::tapered_adaptive::TaperedTreeAdaptive;
+    use crate::thc_dor::ThcDeterministic;
     use crate::tree_adaptive::TreeAdaptive;
-    use topology::{KAryNCube, KAryNTree};
+    use topology::{KAryNCube, KAryNTree, TaperedKAryNTree, TorusHypercube};
 
     #[test]
     fn cycle_detector_finds_planted_cycle() {
@@ -329,6 +331,38 @@ mod tests {
             assert!(
                 g.find_cycle().is_none(),
                 "tree adaptive routing has a cycle on the {k}-ary {n}-tree ({vcs} VCs)"
+            );
+        }
+    }
+
+    #[test]
+    fn tapered_tree_cdg_is_acyclic() {
+        for (k, n, taper, vcs) in [
+            (2usize, 2usize, 2usize, 1usize),
+            (3, 2, 2, 2),
+            (4, 2, 2, 4),
+            (4, 2, 4, 1),
+            (3, 3, 3, 2),
+        ] {
+            let algo = TaperedTreeAdaptive::new(TaperedKAryNTree::new(k, n, taper), vcs);
+            let g = build_cdg(&algo, |_| true);
+            assert!(g.num_edges() > 0);
+            assert!(
+                g.find_cycle().is_none(),
+                "tapered tree routing has a cycle on the {k}-ary {n}-tree taper {taper} ({vcs} VCs)"
+            );
+        }
+    }
+
+    #[test]
+    fn thc_cdg_is_acyclic() {
+        for (k, d) in [(2usize, 1usize), (3, 2), (4, 2), (5, 1), (4, 3)] {
+            let algo = ThcDeterministic::new(TorusHypercube::new(k, d));
+            let g = build_cdg(&algo, |_| true);
+            assert!(g.num_edges() > 0);
+            assert!(
+                g.find_cycle().is_none(),
+                "THC deterministic routing has a dependency cycle on THC({k},{d})"
             );
         }
     }

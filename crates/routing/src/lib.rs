@@ -17,7 +17,14 @@
 //!   source and destination followed by a deterministic *descending*
 //!   phase, with 1, 2 or 4 virtual channels. `F = (2k-1)·V`.
 //!
-//! All three implement the [`RoutingAlgorithm`] trait consumed by the
+//! Beyond the paper's trio, the crate carries one algorithm per extra
+//! topology family: [`TaperedTreeAdaptive`] (the two-phase tree scheme
+//! over the slimmed up-link set, `F = (k + ceil(k/taper) - 1)·V`),
+//! [`ThcDeterministic`] (dimension-order with per-radix datelines on
+//! the torus-embedded hypercube), and the mesh pair
+//! ([`MeshDeterministic`], [`MeshAdaptive`]).
+//!
+//! All implement the [`RoutingAlgorithm`] trait consumed by the
 //! simulator. The [`cdg`] module builds channel-dependency graphs by
 //! *executing* a routing function over every source/destination pair and
 //! machine-checks the deadlock-freedom arguments (acyclic CDG for the
@@ -41,6 +48,8 @@ pub mod cdg;
 pub mod dor;
 pub mod duato;
 pub mod mesh_routing;
+pub mod tapered_adaptive;
+pub mod thc_dor;
 pub mod tree_adaptive;
 
 pub use algo::{Candidate, CandidateSet, RoutingAlgorithm};
@@ -49,4 +58,6 @@ pub use cdg::{build_cdg, ChannelDependencyGraph, LaneId};
 pub use dor::CubeDeterministic;
 pub use duato::CubeDuato;
 pub use mesh_routing::{MeshAdaptive, MeshDeterministic};
+pub use tapered_adaptive::TaperedTreeAdaptive;
+pub use thc_dor::ThcDeterministic;
 pub use tree_adaptive::TreeAdaptive;

@@ -1,0 +1,276 @@
+//! Minimal adaptive routing on tapered k-ary n-trees.
+//!
+//! The algorithm is the fat-tree two-phase scheme of
+//! [`crate::TreeAdaptive`] applied to the slimmed topology: an adaptive
+//! *ascending* phase towards a nearest common ancestor followed by a
+//! deterministic *descending* phase. The only structural difference is
+//! the size of the adaptive choice set — a tapered switch exposes
+//! `up = ceil(k/taper)` up links instead of `k`, so during the ascent
+//! the packet picks among `up` parents (each still on a minimal path;
+//! the tapered butterfly keeps the property that every parent of a
+//! switch reaches every ancestor word).
+//!
+//! Deadlock freedom carries over unchanged: ascending hops strictly
+//! decrease the level, descending hops strictly increase it, and the
+//! phase transition is one-way, so the channel dependency graph is
+//! acyclic for any number of virtual channels (machine-checked in the
+//! `cdg` tests).
+
+use crate::algo::{Candidate, CandidateSet, RoutingAlgorithm};
+use topology::{NodeId, RouterId, TaperedKAryNTree, Topology};
+
+/// Tapered fat-tree minimal adaptive routing with a configurable number
+/// of virtual channels.
+#[derive(Clone, Debug)]
+pub struct TaperedTreeAdaptive {
+    tree: TaperedKAryNTree,
+    vcs: usize,
+}
+
+impl TaperedTreeAdaptive {
+    /// Create the algorithm with `vcs` virtual channels per link.
+    ///
+    /// # Panics
+    /// Panics if `vcs == 0`.
+    pub fn new(tree: TaperedKAryNTree, vcs: usize) -> Self {
+        assert!(vcs >= 1, "need at least one virtual channel");
+        TaperedTreeAdaptive { tree, vcs }
+    }
+
+    /// The underlying tapered tree.
+    pub fn tree(&self) -> &TaperedKAryNTree {
+        &self.tree
+    }
+}
+
+impl RoutingAlgorithm for TaperedTreeAdaptive {
+    fn num_vcs(&self) -> usize {
+        self.vcs
+    }
+
+    #[inline]
+    fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
+        out.clear();
+        let tree = &self.tree;
+        let level = tree.level(r);
+        if tree.is_ancestor_of(r, dest) {
+            // Descending phase (or ejection at the leaf switch): the
+            // down port is forced, the lane is free.
+            let port = tree.down_port_towards(level, dest);
+            for vc in 0..self.vcs {
+                out.preferred.push(Candidate::new(port, vc));
+            }
+        } else {
+            // Ascending phase: every surviving up port leads to a
+            // valid NCA.
+            for port in tree.k()..tree.k() + tree.up() {
+                for vc in 0..self.vcs {
+                    out.preferred.push(Candidate::new(port, vc));
+                }
+            }
+        }
+    }
+
+    fn topology(&self) -> &dyn Topology {
+        &self.tree
+    }
+
+    fn name(&self) -> String {
+        format!("adaptive-{}vc", self.vcs)
+    }
+
+    fn degrees_of_freedom(&self) -> usize {
+        // A tapered switch has k down and `up` up links; as in the full
+        // tree the link the header arrived on is excluded.
+        (self.tree.k() + self.tree.up() - 1) * self.vcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_adaptive::TreeAdaptive;
+    use topology::graph::PortPeer;
+    use topology::{KAryNTree, PortRef};
+
+    fn half(vcs: usize) -> TaperedTreeAdaptive {
+        TaperedTreeAdaptive::new(TaperedKAryNTree::new(4, 4, 2), vcs)
+    }
+
+    #[test]
+    fn parameters_shrink_with_the_taper() {
+        // k=4, taper=2 -> up=2: F = (4+2-1)*V.
+        assert_eq!(half(1).degrees_of_freedom(), 5);
+        assert_eq!(half(2).degrees_of_freedom(), 10);
+        assert_eq!(half(4).degrees_of_freedom(), 20);
+        assert_eq!(half(4).name(), "adaptive-4vc");
+        assert_eq!(half(2).num_vcs(), 2);
+    }
+
+    #[test]
+    fn taper_one_matches_the_full_tree_algorithm() {
+        let full = TreeAdaptive::new(KAryNTree::new(3, 3), 2);
+        let tapered = TaperedTreeAdaptive::new(TaperedKAryNTree::new(3, 3, 1), 2);
+        assert_eq!(full.degrees_of_freedom(), tapered.degrees_of_freedom());
+        let (mut a, mut b) = (CandidateSet::default(), CandidateSet::default());
+        for r in 0..tapered.tree().num_routers() {
+            for d in 0..27u32 {
+                full.route(RouterId(r as u32), None, NodeId(d), &mut a);
+                tapered.route(RouterId(r as u32), None, NodeId(d), &mut b);
+                assert_eq!(a.preferred, b.preferred, "router {r} dest {d}");
+                assert_eq!(a.fallback, b.fallback);
+            }
+        }
+    }
+
+    #[test]
+    fn ascending_offers_only_surviving_up_ports() {
+        let a = half(2);
+        let tree = a.tree().clone();
+        let sw = tree.leaf_switch(NodeId(0));
+        let mut cs = CandidateSet::default();
+        a.route(sw, None, NodeId(255), &mut cs);
+        assert_eq!(cs.preferred.len(), 2 * 2); // up=2 ports x 2 lanes
+        assert!(cs
+            .preferred
+            .iter()
+            .all(|c| (c.port as usize) >= tree.k() && (c.port as usize) < tree.k() + tree.up()));
+        assert!(cs.fallback.is_empty());
+    }
+
+    #[test]
+    fn descending_port_is_forced() {
+        let a = half(4);
+        let tree = a.tree().clone();
+        // Any root-level switch is an ancestor of everything.
+        let root = tree.switch(0, 5);
+        let mut cs = CandidateSet::default();
+        let dest = NodeId(0b11_10_01_00); // digits 3,2,1,0
+        a.route(root, None, dest, &mut cs);
+        assert_eq!(cs.preferred.len(), 4); // one port x 4 lanes
+        assert!(cs.preferred.iter().all(|c| c.port == 3)); // digit 0 of dest
+    }
+
+    #[test]
+    fn ejection_at_leaf_switch() {
+        let a = half(1);
+        let tree = a.tree().clone();
+        let dest = NodeId(42);
+        let leaf = tree.leaf_switch(dest);
+        let mut cs = CandidateSet::default();
+        a.route(leaf, None, dest, &mut cs);
+        assert_eq!(cs.preferred.len(), 1);
+        let c = cs.preferred[0];
+        assert_eq!(
+            tree.peer(PortRef::new(leaf, c.port as usize)),
+            PortPeer::Node(dest)
+        );
+    }
+
+    #[test]
+    fn all_paths_are_minimal() {
+        // Follow every candidate chain on a small tapered tree; each
+        // route must take exactly min_distance(src, dest) hops.
+        let a = TaperedTreeAdaptive::new(TaperedKAryNTree::new(3, 3, 2), 1);
+        let tree = a.tree().clone();
+        let mut cs = CandidateSet::default();
+        for s in 0..27u32 {
+            for d in 0..27u32 {
+                if s == d {
+                    continue;
+                }
+                let mut stack = vec![(tree.leaf_switch(NodeId(s)), 1usize)];
+                while let Some((sw, hops)) = stack.pop() {
+                    a.route(sw, None, NodeId(d), &mut cs);
+                    assert!(!cs.is_empty());
+                    let ports: std::collections::HashSet<u16> =
+                        cs.preferred.iter().map(|c| c.port).collect();
+                    for port in ports {
+                        match tree.peer(PortRef::new(sw, port as usize)) {
+                            PortPeer::Node(n) => {
+                                assert_eq!(n, NodeId(d));
+                                assert_eq!(
+                                    hops + 1,
+                                    tree.min_distance(NodeId(s), NodeId(d)),
+                                    "{s}->{d}"
+                                );
+                            }
+                            PortPeer::Router(pr) => {
+                                assert!(hops + 1 < 10, "path too long {s}->{d}");
+                                stack.push((pr.router, hops + 1));
+                            }
+                            PortPeer::Unconnected => panic!("routed into a dead port"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_taper_leaves_a_single_ascending_path() {
+        // taper >= k collapses the ascent to one up port: the algorithm
+        // degenerates to deterministic routing but must still reach
+        // every destination minimally.
+        let a = TaperedTreeAdaptive::new(TaperedKAryNTree::new(4, 2, 4), 1);
+        let tree = a.tree().clone();
+        let mut cs = CandidateSet::default();
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s == d {
+                    continue;
+                }
+                let mut sw = tree.leaf_switch(NodeId(s));
+                let mut hops = 1usize;
+                loop {
+                    a.route(sw, None, NodeId(d), &mut cs);
+                    assert_eq!(cs.preferred.len(), 1, "single path expected");
+                    match tree.peer(PortRef::new(sw, cs.preferred[0].port as usize)) {
+                        PortPeer::Node(n) => {
+                            assert_eq!(n, NodeId(d));
+                            assert_eq!(hops + 1, tree.min_distance(NodeId(s), NodeId(d)));
+                            break;
+                        }
+                        PortPeer::Router(pr) => {
+                            sw = pr.router;
+                            hops += 1;
+                            assert!(hops < 10);
+                        }
+                        PortPeer::Unconnected => panic!("routed into a dead port"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_transition_is_one_way() {
+        let a = TaperedTreeAdaptive::new(TaperedKAryNTree::new(4, 3, 2), 2);
+        let tree = a.tree().clone();
+        let mut cs = CandidateSet::default();
+        for s in (0..64u32).step_by(3) {
+            for d in (0..64u32).step_by(5) {
+                if s == d {
+                    continue;
+                }
+                let mut stack = vec![(tree.leaf_switch(NodeId(s)), false)];
+                let mut guard = 0;
+                while let Some((sw, was_descending)) = stack.pop() {
+                    guard += 1;
+                    assert!(guard < 10_000);
+                    let descending = tree.is_ancestor_of(sw, NodeId(d));
+                    assert!(!was_descending || descending, "descent reverted");
+                    a.route(sw, None, NodeId(d), &mut cs);
+                    for c in cs.preferred.clone() {
+                        if c.vc != 0 {
+                            continue; // one lane is enough for path shape
+                        }
+                        if let PortPeer::Router(pr) = tree.peer(PortRef::new(sw, c.port as usize)) {
+                            stack.push((pr.router, descending));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Deterministic dimension-order routing on torus-embedded hypercubes.
+//!
+//! The algorithm is the cube family's dateline scheme
+//! ([`crate::CubeDeterministic`]) generalized to the mixed-radix
+//! dimension list of the [`TorusHypercube`]: packets correct the two
+//! radix-`k` torus dimensions first, then the binary hypercube
+//! dimensions, always along the unique minimal path. Two virtual
+//! networks avoid the wrap-around deadlock of the torus rings; a hop
+//! rides network 0 while its ring dateline is still strictly ahead and
+//! network 1 from the crossing hop onwards. On a binary ring every hop
+//! *is* the wrap-around hop, so hypercube hops always ride network 1 —
+//! exactly the degenerate case of the same rule, and the reason no
+//! extra channel class is needed for the hypercube dimensions
+//! (machine-checked in the `cdg` tests).
+
+use crate::algo::{Candidate, CandidateSet, RoutingAlgorithm};
+use topology::cube::{CubeDirection, Sign};
+use topology::{NodeId, RouterId, Topology, TorusHypercube};
+
+/// Dimension-order deterministic routing on the torus-embedded
+/// hypercube with two virtual networks.
+#[derive(Clone, Debug)]
+pub struct ThcDeterministic {
+    thc: TorusHypercube,
+    vcs_per_network: usize,
+}
+
+impl ThcDeterministic {
+    /// The cube-matching configuration: 4 virtual channels, 2 per
+    /// network.
+    pub fn new(thc: TorusHypercube) -> Self {
+        Self::with_vcs_per_network(thc, 2)
+    }
+
+    /// Custom number of virtual channels per virtual network; total
+    /// VCs = `2 * vcs_per_network`.
+    pub fn with_vcs_per_network(thc: TorusHypercube, vcs_per_network: usize) -> Self {
+        assert!(vcs_per_network >= 1);
+        ThcDeterministic {
+            thc,
+            vcs_per_network,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn thc(&self) -> &TorusHypercube {
+        &self.thc
+    }
+
+    /// The dimension-order next hop for a packet at `cur` going to
+    /// `dest`: the lowest unaligned dimension, its (deterministic)
+    /// minimal sign, and the virtual-network class of the hop.
+    /// `None` when `cur == dest`.
+    pub fn next_hop(&self, cur: NodeId, dest: NodeId) -> Option<(CubeDirection, usize)> {
+        for dim in 0..self.thc.dims() {
+            let (hops, sign) = self.thc.min_offset(cur, dest, dim);
+            if hops > 0 {
+                let class = dateline_class(&self.thc, cur, dest, dim, sign);
+                return Some((CubeDirection { dim, sign }, class));
+            }
+        }
+        None
+    }
+}
+
+/// Virtual-network class (0 or 1) of a hop in dimension `dim` with
+/// travel direction `sign` — the cube rule at the dimension's own
+/// radix: 0 while the dateline is strictly ahead, 1 from the crossing
+/// hop onwards (and for paths that never cross). At radix 2 the
+/// crossing condition is always met, so binary hops are always class 1.
+fn dateline_class(
+    thc: &TorusHypercube,
+    cur: NodeId,
+    dest: NodeId,
+    dim: usize,
+    sign: Sign,
+) -> usize {
+    let c = thc.coord(cur, dim);
+    let d = thc.coord(dest, dim);
+    let r = thc.radix(dim);
+    match sign {
+        Sign::Plus => usize::from(!(c > d && c != r - 1)),
+        Sign::Minus => usize::from(!(c < d && c != 0)),
+    }
+}
+
+impl RoutingAlgorithm for ThcDeterministic {
+    fn num_vcs(&self) -> usize {
+        2 * self.vcs_per_network
+    }
+
+    #[inline]
+    fn route(&self, r: RouterId, _in_port: Option<usize>, dest: NodeId, out: &mut CandidateSet) {
+        out.clear();
+        let cur = NodeId(r.0); // routers are co-located with nodes
+        match self.next_hop(cur, dest) {
+            None => {
+                // Arrived: any ejection lane on the node port.
+                let node_port = self.thc.node_port(dest).port;
+                for vc in 0..self.num_vcs() {
+                    out.preferred.push(Candidate::new(node_port, vc));
+                }
+            }
+            Some((dir, class)) => {
+                // Both lanes of the selected virtual network.
+                let base = class * self.vcs_per_network;
+                for vc in base..base + self.vcs_per_network {
+                    out.preferred.push(Candidate::new(dir.port(), vc));
+                }
+            }
+        }
+    }
+
+    fn topology(&self) -> &dyn Topology {
+        &self.thc
+    }
+
+    fn name(&self) -> String {
+        "deterministic".into()
+    }
+
+    fn degrees_of_freedom(&self) -> usize {
+        // As in the cube: two virtual channels available in a single
+        // direction.
+        self.vcs_per_network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_point() -> ThcDeterministic {
+        ThcDeterministic::new(TorusHypercube::new(4, 4))
+    }
+
+    #[test]
+    fn parameters_match_the_cube_convention() {
+        let a = paper_point();
+        assert_eq!(a.num_vcs(), 4);
+        assert_eq!(a.degrees_of_freedom(), 2);
+        assert_eq!(a.name(), "deterministic");
+    }
+
+    #[test]
+    fn every_pair_terminates_minimally_and_in_dimension_order() {
+        let a = ThcDeterministic::new(TorusHypercube::new(3, 2));
+        let thc = a.thc().clone();
+        for s in 0..36u32 {
+            for d in 0..36u32 {
+                let mut cur = NodeId(s);
+                let mut hops = 0usize;
+                let mut max_dim_touched = 0usize;
+                while let Some((dir, _)) = a.next_hop(cur, NodeId(d)) {
+                    assert!(dir.dim >= max_dim_touched, "dimension order violated");
+                    max_dim_touched = dir.dim;
+                    cur = thc.neighbor(cur, dir);
+                    hops += 1;
+                    assert!(hops <= 16, "routing loop {s}->{d}");
+                }
+                assert_eq!(cur, NodeId(d));
+                assert_eq!(hops, thc.hop_distance(NodeId(s), NodeId(d)), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_hops_always_use_network_one() {
+        let a = paper_point();
+        let thc = a.thc().clone();
+        // Same torus position, different hypercube corner: every hop is
+        // a bit flip and must ride virtual network 1.
+        let s = thc.node_at(&[1, 2, 0, 0, 0, 0]);
+        let d = thc.node_at(&[1, 2, 1, 1, 1, 1]);
+        let mut cur = s;
+        while let Some((dir, class)) = a.next_hop(cur, d) {
+            assert!(dir.dim >= 2, "torus dims are already aligned");
+            assert_eq!(class, 1, "binary hop in network 0");
+            cur = thc.neighbor(cur, dir);
+        }
+        assert_eq!(cur, d);
+    }
+
+    #[test]
+    fn torus_dateline_crossing_switches_networks() {
+        let a = paper_point();
+        let thc = a.thc().clone();
+        // From column 3 to column 0 in a 4-ring: one forward hop, and it
+        // is the wrap-around crossing: class 1.
+        let s = thc.node_at(&[3, 0, 0, 0, 0, 0]);
+        let d = thc.node_at(&[0, 0, 0, 0, 0, 0]);
+        let (dir, class) = a.next_hop(s, d).unwrap();
+        assert_eq!(dir.sign, Sign::Plus);
+        assert_eq!(class, 1);
+        // Column 1 to column 3 ties at two hops each way; the odd source
+        // coordinate breaks towards minus, so the dateline (0 -> 3) is
+        // still ahead: class 0.
+        let s = thc.node_at(&[1, 0, 0, 0, 0, 0]);
+        let d = thc.node_at(&[3, 0, 0, 0, 0, 0]);
+        let (dir, class) = a.next_hop(s, d).unwrap();
+        assert_eq!(dir.sign, Sign::Minus);
+        assert_eq!(class, 0);
+    }
+
+    #[test]
+    fn dateline_classes_are_monotonic_along_path() {
+        let a = ThcDeterministic::new(TorusHypercube::new(4, 2));
+        let thc = a.thc().clone();
+        for s in 0..64u32 {
+            for d in (0..64u32).step_by(3) {
+                let mut cur = NodeId(s);
+                let mut last: Option<(usize, usize)> = None; // (dim, class)
+                while let Some((dir, class)) = a.next_hop(cur, NodeId(d)) {
+                    if let Some((ld, lc)) = last {
+                        if ld == dir.dim {
+                            assert!(class >= lc, "class regressed in dim {ld}");
+                        }
+                    }
+                    last = Some((dir.dim, class));
+                    cur = thc.neighbor(cur, dir);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_emits_ejection_candidates_at_destination() {
+        let a = paper_point();
+        let mut cs = CandidateSet::default();
+        a.route(RouterId(9), None, NodeId(9), &mut cs);
+        assert_eq!(cs.preferred.len(), 4);
+        assert!(cs.fallback.is_empty());
+        let node_port = a.thc().node_port(NodeId(9)).port;
+        assert!(cs.preferred.iter().all(|c| c.port as usize == node_port));
+    }
+
+    #[test]
+    fn route_emits_the_lanes_of_one_network() {
+        let a = paper_point();
+        let thc = a.thc().clone();
+        let mut cs = CandidateSet::default();
+        // One bit flip: binary hop, network 1, lanes {2, 3}.
+        let s = thc.node_at(&[0, 0, 1, 0, 0, 0]);
+        let d = thc.node_at(&[0, 0, 0, 0, 0, 0]);
+        a.route(RouterId(s.0), None, d, &mut cs);
+        assert_eq!(cs.preferred.len(), 2);
+        let vcs: Vec<u8> = cs.preferred.iter().map(|c| c.vc).collect();
+        assert_eq!(vcs, vec![2, 3]);
+        // 0 -> +1 in a 4-ring never crosses the dateline either.
+        a.route(RouterId(0), None, thc.node_at(&[1, 0, 0, 0, 0, 0]), &mut cs);
+        let vcs: Vec<u8> = cs.preferred.iter().map(|c| c.vc).collect();
+        assert_eq!(vcs, vec![2, 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The family-registration seam: one table naming every topology
+//! family the workspace knows how to build.
+//!
+//! Layers above this crate each need a per-family dispatch — the
+//! scenario axes parse family names, the wiring lowers an instance, the
+//! design-space enumerator walks every family, the CLI lists the legal
+//! spellings. Before this module each of those sites carried its own
+//! hard-coded family list; now they all consult [`families`], so adding
+//! a family means one new [`Family`] row here plus one match arm in
+//! each layer that needs the *concrete* type (routing algorithms are
+//! monomorphized over the topology type and cannot be table-driven —
+//! see the "Topology-design plane" section of `docs/ARCHITECTURE.md`
+//! for the full recipe).
+//!
+//! Every family builds from the same generic shape axes
+//! ([`FamilyShape`]): `k` (radix/arity), `n` (dimension/levels — the
+//! binary dimension count for the torus-embedded hypercube), and
+//! `taper` (oversubscription ratio; only the tapered tree reads it).
+
+use crate::cube::KAryNCube;
+use crate::graph::Topology;
+use crate::mesh::KAryNMesh;
+use crate::tapered_tree::TaperedKAryNTree;
+use crate::thc::TorusHypercube;
+use crate::tree::KAryNTree;
+
+/// The generic shape axes a [`Family`] builds from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FamilyShape {
+    /// Radix (nodes per dimension; switch arity for trees).
+    pub k: usize,
+    /// Dimension count (tree levels; binary dimensions for the THC).
+    pub n: usize,
+    /// Oversubscription ratio; `1` everywhere except tapered trees.
+    pub taper: usize,
+}
+
+impl FamilyShape {
+    /// Shape with no taper (every family except the tapered tree).
+    pub fn new(k: usize, n: usize) -> Self {
+        FamilyShape { k, n, taper: 1 }
+    }
+
+    /// Shape with an explicit taper.
+    pub fn tapered(k: usize, n: usize, taper: usize) -> Self {
+        FamilyShape { k, n, taper }
+    }
+}
+
+/// One registered topology family.
+pub struct Family {
+    /// Canonical name; what [`Topology`]-spec printers emit. Always the
+    /// first entry of `aliases`.
+    pub slug: &'static str,
+    /// Every accepted spelling, canonical slug first. Parsing any alias
+    /// and re-printing yields the slug, so parse → print → parse is a
+    /// fixed point.
+    pub aliases: &'static [&'static str],
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// Node count of an instance with the given shape (cheap; no
+    /// construction).
+    pub num_nodes: fn(&FamilyShape) -> usize,
+    /// Build an instance.
+    pub build: fn(&FamilyShape) -> Box<dyn Topology>,
+}
+
+fn pow(base: usize, exp: usize) -> usize {
+    (base as u64).pow(exp as u32) as usize
+}
+
+/// The family table. Order is presentation order (the paper's two
+/// families first), not a compatibility surface.
+pub static FAMILIES: &[Family] = &[
+    Family {
+        slug: "cube",
+        aliases: &["cube", "torus"],
+        summary: "k-ary n-cube: n-dimensional grid with wrap-around links",
+        num_nodes: |s| pow(s.k, s.n),
+        build: |s| Box::new(KAryNCube::new(s.k, s.n)),
+    },
+    Family {
+        slug: "tree",
+        aliases: &["tree", "fat-tree", "fattree"],
+        summary: "k-ary n-tree: butterfly fat-tree, full bisection",
+        num_nodes: |s| pow(s.k, s.n),
+        build: |s| Box::new(KAryNTree::new(s.k, s.n)),
+    },
+    Family {
+        slug: "mesh",
+        aliases: &["mesh"],
+        summary: "k-ary n-mesh: the cube without wrap-around links",
+        num_nodes: |s| pow(s.k, s.n),
+        build: |s| Box::new(KAryNMesh::new(s.k, s.n)),
+    },
+    Family {
+        slug: "tapered-tree",
+        aliases: &["tapered-tree", "tapered", "slim-tree", "slimmed-tree"],
+        summary: "tapered k-ary n-tree: ceil(k/taper) up links per switch",
+        num_nodes: |s| pow(s.k, s.n),
+        build: |s| Box::new(TaperedKAryNTree::new(s.k, s.n, s.taper)),
+    },
+    Family {
+        slug: "thc",
+        aliases: &["thc", "torus-hypercube", "hypercube-torus"],
+        summary: "torus-embedded hypercube: k x k torus crossed with an n-cube of radix 2",
+        num_nodes: |s| s.k * s.k * pow(2, s.n),
+        build: |s| Box::new(TorusHypercube::new(s.k, s.n)),
+    },
+];
+
+/// Every registered family, in presentation order.
+pub fn families() -> &'static [Family] {
+    FAMILIES
+}
+
+/// Look a family up by canonical slug or any alias.
+pub fn family(name: &str) -> Option<&'static Family> {
+    FAMILIES.iter().find(|f| f.aliases.contains(&name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn slugs_are_unique_and_lead_their_alias_lists() {
+        let mut seen = std::collections::HashSet::new();
+        for f in families() {
+            assert!(seen.insert(f.slug), "duplicate slug {}", f.slug);
+            assert_eq!(f.aliases.first(), Some(&f.slug));
+        }
+    }
+
+    #[test]
+    fn every_alias_resolves_to_its_own_family() {
+        let mut seen = std::collections::HashSet::new();
+        for f in families() {
+            for alias in f.aliases {
+                assert!(seen.insert(*alias), "alias {alias} claimed twice");
+                assert_eq!(family(alias).unwrap().slug, f.slug);
+            }
+        }
+        assert!(family("ring").is_none());
+    }
+
+    #[test]
+    fn every_family_builds_a_valid_instance() {
+        let shapes = [
+            FamilyShape::new(4, 2),
+            FamilyShape::tapered(4, 3, 2),
+            FamilyShape::new(2, 3),
+        ];
+        for f in families() {
+            for shape in &shapes {
+                let topo = (f.build)(shape);
+                validate(&*topo).unwrap_or_else(|e| panic!("{} {shape:?}: {e}", f.slug));
+                assert_eq!(
+                    topo.num_nodes(),
+                    (f.num_nodes)(shape),
+                    "{} {shape:?}",
+                    f.slug
+                );
+            }
+        }
+    }
+}

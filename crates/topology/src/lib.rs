@@ -11,24 +11,41 @@
 //!   butterfly-based fat-tree subclass introduced by the same authors
 //!   (the 4-ary 4-tree of the paper).
 //!
-//! Both expose a common port-level view through the [`Topology`] trait so
+//! Beyond the paper's pair, the crate grows an open family system
+//! around the same port-level contract:
+//!
+//! * [`KAryNMesh`] — the cube without wrap-around links (ablations).
+//! * [`TaperedKAryNTree`] — fat-trees with an oversubscription ratio:
+//!   `ceil(k/taper)` up links per switch instead of `k`.
+//! * [`TorusHypercube`] — a k×k torus crossed with a binary hypercube.
+//!
+//! All expose a common port-level view through the [`Topology`] trait so
 //! that the flit-level simulator in the `netsim` crate can build routers
 //! and links without knowing which family it is simulating. Addressing,
 //! minimal distances, bisection widths and the structural invariants the
 //! paper relies on (same node count, same router count, `n·k^n` links)
-//! are all available and unit-tested here.
+//! are all available and unit-tested here. The [`mod@family`] module is the
+//! registration seam: one table of [`family::Family`] rows (slug,
+//! aliases, shape-generic constructor) that the scenario axes, the CLI
+//! and the design-space enumerator all consult.
 
 #![warn(missing_docs)]
 pub mod cube;
 pub mod digits;
+pub mod family;
 pub mod graph;
 pub mod ids;
 pub mod mesh;
+pub mod tapered_tree;
+pub mod thc;
 pub mod tree;
 
 pub use cube::{CubeDirection, KAryNCube, Sign};
 pub use digits::Digits;
+pub use family::{families, family, Family, FamilyShape};
 pub use graph::{validate, PortPeer, PortRef, Topology, TopologyError};
 pub use ids::{NodeId, RouterId};
 pub use mesh::KAryNMesh;
+pub use tapered_tree::TaperedKAryNTree;
+pub use thc::TorusHypercube;
 pub use tree::KAryNTree;

@@ -1,0 +1,515 @@
+//! Tapered (slimmed) k-ary n-trees — fat-trees with an oversubscription
+//! ratio.
+//!
+//! A full k-ary n-tree spends half of every switch's ports on upward
+//! links, giving full bisection bandwidth. Real machines rarely pay for
+//! that: a *tapered* tree keeps the `k` down ports but carries only
+//! `u = ceil(k / taper)` up ports per switch, so the level above needs
+//! only a `u/k` fraction of the full switch count. `taper = 1` is the
+//! untapered tree (bit-identical wiring to [`crate::KAryNTree`]);
+//! `taper = 2` is the common 2:1 oversubscribed fabric of Solnushkin's
+//! automated fat-tree designs (arXiv:1301.6179).
+//!
+//! ## Addressing
+//!
+//! Levels are numbered `0` (roots) to `n-1` (leaves). A switch at level
+//! `l` is identified by a word of `n-1` **mixed-radix** digits (most
+//! significant first): digit `j` has radix `k` for `j < l` (positions
+//! already resolved towards the leaves) and radix `u` for `j >= l`
+//! (positions resolved towards the roots — only `u` parents exist per
+//! exchange). Level `l` therefore holds `k^l * u^(n-1-l)` switches and
+//! `RouterId = level_offset(l) + word`.
+//!
+//! ## Ports
+//!
+//! Every switch has `k + u` ports: `0..k` go down (to children, or to
+//! the processing nodes at the leaf level), `k..k+u` go up. The up
+//! ports of the root level are unconnected, as in the full tree. Between
+//! levels `l` and `l+1` the wiring is the same one-digit butterfly
+//! exchange as the full tree, with the parent digit restricted to
+//! `0..u`: the parent reaches the child through down port `w'_l` (the
+//! child's digit `l`) and the child reaches the parent through up port
+//! `k + w_l` (the parent's digit `l`).
+//!
+//! ## Routing structure
+//!
+//! Identical to the full tree: ascend adaptively (any of the `u` up
+//! ports) to the nearest-common-ancestor level, then descend
+//! deterministically by destination digit. Minimal distances are
+//! unchanged by the taper — only the *number* of disjoint ascent paths
+//! shrinks, which is exactly the bandwidth the oversubscription sells.
+
+use crate::digits::Digits;
+use crate::graph::{PortPeer, PortRef, Topology};
+use crate::ids::{NodeId, RouterId};
+
+/// A tapered k-ary n-tree with `u = ceil(k / taper)` up ports per
+/// switch.
+///
+/// ```
+/// use topology::{TaperedKAryNTree, NodeId, Topology};
+///
+/// let t = TaperedKAryNTree::new(4, 4, 2); // 2:1 oversubscribed fat-tree
+/// assert_eq!(t.num_nodes(), 256);
+/// assert_eq!(t.up(), 2); // ceil(4 / 2) up ports per switch
+/// // Minimal distances match the full tree; only bandwidth shrinks.
+/// assert_eq!(t.min_distance(NodeId(0), NodeId(255)), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TaperedKAryNTree {
+    k: usize,
+    n: usize,
+    taper: usize,
+    /// Up ports per switch, `ceil(k / taper)`.
+    up: usize,
+    /// Codec for node addresses (`n` digits, radix `k`).
+    node_digits: Digits,
+    /// `level_offset[l]` = RouterId of the first switch of level `l`;
+    /// one extra entry holding the total router count.
+    level_offset: Vec<usize>,
+}
+
+impl TaperedKAryNTree {
+    /// Build a tapered k-ary n-tree.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, `n == 0`, `taper == 0`, or `k^n` does not fit
+    /// in `u32`.
+    pub fn new(k: usize, n: usize, taper: usize) -> Self {
+        assert!(taper >= 1, "taper must be at least 1");
+        let node_digits = Digits::new(k, n);
+        let up = k.div_ceil(taper);
+        let mut level_offset = Vec::with_capacity(n + 1);
+        let mut offset = 0usize;
+        for l in 0..n {
+            level_offset.push(offset);
+            let count = (k as u64).pow(l as u32) * (up as u64).pow((n - 1 - l) as u32);
+            offset = offset
+                .checked_add(count as usize)
+                .expect("router count overflow");
+        }
+        level_offset.push(offset);
+        assert!(offset <= u32::MAX as usize, "router count exceeds u32");
+        TaperedKAryNTree {
+            k,
+            n,
+            taper,
+            up,
+            node_digits,
+            level_offset,
+        }
+    }
+
+    /// The arity `k` (down ports per switch).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of levels `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The oversubscription ratio the tree was built with.
+    #[inline]
+    pub fn taper(&self) -> usize {
+        self.taper
+    }
+
+    /// Up ports per switch, `ceil(k / taper)`.
+    #[inline]
+    pub fn up(&self) -> usize {
+        self.up
+    }
+
+    /// Number of switches at level `l`: `k^l * u^(n-1-l)`.
+    #[inline]
+    pub fn switches_at_level(&self, l: usize) -> usize {
+        self.level_offset[l + 1] - self.level_offset[l]
+    }
+
+    /// Level of a switch (`0` = root level, `n-1` = leaf level).
+    #[inline]
+    pub fn level(&self, r: RouterId) -> usize {
+        // n is tiny (<= 16 for any u32-addressable tree): linear scan.
+        let idx = r.index();
+        let mut l = 0;
+        while self.level_offset[l + 1] <= idx {
+            l += 1;
+        }
+        l
+    }
+
+    /// Word index of a switch within its level.
+    #[inline]
+    pub fn word(&self, r: RouterId) -> usize {
+        r.index() - self.level_offset[self.level(r)]
+    }
+
+    /// The switch at `(level, word)`.
+    #[inline]
+    pub fn switch(&self, level: usize, word: usize) -> RouterId {
+        debug_assert!(level < self.n && word < self.switches_at_level(level));
+        RouterId((self.level_offset[level] + word) as u32)
+    }
+
+    /// Radix of word digit `j` at `level`: `k` below the level's
+    /// resolution point, `u` at or above it.
+    #[inline]
+    fn word_radix(&self, level: usize, j: usize) -> usize {
+        if j < level {
+            self.k
+        } else {
+            self.up
+        }
+    }
+
+    /// Digit `j` (most significant first) of a level-`level` word.
+    fn word_digit(&self, level: usize, word: usize, j: usize) -> usize {
+        debug_assert!(j < self.n - 1);
+        let mut stride = 1usize;
+        for p in (j + 1)..(self.n - 1) {
+            stride *= self.word_radix(level, p);
+        }
+        word / stride % self.word_radix(level, j)
+    }
+
+    /// Recompose a level-`level` word from its digit vector.
+    fn word_compose(&self, level: usize, digits: &[usize]) -> usize {
+        debug_assert_eq!(digits.len(), self.n - 1);
+        let mut w = 0usize;
+        for (j, &d) in digits.iter().enumerate() {
+            debug_assert!(d < self.word_radix(level, j));
+            w = w * self.word_radix(level, j) + d;
+        }
+        w
+    }
+
+    /// Decompose a level-`level` word into its digit vector.
+    fn word_expand(&self, level: usize, word: usize) -> Vec<usize> {
+        (0..self.n - 1)
+            .map(|j| self.word_digit(level, word, j))
+            .collect()
+    }
+
+    /// The leaf switch to which node `p` attaches.
+    #[inline]
+    pub fn leaf_switch(&self, p: NodeId) -> RouterId {
+        // Leaf words have every digit at radix k: the word is simply the
+        // node address without its last digit.
+        self.switch(self.n - 1, p.index() / self.k)
+    }
+
+    /// Whether `port` points down (towards the leaves).
+    #[inline]
+    pub fn is_down_port(&self, port: usize) -> bool {
+        port < self.k
+    }
+
+    /// The level of the nearest common ancestors of `a` and `b` — the
+    /// longest common digit prefix of the two addresses, exactly as in
+    /// the full tree (the taper removes paths, not reachability).
+    #[inline]
+    pub fn nca_level(&self, a: NodeId, b: NodeId) -> usize {
+        self.node_digits.common_prefix_len(a.index(), b.index())
+    }
+
+    /// The down port a switch at `level` must take towards node `dest`
+    /// while descending: digit `level` of the destination address.
+    #[inline]
+    pub fn down_port_towards(&self, level: usize, dest: NodeId) -> usize {
+        self.node_digits.digit(dest.index(), level)
+    }
+
+    /// Whether `sw` lies on a descending path towards `dest`. True iff
+    /// the switch word matches the destination address on digit
+    /// positions `0..level` (the radix-`k` positions; the radix-`u`
+    /// positions are re-resolved by the descent itself).
+    pub fn is_ancestor_of(&self, sw: RouterId, dest: NodeId) -> bool {
+        let level = self.level(sw);
+        let word = self.word(sw);
+        (0..level)
+            .all(|j| self.word_digit(level, word, j) == self.node_digits.digit(dest.index(), j))
+    }
+
+    /// Number of bidirectional links crossing the canonical bisection
+    /// (cut on the most significant address digit, even `k`):
+    /// `(k/2) * u^(n-1)` root-level links. The full tree (`u = k`)
+    /// recovers `N/2` — full bisection.
+    pub fn bisection_links(&self) -> usize {
+        assert!(self.k.is_multiple_of(2), "bisection defined for even k");
+        self.k / 2 * self.up.pow((self.n - 1) as u32)
+    }
+
+    /// Per-node capacity under uniform traffic in flits per cycle:
+    /// `min(1, 2 (u/k)^(n-1))` — the bisection bound of the paper's
+    /// footnote, which the taper shrinks by `(u/k)^(n-1)`. The full
+    /// tree recovers the node-link bound of 1 flit per cycle.
+    pub fn uniform_capacity_flits_per_cycle(&self) -> f64 {
+        let ratio = (self.up as f64 / self.k as f64).powi(self.n as i32 - 1);
+        (2.0 * ratio).min(1.0)
+    }
+}
+
+impl Topology for TaperedKAryNTree {
+    fn num_nodes(&self) -> usize {
+        self.node_digits.count()
+    }
+
+    fn num_routers(&self) -> usize {
+        self.level_offset[self.n]
+    }
+
+    fn ports(&self, _r: RouterId) -> usize {
+        self.k + self.up
+    }
+
+    fn peer(&self, p: PortRef) -> PortPeer {
+        let level = self.level(p.router);
+        let word = self.word(p.router);
+        if self.is_down_port(p.port) {
+            let c = p.port;
+            if level == self.n - 1 {
+                // Leaf switch: down port c -> node word*k + c.
+                PortPeer::Node(NodeId((word * self.k + c) as u32))
+            } else {
+                // Down to level + 1: set word digit `level` to c (it
+                // gains radix k in the child); the child's up port back
+                // to us is our own digit `level` (radix u here).
+                let mut digits = self.word_expand(level, word);
+                let up_port = self.k + digits[level];
+                digits[level] = c;
+                let child_word = self.word_compose(level + 1, &digits);
+                PortPeer::Router(PortRef::new(self.switch(level + 1, child_word), up_port))
+            }
+        } else {
+            let u = p.port - self.k;
+            if u >= self.up {
+                return PortPeer::Unconnected;
+            }
+            if level == 0 {
+                // Root level: external connections, left uncabled.
+                PortPeer::Unconnected
+            } else {
+                // Up to level - 1: the parent has word digit `level - 1`
+                // set to u (radix u up there); its down port back to us
+                // is our own digit `level - 1` (radix k here).
+                let mut digits = self.word_expand(level, word);
+                let down_port = digits[level - 1];
+                digits[level - 1] = u;
+                let parent_word = self.word_compose(level - 1, &digits);
+                PortPeer::Router(PortRef::new(self.switch(level - 1, parent_word), down_port))
+            }
+        }
+    }
+
+    fn node_port(&self, n: NodeId) -> PortRef {
+        PortRef::new(self.leaf_switch(n), n.index() % self.k)
+    }
+
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let m = self.nca_level(a, b);
+        if m == self.n {
+            0
+        } else {
+            2 * (self.n - m)
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}-ary {}-tree taper {}", self.k, self.n, self.taper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+    use crate::tree::KAryNTree;
+
+    #[test]
+    fn shape_of_the_2to1_paper_size() {
+        let t = TaperedKAryNTree::new(4, 4, 2);
+        assert_eq!(t.num_nodes(), 256);
+        assert_eq!(t.up(), 2);
+        // Levels hold k^l * u^(3-l) switches: 8, 16, 32, 64.
+        assert_eq!(t.switches_at_level(0), 8);
+        assert_eq!(t.switches_at_level(1), 16);
+        assert_eq!(t.switches_at_level(2), 32);
+        assert_eq!(t.switches_at_level(3), 64);
+        assert_eq!(t.num_routers(), 120);
+        assert_eq!(t.ports(RouterId(0)), 6);
+        assert_eq!(t.label(), "4-ary 4-tree taper 2");
+    }
+
+    #[test]
+    fn tapered_trees_validate() {
+        for (k, n, taper) in [
+            (4usize, 4usize, 2usize),
+            (4, 4, 4),
+            (4, 3, 2),
+            (4, 2, 2),
+            (2, 3, 2),
+            (3, 3, 2),
+            (5, 2, 2),
+            (8, 2, 4),
+            (4, 4, 3),
+            (2, 1, 2),
+        ] {
+            validate(&TaperedKAryNTree::new(k, n, taper))
+                .unwrap_or_else(|e| panic!("({k},{n},{taper}): {e}"));
+        }
+    }
+
+    #[test]
+    fn taper_one_reproduces_the_full_tree_exactly() {
+        for (k, n) in [(2usize, 3usize), (3, 3), (4, 2), (4, 4)] {
+            let tapered = TaperedKAryNTree::new(k, n, 1);
+            let full = KAryNTree::new(k, n);
+            assert_eq!(tapered.num_nodes(), full.num_nodes());
+            assert_eq!(tapered.num_routers(), full.num_routers());
+            assert_eq!(tapered.ports(RouterId(0)), full.ports(RouterId(0)));
+            for r in 0..full.num_routers() {
+                let rid = RouterId(r as u32);
+                for p in 0..full.ports(rid) {
+                    assert_eq!(
+                        tapered.peer(PortRef::new(rid, p)),
+                        full.peer(PortRef::new(rid, p)),
+                        "({k},{n}) r{r} port {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_attachment() {
+        let t = TaperedKAryNTree::new(4, 3, 2);
+        for x in 0..t.num_nodes() {
+            let node = NodeId(x as u32);
+            let pr = t.node_port(node);
+            assert_eq!(t.peer(pr), PortPeer::Node(node));
+            assert_eq!(t.level(pr.router), 2);
+        }
+    }
+
+    #[test]
+    fn distances_match_the_full_tree() {
+        let tapered = TaperedKAryNTree::new(4, 3, 2);
+        let full = KAryNTree::new(4, 3);
+        for a in 0..64u32 {
+            for b in 0..64u32 {
+                assert_eq!(
+                    tapered.min_distance(NodeId(a), NodeId(b)),
+                    full.min_distance(NodeId(a), NodeId(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ascend_then_descend_reaches_destination() {
+        // The two-phase minimal route works through any up-port choice.
+        let t = TaperedKAryNTree::new(4, 3, 2);
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                if a == b {
+                    continue;
+                }
+                let m = t.nca_level(a, b);
+                let mut sw = t.leaf_switch(a);
+                let mut hops = 1; // node -> leaf switch
+                for up in 0..(t.n() - 1 - m) {
+                    let port = t.k() + (up % t.up()); // vary choices
+                    match t.peer(PortRef::new(sw, port)) {
+                        PortPeer::Router(pr) => sw = pr.router,
+                        other => panic!("expected router, got {other:?}"),
+                    }
+                    hops += 1;
+                }
+                assert_eq!(t.level(sw), m);
+                assert!(t.is_ancestor_of(sw, b), "NCA must cover destination");
+                while t.level(sw) < t.n() - 1 {
+                    let port = t.down_port_towards(t.level(sw), b);
+                    match t.peer(PortRef::new(sw, port)) {
+                        PortPeer::Router(pr) => sw = pr.router,
+                        other => panic!("expected router, got {other:?}"),
+                    }
+                    hops += 1;
+                }
+                let port = t.down_port_towards(t.n() - 1, b);
+                assert_eq!(t.peer(PortRef::new(sw, port)), PortPeer::Node(b));
+                hops += 1;
+                assert_eq!(hops, t.min_distance(a, b), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_ancestor_matches_descending_reachability() {
+        let t = TaperedKAryNTree::new(3, 3, 2);
+        for r in 0..t.num_routers() {
+            let rid = RouterId(r as u32);
+            let mut reach = vec![false; t.num_nodes()];
+            let mut stack = vec![rid];
+            while let Some(s) = stack.pop() {
+                for p in 0..t.k() {
+                    match t.peer(PortRef::new(s, p)) {
+                        PortPeer::Node(n) => reach[n.index()] = true,
+                        PortPeer::Router(pr) => stack.push(pr.router),
+                        PortPeer::Unconnected => {}
+                    }
+                }
+            }
+            for (x, &reached) in reach.iter().enumerate() {
+                assert_eq!(
+                    reached,
+                    t.is_ancestor_of(rid, NodeId(x as u32)),
+                    "switch {rid} node {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_and_capacity_shrink_with_the_taper() {
+        let full = TaperedKAryNTree::new(4, 4, 1);
+        assert_eq!(full.bisection_links(), 128); // N/2: full bisection
+        assert_eq!(full.uniform_capacity_flits_per_cycle(), 1.0);
+
+        let half = TaperedKAryNTree::new(4, 4, 2);
+        assert_eq!(half.bisection_links(), 16); // (k/2) * 2^3
+        let cap = half.uniform_capacity_flits_per_cycle();
+        assert!((cap - 0.25).abs() < 1e-12, "capacity {cap}");
+
+        let quarter = TaperedKAryNTree::new(4, 4, 4);
+        assert_eq!(quarter.bisection_links(), 2);
+        assert!(quarter.uniform_capacity_flits_per_cycle() < cap);
+    }
+
+    #[test]
+    fn extreme_taper_still_connects() {
+        // u = 1: a single root, one ascent path per switch.
+        let t = TaperedKAryNTree::new(4, 3, 4);
+        assert_eq!(t.up(), 1);
+        assert_eq!(t.switches_at_level(0), 1);
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn word_codec_roundtrip() {
+        let t = TaperedKAryNTree::new(4, 4, 2);
+        for level in 0..t.n() {
+            for w in 0..t.switches_at_level(level) {
+                let digits = t.word_expand(level, w);
+                assert_eq!(t.word_compose(level, &digits), w);
+                for (j, &d) in digits.iter().enumerate() {
+                    assert!(d < t.word_radix(level, j));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Torus-embedded hypercubes — a 2D torus crossed with a binary
+//! hypercube.
+//!
+//! A THC(k, d) couples the paper's two direct-network ideas: two
+//! wrap-around dimensions of radix `k` (the torus plane, which carries
+//! the long-haul traffic on cheap neighbor links) crossed with `d`
+//! binary dimensions (the hypercube axis, which keeps the diameter
+//! logarithmic in the machine size). Formally it is the mixed-radix
+//! torus with dimension radices `[k, k, 2, …, 2]` — the product graph
+//! of a k×k torus and a d-cube (cf. the torus-embedded-hypercube
+//! interconnects of arXiv:0912.2298). `N = k² · 2^d` nodes, every node
+//! hosting a router, exactly as in [`crate::KAryNCube`].
+//!
+//! ## Port convention
+//!
+//! Identical to the cube family: with `D = 2 + d` total dimensions,
+//! router `r` has `2D + 1` ports — port `2j` the plus direction of
+//! dimension `j`, port `2j + 1` the minus direction, port `2D` the
+//! local node. Dimensions `0` and `1` have radix `k` (least-significant
+//! coordinates); dimensions `2..D` are binary. On a binary ring both
+//! directions are the same physical link, so it is cabled on the plus
+//! port only and the minus port is left unconnected — the same
+//! convention `KAryNCube` uses for `k = 2`.
+
+use crate::cube::{CubeDirection, Sign};
+use crate::graph::{PortPeer, PortRef, Topology};
+use crate::ids::{NodeId, RouterId};
+
+/// A torus-embedded hypercube: a k×k torus crossed with a d-cube.
+///
+/// ```
+/// use topology::{TorusHypercube, NodeId, Topology};
+///
+/// let t = TorusHypercube::new(4, 4); // 4x4 torus x 4-cube = 256 nodes
+/// assert_eq!(t.num_nodes(), 256);
+/// assert_eq!(t.dims(), 6);
+/// // Opposite corner: 2 torus wrap hops + 4 hypercube hops + 2 node links.
+/// assert_eq!(t.min_distance(NodeId(0), NodeId(255)), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TorusHypercube {
+    k: usize,
+    d: usize,
+    num_nodes: usize,
+}
+
+impl TorusHypercube {
+    /// Build a THC(k, d): a k×k torus crossed with a binary d-cube.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, `d == 0`, or `k² · 2^d` does not fit in `u32`.
+    pub fn new(k: usize, d: usize) -> Self {
+        assert!(k >= 2, "torus radix must be at least 2");
+        assert!(d >= 1, "need at least one hypercube dimension");
+        let mut num_nodes: u64 = (k as u64) * (k as u64);
+        for _ in 0..d {
+            num_nodes = num_nodes.checked_mul(2).expect("k^2 * 2^d overflow");
+        }
+        assert!(num_nodes <= u32::MAX as u64, "k^2 * 2^d exceeds u32 range");
+        TorusHypercube {
+            k,
+            d,
+            num_nodes: num_nodes as usize,
+        }
+    }
+
+    /// The torus radix `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of binary (hypercube) dimensions `d`.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Total dimensions, `2 + d` (two torus + d binary).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        2 + self.d
+    }
+
+    /// Radix of dimension `j`: `k` for the torus plane (`j < 2`), 2 for
+    /// the hypercube axis.
+    #[inline]
+    pub fn radix(&self, j: usize) -> usize {
+        debug_assert!(j < self.dims());
+        if j < 2 {
+            self.k
+        } else {
+            2
+        }
+    }
+
+    /// Stride of dimension `j` in the node index (dimension 0 is the
+    /// least significant coordinate).
+    #[inline]
+    fn stride(&self, j: usize) -> usize {
+        if j < 2 {
+            self.k.pow(j as u32)
+        } else {
+            self.k * self.k * (1usize << (j - 2))
+        }
+    }
+
+    /// Coordinate of node `x` in dimension `j`.
+    #[inline]
+    pub fn coord(&self, x: NodeId, j: usize) -> usize {
+        x.index() / self.stride(j) % self.radix(j)
+    }
+
+    /// All coordinates of node `x`, index = dimension.
+    pub fn coords(&self, x: NodeId) -> Vec<usize> {
+        (0..self.dims()).map(|j| self.coord(x, j)).collect()
+    }
+
+    /// Node with the given coordinates (index = dimension).
+    pub fn node_at(&self, coords: &[usize]) -> NodeId {
+        assert_eq!(coords.len(), self.dims());
+        let mut x = 0usize;
+        for (j, &c) in coords.iter().enumerate() {
+            assert!(c < self.radix(j));
+            x += c * self.stride(j);
+        }
+        NodeId(x as u32)
+    }
+
+    /// The neighbor of `x` one hop along `dir`.
+    pub fn neighbor(&self, x: NodeId, dir: CubeDirection) -> NodeId {
+        let r = self.radix(dir.dim);
+        let c = self.coord(x, dir.dim);
+        let stride = self.stride(dir.dim);
+        let nc = match dir.sign {
+            Sign::Plus => (c + 1) % r,
+            Sign::Minus => (c + r - 1) % r,
+        };
+        NodeId((x.index() + nc * stride - c * stride) as u32)
+    }
+
+    /// Signed minimal hop count from `a` to `b` in dimension `j`:
+    /// `(hops, preferred_sign)`, with the cube family's tie-break (plus
+    /// on binary rings, else source-coordinate parity).
+    pub fn min_offset(&self, a: NodeId, b: NodeId, j: usize) -> (usize, Sign) {
+        let r = self.radix(j);
+        let ca = self.coord(a, j);
+        let cb = self.coord(b, j);
+        let fwd = (cb + r - ca) % r;
+        let bwd = (ca + r - cb) % r;
+        if fwd < bwd || (fwd == bwd && (r == 2 || ca.is_multiple_of(2))) {
+            (fwd, Sign::Plus)
+        } else {
+            (bwd, Sign::Minus)
+        }
+    }
+
+    /// Minimal router-to-router hop distance between the routers of two
+    /// nodes.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        (0..self.dims()).map(|j| self.min_offset(a, b, j).0).sum()
+    }
+
+    /// Number of bidirectional links crossing the narrowest canonical
+    /// bisection: the cheaper of cutting a torus dimension
+    /// (`2N/k` links, even `k`) or a hypercube dimension (`N/2` links).
+    pub fn bisection_links(&self) -> usize {
+        let hypercube_cut = self.num_nodes / 2;
+        if self.k.is_multiple_of(2) {
+            (2 * self.num_nodes / self.k).min(hypercube_cut)
+        } else {
+            hypercube_cut
+        }
+    }
+
+    /// Per-node uniform capacity in flits per cycle, from the same
+    /// bisection argument as the cube: `min(1, 4B/N)`.
+    pub fn uniform_capacity_flits_per_cycle(&self) -> f64 {
+        let directed = 2.0 * self.bisection_links() as f64;
+        (2.0 * directed / self.num_nodes as f64).min(1.0)
+    }
+
+    /// Mean minimal hop distance over all ordered node pairs (self pairs
+    /// included): `2 · (mean ring offset at radix k) + d/2`.
+    pub fn mean_hop_distance(&self) -> f64 {
+        let k = self.k;
+        let per_torus_dim: usize = (0..k).map(|c| c.min(k - c)).sum();
+        2.0 * per_torus_dim as f64 / k as f64 + self.d as f64 * 0.5
+    }
+}
+
+impl Topology for TorusHypercube {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_routers(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn ports(&self, _r: RouterId) -> usize {
+        2 * self.dims() + 1
+    }
+
+    fn peer(&self, p: PortRef) -> PortPeer {
+        let node = NodeId(p.router.0);
+        match CubeDirection::from_port(p.port, self.dims()) {
+            Some(dir) => {
+                let r = self.radix(dir.dim);
+                if r == 2 && dir.sign == Sign::Minus {
+                    // Binary ring: one physical link, cabled on the plus
+                    // port; the minus port is left uncabled.
+                    return PortPeer::Unconnected;
+                }
+                let other = self.neighbor(node, dir);
+                let back = CubeDirection {
+                    dim: dir.dim,
+                    sign: dir.sign.opposite(),
+                };
+                let back_port = if r == 2 { dir.port() } else { back.port() };
+                PortPeer::Router(PortRef::new(RouterId(other.0), back_port))
+            }
+            None => {
+                if p.port == 2 * self.dims() {
+                    PortPeer::Node(node)
+                } else {
+                    PortPeer::Unconnected
+                }
+            }
+        }
+    }
+
+    fn node_port(&self, n: NodeId) -> PortRef {
+        PortRef::new(RouterId(n.0), 2 * self.dims())
+    }
+
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+        if a == b {
+            0
+        } else {
+            self.hop_distance(a, b) + 2
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{0}x{0} torus x {1}-cube", self.k, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn shape_of_the_256_node_point() {
+        let t = TorusHypercube::new(4, 4);
+        assert_eq!(t.num_nodes(), 256);
+        assert_eq!(t.num_routers(), 256);
+        assert_eq!(t.dims(), 6);
+        assert_eq!(t.ports(RouterId(0)), 13);
+        // Links: 2 torus dims x N + d binary dims x N/2 + N node links.
+        assert_eq!(t.num_links(), 2 * 256 + 4 * 128 + 256);
+        assert_eq!(t.label(), "4x4 torus x 4-cube");
+    }
+
+    #[test]
+    fn thc_instances_validate() {
+        for (k, d) in [
+            (2usize, 1usize),
+            (2, 3),
+            (3, 2),
+            (4, 2),
+            (4, 4),
+            (5, 1),
+            (8, 2),
+        ] {
+            validate(&TorusHypercube::new(k, d)).unwrap_or_else(|e| panic!("({k},{d}): {e}"));
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = TorusHypercube::new(3, 3);
+        for x in 0..t.num_nodes() {
+            let coords = t.coords(NodeId(x as u32));
+            assert_eq!(t.node_at(&coords), NodeId(x as u32));
+        }
+    }
+
+    #[test]
+    fn neighbor_is_involutive_on_torus_dims() {
+        let t = TorusHypercube::new(4, 2);
+        for x in 0..t.num_nodes() {
+            for dim in 0..2 {
+                for sign in [Sign::Plus, Sign::Minus] {
+                    let dir = CubeDirection { dim, sign };
+                    let back = CubeDirection {
+                        dim,
+                        sign: sign.opposite(),
+                    };
+                    let y = t.neighbor(NodeId(x as u32), dir);
+                    assert_eq!(t.neighbor(y, back), NodeId(x as u32));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_dims_flip_one_bit() {
+        let t = TorusHypercube::new(4, 3);
+        let x = t.node_at(&[1, 2, 0, 1, 0]);
+        let y = t.neighbor(
+            x,
+            CubeDirection {
+                dim: 3,
+                sign: Sign::Plus,
+            },
+        );
+        assert_eq!(t.coords(y), vec![1, 2, 0, 0, 0]);
+        // Plus and minus reach the same neighbor on a binary ring.
+        let z = t.neighbor(
+            x,
+            CubeDirection {
+                dim: 3,
+                sign: Sign::Minus,
+            },
+        );
+        assert_eq!(y, z);
+    }
+
+    #[test]
+    fn binary_minus_ports_uncabled() {
+        let t = TorusHypercube::new(4, 2);
+        // Dimension 2 (first binary dim): plus port 4 cabled, minus 5 not.
+        assert!(matches!(
+            t.peer(PortRef::new(RouterId(0), 4)),
+            PortPeer::Router(_)
+        ));
+        assert_eq!(t.peer(PortRef::new(RouterId(0), 5)), PortPeer::Unconnected);
+    }
+
+    #[test]
+    fn distances_are_per_dimension_sums() {
+        let t = TorusHypercube::new(4, 4);
+        let a = t.node_at(&[0, 0, 0, 0, 0, 0]);
+        let b = t.node_at(&[3, 3, 1, 1, 1, 1]);
+        // Torus dims wrap (1 hop each), binary dims 1 hop each.
+        assert_eq!(t.hop_distance(a, b), 2 + 4);
+        assert_eq!(t.min_distance(a, b), 8);
+        assert_eq!(t.min_distance(a, a), 0);
+        assert_eq!(t.hop_distance(a, b), t.hop_distance(b, a));
+    }
+
+    #[test]
+    fn mean_hop_distance_matches_brute_force() {
+        let t = TorusHypercube::new(4, 2);
+        let n = t.num_nodes();
+        let total: usize = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .map(|(a, b)| t.hop_distance(NodeId(a as u32), NodeId(b as u32)))
+            .sum();
+        let brute = total as f64 / (n * n) as f64;
+        assert!((t.mean_hop_distance() - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisection_picks_the_narrowest_cut() {
+        // k = 4: torus cut 2N/4 = N/2 ties the hypercube cut.
+        let t = TorusHypercube::new(4, 4);
+        assert_eq!(t.bisection_links(), 128);
+        assert_eq!(t.uniform_capacity_flits_per_cycle(), 1.0);
+        // k = 8: torus cut 2N/8 = N/4 is narrower.
+        let t = TorusHypercube::new(8, 2);
+        assert_eq!(t.num_nodes(), 256);
+        assert_eq!(t.bisection_links(), 64);
+        assert!((t.uniform_capacity_flits_per_cycle() - 1.0).abs() < 1e-12);
+        // Odd k: only the hypercube cut is canonical.
+        let t = TorusHypercube::new(3, 2);
+        assert_eq!(t.bisection_links(), 18);
+    }
+
+    #[test]
+    fn min_distance_includes_node_links() {
+        let t = TorusHypercube::new(4, 2);
+        assert_eq!(t.min_distance(NodeId(0), NodeId(1)), 3);
+    }
+}

@@ -211,6 +211,14 @@ impl KAryNTree {
         1.0
     }
 
+    /// Number of bidirectional links crossing the canonical bisection
+    /// (cut on the most significant address digit, even `k`):
+    /// `(k/2) * k^(n-1) = N/2` root-level links — full bisection.
+    pub fn bisection_links(&self) -> usize {
+        assert!(self.k.is_multiple_of(2), "bisection defined for even k");
+        self.k / 2 * self.k.pow((self.n - 1) as u32)
+    }
+
     /// Worst-case *descent overload* of a traffic pattern: the maximum,
     /// over every level `l` and every destination subtree at that level,
     /// of `demand / capacity`, where *demand* is the number of packets

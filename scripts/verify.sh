@@ -231,6 +231,102 @@ grep -q '^error:' "$SHARD_DIR/err2.txt" \
   || { echo "shard smoke: unstructured error output" >&2; cat "$SHARD_DIR/err2.txt" >&2; exit 1; }
 echo "shard smoke: serial and --shards 2 artifacts are byte-identical"
 
+echo "==> design-space smoke"
+DESIGN_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACE_DIR" "$FAULT_DIR" "$SHARD_DIR" "$DESIGN_DIR"' EXIT
+cargo run --release --bin netperf -- design --nodes 256 --pin-budget 160 --quick \
+  --out "$DESIGN_DIR/design_report" > "$DESIGN_DIR/stdout.txt"
+for f in design_report.csv design_report.json design_report.manifest.json; do
+  [ -s "$DESIGN_DIR/$f" ] || { echo "design smoke: missing artifact $f" >&2; exit 1; }
+done
+python3 - "$DESIGN_DIR" scripts/design_report.schema.json <<'EOF'
+import csv, json, sys
+out, schema_path = sys.argv[1], sys.argv[2]
+schema = json.load(open(schema_path))
+
+def check(obj, sch, path="$"):
+    if "const" in sch and obj != sch["const"]:
+        return f"{path}: {obj!r} != const {sch['const']!r}"
+    if "enum" in sch and obj not in sch["enum"]:
+        return f"{path}: {obj!r} not in enum"
+    t = sch.get("type")
+    if t == "object" and not isinstance(obj, dict):
+        return f"{path}: not an object"
+    if isinstance(obj, dict):
+        for key in sch.get("required", []):
+            if key not in obj:
+                return f"{path}: missing required {key}"
+        props = sch.get("properties", {})
+        if sch.get("additionalProperties", True) is False:
+            for key in obj:
+                if key not in props:
+                    return f"{path}: unexpected key {key}"
+        for key, sub in props.items():
+            if key in obj:
+                err = check(obj[key], sub, f"{path}.{key}")
+                if err:
+                    return err
+    if t == "integer":
+        if not isinstance(obj, int) or isinstance(obj, bool):
+            return f"{path}: not an integer"
+    elif t == "number":
+        if not isinstance(obj, (int, float)) or isinstance(obj, bool):
+            return f"{path}: not a number"
+    elif t == "boolean":
+        if not isinstance(obj, bool):
+            return f"{path}: not a boolean"
+    elif t == "string":
+        if not isinstance(obj, str):
+            return f"{path}: not a string"
+    elif t == "array":
+        if not isinstance(obj, list):
+            return f"{path}: not an array"
+        for i, item in enumerate(obj):
+            err = check(item, sch.get("items", {}), f"{path}[{i}]")
+            if err:
+                return err
+    if t in ("integer", "number") and "minimum" in sch and obj < sch["minimum"]:
+        return f"{path}: {obj} < minimum {sch['minimum']}"
+    return None
+
+report = json.load(open(out + "/design_report.json"))
+err = check(report, schema)
+assert err is None, f"design_report.json: {err}"
+points = report["points"]
+assert report["candidates"] == len(points)
+budget = report["budget"]["pin_budget"]
+feasible = [p for p in points if p["feasible"]]
+assert report["feasible"] == len(feasible)
+assert feasible, "no feasible design point at the paper's budget"
+# Feasibility is exactly the pin predicate; ranks are contiguous from 1
+# in descending measured-throughput order; only feasible points carry
+# simulation results.
+for p in points:
+    assert p["feasible"] == (p["pins_per_router"] <= budget), p["id"]
+    assert p["feasible"] == ("measured_bits_per_ns" in p), p["id"]
+ranks = [p["rank"] for p in points if "rank" in p]
+assert ranks == list(range(1, len(feasible) + 1)), ranks
+measured = [p["measured_bits_per_ns"] for p in feasible]
+assert measured == sorted(measured, reverse=True), "points not ranked"
+# The paper's Section 10 ordering at equal cost: the 16-ary 2-cube
+# beats every full fat-tree of the same node count.
+by_id = {p["id"]: p for p in points}
+cube = by_id["cube k=16 n=2 duato-4vc"]
+trees = [p for p in feasible if p["family"] == "tree"]
+assert trees and all(
+    cube["measured_bits_per_ns"] > t["measured_bits_per_ns"] for t in trees
+), "cube-vs-tree ordering not reproduced"
+with open(out + "/design_report.csv") as f:
+    rows = list(csv.DictReader(f))
+assert len(rows) == len(points)
+m = json.load(open(out + "/design_report.manifest.json"))
+assert m["schema"] == "netperf-design-manifest/1"
+assert m["available_parallelism"] >= 1
+assert m["counters"]["simulated"] == len(feasible)
+print(f"design smoke: {len(points)} points ({len(feasible)} feasible) validate; "
+      f"best = {feasible[0]['id']}")
+EOF
+
 echo "==> scale_sweep --quick smoke"
 cargo run --release -p bench --bin scale_sweep -- --quick --out "$SHARD_DIR" \
   > "$SHARD_DIR/stdout.txt" 2>&1
@@ -239,6 +335,7 @@ import csv, json, sys
 out = sys.argv[1]
 panel = json.load(open(out + "/scale_sweep.json"))
 assert panel["host_cpus"] >= 1 and panel["quick"] is True
+assert panel["available_parallelism"] >= 1
 cells = panel["cells"]
 assert cells, "empty scale panel"
 by_cfg = {}

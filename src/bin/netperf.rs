@@ -19,9 +19,10 @@
 //! works and keeps its historical semantics: one fixed seed for every
 //! load point (default `0x5EED`) and no source throttling.
 
+use netperf::costmodel::{enumerate_designs, DesignBudget, DesignPoint};
 use netperf::netsim::scenario::{
-    default_load_grid, named, parse_threads, registry, InjectionModel, RoutingKind, RunLength,
-    Scenario, ScenarioBuilder, SeedMode, Throttle, TopologySpec,
+    default_load_grid, named, parse_threads, registry, sweep_threads, InjectionModel, RoutingKind,
+    RunLength, Scenario, ScenarioBuilder, SeedMode, Throttle, TopologySpec,
 };
 use netperf::netsim::FaultPlan;
 use netperf::telemetry::{trace, FlightRecorder, TelemetryConfig};
@@ -43,6 +44,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..], false),
         Some("sweep") => cmd_run(&args[1..], true),
+        Some("design") => cmd_design(&args[1..]),
         None | Some("--help" | "-h") => usage(),
         // Flags-first invocation: the historical single-level CLI.
         Some(f) if f.starts_with("--") => legacy(&args),
@@ -61,11 +63,18 @@ fn usage() -> ! {
          list                        print the named-scenario registry\n\
          run   [name] [options]      simulate one offered load\n\
          sweep [name] [options]      sweep a load grid (in parallel)\n\
+         design [options]            rank design points under a pin budget:\n\
+                                     --nodes <int> (default 256),\n\
+                                     --pin-budget <int> (default 160),\n\
+                                     --out <stem> (default results/design_report),\n\
+                                     --quick; writes <stem>.{{csv,json}} + manifest\n\
          \n\
          scenario selection (instead of a registry name):\n\
-         --topology cube|tree|mesh   network family\n\
+         --topology <family>         cube|tree|tapered-tree|mesh|thc (or an alias)\n\
          --k <int>                   radix / arity (default 16)\n\
          --n <int>                   dimension / levels (default 2)\n\
+         --taper <int>               up-link oversubscription ratio\n\
+                                     (tapered-tree only; default 2)\n\
          --algo det|duato|adaptive   routing (default: the family's paper choice)\n\
          --vcs <int>                 virtual channels (default 4)\n\
          \n\
@@ -118,6 +127,15 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// `cube|tree|mesh|...` — the registered family slugs, for error text.
+fn family_slugs() -> String {
+    netperf::topology::families()
+        .iter()
+        .map(|f| f.slug)
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
 fn parse_u64(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).ok()
@@ -162,17 +180,22 @@ fn parse_injection(spec: &str) -> Option<InjectionModel> {
 
 fn cmd_list() {
     println!(
-        "{:18} {:22} {:13} {:3} summary",
-        "name", "label", "routing", "vcs"
+        "{:18} {:28} {:13} {:3} {:>6} {:>7} {:>6} summary",
+        "name", "label", "routing", "vcs", "nodes", "router", "bisect"
     );
     for e in registry() {
         let s = e.scenario();
+        let t = s.topology();
         println!(
-            "{:18} {:22} {:13} {:3} {}",
+            "{:18} {:28} {:13} {:3} {:>6} {:>7} {:>6} {}",
             e.name,
             s.label(),
             s.routing().name(),
             s.vcs(),
+            t.num_nodes(),
+            t.num_routers(),
+            t.bisection_links()
+                .map_or_else(|| "-".to_string(), |b| b.to_string()),
             e.summary
         );
     }
@@ -195,6 +218,7 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
     // Builder axes (only used when no registry name is given).
     let mut family: Option<String> = None;
     let (mut k, mut n) = (16usize, 2usize);
+    let mut taper: Option<usize> = None;
     let mut algo: Option<RoutingKind> = None;
     let mut vcs: Option<usize> = None;
     // Overrides that apply to both paths.
@@ -230,6 +254,15 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
             "--topology" => family = Some(val("--topology").to_string()),
             "--k" => k = val("--k").parse().unwrap_or_else(|_| fail("bad --k")),
             "--n" => n = val("--n").parse().unwrap_or_else(|_| fail("bad --n")),
+            "--taper" => {
+                taper = Some(
+                    val("--taper")
+                        .parse()
+                        .ok()
+                        .filter(|&t: &usize| t >= 1)
+                        .unwrap_or_else(|| fail("bad --taper (want an integer >= 1)")),
+                )
+            }
             "--algo" => {
                 let a = val("--algo");
                 algo = Some(RoutingKind::parse(a).unwrap_or_else(|| {
@@ -355,7 +388,7 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
     }
 
     let scenario = if let Some(name) = &name {
-        if family.is_some() || algo.is_some() || vcs.is_some() {
+        if family.is_some() || algo.is_some() || vcs.is_some() || taper.is_some() {
             fail("give either a registry name or --topology/--algo/--vcs flags, not both");
         }
         let mut s = named(name)
@@ -382,8 +415,15 @@ fn parse_request(args: &[String], sweep: bool) -> Request {
         s
     } else {
         let family = family.unwrap_or_else(|| fail("need a registry name or --topology"));
-        let topology = TopologySpec::parse(&family, k, n)
-            .unwrap_or_else(|| fail(&format!("unknown topology {family} (cube|tree|mesh)")));
+        let mut topology = TopologySpec::parse(&family, k, n)
+            .unwrap_or_else(|| fail(&format!("unknown topology {family} ({})", family_slugs())));
+        if let Some(t) = taper {
+            topology = topology.with_taper(t).unwrap_or_else(|| {
+                fail(&format!(
+                    "--taper applies to tapered trees, not the {family}"
+                ))
+            });
+        }
         let mut b = ScenarioBuilder::new().topology(topology);
         if let Some(r) = algo {
             b = b.routing(r);
@@ -705,6 +745,364 @@ fn manifest_sibling(csv_path: &str) -> String {
 }
 
 // ---------------------------------------------------------------------
+// The design-space optimizer: enumerate, price, screen, simulate, rank.
+// ---------------------------------------------------------------------
+
+/// One simulated design point: the enumerated/priced point plus the
+/// measured saturation throughput (feasible points only) and the final
+/// rank among feasible points (1 = best).
+struct RankedPoint {
+    point: DesignPoint,
+    measured_saturation_fraction: Option<f64>,
+    measured_bits_per_ns: Option<f64>,
+    rank: Option<usize>,
+}
+
+/// The scenario a design point names: the family's default
+/// routing/vcs choice from the enumeration, at the given run length.
+fn design_scenario(p: &DesignPoint, run_length: RunLength) -> Scenario {
+    let spec = TopologySpec::parse(p.family, p.k, p.n)
+        .unwrap_or_else(|| fail(&format!("design point {} names an unknown family", p.id())));
+    let spec = if spec.taper() == p.taper {
+        spec
+    } else {
+        spec.with_taper(p.taper)
+            .expect("only tapered families enumerate taper > 1")
+    };
+    let routing = RoutingKind::parse(p.routing).expect("design points use registered routings");
+    Scenario::builder()
+        .topology(spec)
+        .routing(routing)
+        .vcs(p.vcs)
+        .run_length(run_length)
+        .build()
+        .unwrap_or_else(|e| fail(&format!("design point {}: {e}", p.id())))
+}
+
+fn cmd_design(args: &[String]) {
+    let mut nodes = 256usize;
+    let mut pin_budget = 160usize;
+    let mut quick = false;
+    let mut out_stem = "results/design_report".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> &str {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                nodes = val("--nodes")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &usize| v >= 2)
+                    .unwrap_or_else(|| fail("bad --nodes (want an integer >= 2)"))
+            }
+            "--pin-budget" => {
+                pin_budget = val("--pin-budget")
+                    .parse()
+                    .ok()
+                    .filter(|&v: &usize| v >= 1)
+                    .unwrap_or_else(|| fail("bad --pin-budget (want an integer >= 1)"))
+            }
+            "--out" => out_stem = val("--out").to_string(),
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+
+    let budget = DesignBudget { nodes, pin_budget };
+    let points = enumerate_designs(&budget);
+    if points.is_empty() {
+        fail(&format!(
+            "no registered family has an exact {nodes}-node shape"
+        ));
+    }
+    let feasible = points.iter().filter(|p| p.feasible).count();
+    // Short sharded simulations on the feasible survivors, at offered
+    // load 1.0: the ranking metric is sustained saturation throughput
+    // in absolute bits/ns, the y-axis ceiling of the paper's Figure 7.
+    let run_length = if quick {
+        RunLength {
+            warmup: 200,
+            total: 1500,
+        }
+    } else {
+        RunLength::quick()
+    };
+    let threads = sweep_threads();
+    println!(
+        "design space: {} nodes, {} data pins/router: {} candidates, {} feasible \
+         (simulating each at saturation, {} cycles, {} threads)",
+        nodes,
+        pin_budget,
+        points.len(),
+        feasible,
+        run_length.total,
+        threads
+    );
+
+    let start = Instant::now();
+    let mut ranked: Vec<RankedPoint> = points
+        .into_iter()
+        .map(|point| {
+            if !point.feasible {
+                return RankedPoint {
+                    point,
+                    measured_saturation_fraction: None,
+                    measured_bits_per_ns: None,
+                    rank: None,
+                };
+            }
+            let s = design_scenario(&point, run_length);
+            let shards = threads.min(point.routers).max(1);
+            let out = s
+                .try_simulate_sharded(1.0, shards, threads)
+                .unwrap_or_else(|e| fail(&format!("design point {}: {e}", point.id())));
+            let bits = out.accepted_fraction * point.capacity_bits_per_ns;
+            println!(
+                "  {:42} pins {:>4}  clock {:>5.2} ns  sustained {:.3} of capacity = {:>6.2} bits/ns",
+                point.id(),
+                point.pins_per_router,
+                point.clock_ns,
+                out.accepted_fraction,
+                bits
+            );
+            RankedPoint {
+                point,
+                measured_saturation_fraction: Some(out.accepted_fraction),
+                measured_bits_per_ns: Some(bits),
+                rank: None,
+            }
+        })
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+
+    // Rank: feasible by measured throughput (descending, id as the
+    // deterministic tie-break), then the infeasible points by how far
+    // they overshoot the budget (the nearest misses first).
+    ranked.sort_by(|a, b| {
+        let key = |r: &RankedPoint| r.measured_bits_per_ns.unwrap_or(f64::NEG_INFINITY);
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap()
+            .then_with(|| a.point.pins_per_router.cmp(&b.point.pins_per_router))
+            .then_with(|| a.point.id().cmp(&b.point.id()))
+    });
+    for (i, r) in ranked
+        .iter_mut()
+        .take_while(|r| r.point.feasible)
+        .enumerate()
+    {
+        r.rank = Some(i + 1);
+    }
+    if let Some(best) = ranked.first().filter(|r| r.rank.is_some()) {
+        println!(
+            "best design: {} at {:.2} bits/ns sustained",
+            best.point.id(),
+            best.measured_bits_per_ns.unwrap()
+        );
+    } else {
+        println!("no feasible design under {pin_budget} pins/router");
+    }
+
+    let csv_path = format!("{out_stem}.csv");
+    netstats::write_csv(&design_table(&ranked), &csv_path).expect("write csv");
+    eprintln!("wrote {csv_path}");
+    let json_path = format!("{out_stem}.json");
+    netstats::write_manifest(
+        &design_report(&budget, quick, run_length, &ranked),
+        &json_path,
+    )
+    .expect("write report");
+    eprintln!("wrote {json_path}");
+    let mpath = manifest_sibling(&csv_path);
+    netstats::write_manifest(
+        &design_manifest(&budget, quick, run_length, threads, wall, &ranked),
+        &mpath,
+    )
+    .expect("write manifest");
+    eprintln!("wrote {mpath}");
+}
+
+fn opt_num(v: Option<f64>) -> Cell {
+    v.map_or(Cell::Text(String::new()), Cell::Num)
+}
+
+fn design_table(ranked: &[RankedPoint]) -> Table {
+    let mut table = Table::with_columns([
+        "rank",
+        "id",
+        "family",
+        "k",
+        "n",
+        "taper",
+        "vcs",
+        "routing",
+        "routers",
+        "ports_per_router",
+        "flit_bytes",
+        "pins_per_router",
+        "feasible",
+        "bisection_links",
+        "capacity_flits_per_cycle",
+        "clock_ns",
+        "clock_bottleneck",
+        "capacity_bits_per_ns",
+        "analytic_saturation_fraction",
+        "predicted_bits_per_ns",
+        "measured_saturation_fraction",
+        "measured_bits_per_ns",
+    ]);
+    for r in ranked {
+        let p = &r.point;
+        table.push_row(vec![
+            opt_num(r.rank.map(|x| x as f64)),
+            Cell::Text(p.id()),
+            Cell::Text(p.family.to_string()),
+            Cell::Num(p.k as f64),
+            Cell::Num(p.n as f64),
+            Cell::Num(p.taper as f64),
+            Cell::Num(p.vcs as f64),
+            Cell::Text(p.routing.to_string()),
+            Cell::Num(p.routers as f64),
+            Cell::Num(p.ports_per_router as f64),
+            Cell::Num(p.flit_bytes as f64),
+            Cell::Num(p.pins_per_router as f64),
+            Cell::Num(p.feasible as u8 as f64),
+            Cell::Num(p.bisection_links as f64),
+            Cell::Num(p.capacity_flits_per_cycle),
+            Cell::Num(p.clock_ns),
+            Cell::Text(p.clock_bottleneck.to_string()),
+            Cell::Num(p.capacity_bits_per_ns),
+            opt_num(p.analytic_saturation_fraction),
+            opt_num(p.predicted_bits_per_ns),
+            opt_num(r.measured_saturation_fraction),
+            opt_num(r.measured_bits_per_ns),
+        ]);
+    }
+    table
+}
+
+fn point_manifest(r: &RankedPoint) -> Manifest {
+    let p = &r.point;
+    let mut m = Manifest::new();
+    if let Some(rank) = r.rank {
+        m.push("rank", rank as f64);
+    }
+    m.push("id", p.id());
+    m.push("family", p.family);
+    m.push("k", p.k as f64);
+    m.push("n", p.n as f64);
+    m.push("taper", p.taper as f64);
+    m.push("vcs", p.vcs as f64);
+    m.push("routing", p.routing);
+    m.push("routers", p.routers as f64);
+    m.push("ports_per_router", p.ports_per_router as f64);
+    m.push("flit_bytes", p.flit_bytes as f64);
+    m.push("pins_per_router", p.pins_per_router as f64);
+    m.push("feasible", p.feasible);
+    m.push("bisection_links", p.bisection_links as f64);
+    m.push("capacity_flits_per_cycle", p.capacity_flits_per_cycle);
+    m.push("clock_ns", p.clock_ns);
+    m.push("clock_bottleneck", p.clock_bottleneck);
+    m.push("capacity_bits_per_ns", p.capacity_bits_per_ns);
+    if let Some(f) = p.analytic_saturation_fraction {
+        m.push("analytic_saturation_fraction", f);
+        m.push("predicted_bits_per_ns", p.predicted_bits_per_ns.unwrap());
+    }
+    if let Some(f) = r.measured_saturation_fraction {
+        m.push("measured_saturation_fraction", f);
+        m.push("measured_bits_per_ns", r.measured_bits_per_ns.unwrap());
+    }
+    m
+}
+
+/// The machine-readable report (`design_report.json`), validated by
+/// `scripts/design_report.schema.json` in the verify pipeline.
+fn design_report(
+    budget: &DesignBudget,
+    quick: bool,
+    run_length: RunLength,
+    ranked: &[RankedPoint],
+) -> Manifest {
+    let mut m = Manifest::new();
+    m.push("schema", "netperf-design-report/1");
+    m.push("generator", "netperf-cli");
+    let mut b = Manifest::new();
+    b.push("nodes", budget.nodes as f64);
+    b.push("pin_budget", budget.pin_budget as f64);
+    m.push("budget", b);
+    m.push("quick", quick);
+    let mut rl = Manifest::new();
+    rl.push("warmup", run_length.warmup as f64);
+    rl.push("total", run_length.total as f64);
+    m.push("run_length", rl);
+    m.push("offered_fraction", 1.0);
+    m.push("candidates", ranked.len() as f64);
+    m.push(
+        "feasible",
+        ranked.iter().filter(|r| r.point.feasible).count() as f64,
+    );
+    m.push(
+        "points",
+        ManifestValue::List(ranked.iter().map(|r| point_manifest(r).into()).collect()),
+    );
+    m
+}
+
+/// The provenance manifest sibling (`design_report.manifest.json`).
+fn design_manifest(
+    budget: &DesignBudget,
+    quick: bool,
+    run_length: RunLength,
+    threads: usize,
+    wall: f64,
+    ranked: &[RankedPoint],
+) -> Manifest {
+    let mut m = Manifest::new();
+    m.push("schema", "netperf-design-manifest/1");
+    m.push("generator", "netperf-cli");
+    m.push("artifact", "design_report");
+    let mut b = Manifest::new();
+    b.push("nodes", budget.nodes as f64);
+    b.push("pin_budget", budget.pin_budget as f64);
+    m.push("budget", b);
+    m.push("quick", quick);
+    let mut rl = Manifest::new();
+    rl.push("warmup", run_length.warmup as f64);
+    rl.push("total", run_length.total as f64);
+    m.push("run_length", rl);
+    m.push("threads", threads as f64);
+    m.push(
+        "available_parallelism",
+        std::thread::available_parallelism().map_or(0.0, |p| p.get() as f64),
+    );
+    let mut engine = Manifest::new();
+    for (feature, enabled) in netperf::netsim::engine_features() {
+        engine.push(feature, enabled);
+    }
+    m.push("engine", engine);
+    m.push("wall_clock_secs", wall);
+    let mut c = Manifest::new();
+    c.push("candidates", ranked.len() as f64);
+    c.push(
+        "feasible",
+        ranked.iter().filter(|r| r.point.feasible).count() as f64,
+    );
+    c.push(
+        "simulated",
+        ranked
+            .iter()
+            .filter(|r| r.measured_bits_per_ns.is_some())
+            .count() as f64,
+    );
+    m.push("counters", ManifestValue::Object(c));
+    m
+}
+
+// ---------------------------------------------------------------------
 // The historical flags-first CLI, now a thin veneer over the builder.
 // ---------------------------------------------------------------------
 
@@ -714,6 +1112,7 @@ fn legacy(args: &[String]) {
     let (mut k, mut n) = (16usize, 2usize);
     let mut algo = "duato".to_string();
     let mut vcs = 4usize;
+    let mut taper: Option<usize> = None;
     let mut pattern = Pattern::Uniform;
     let mut load = 0.5f64;
     let mut sweep: Option<Vec<f64>> = None;
@@ -734,6 +1133,15 @@ fn legacy(args: &[String]) {
             "--n" => n = val("--n").parse().unwrap_or_else(|_| fail("bad --n")),
             "--algo" => algo = val("--algo").to_string(),
             "--vcs" => vcs = val("--vcs").parse().unwrap_or_else(|_| fail("bad --vcs")),
+            "--taper" => {
+                taper = Some(
+                    val("--taper")
+                        .parse()
+                        .ok()
+                        .filter(|t| *t >= 1)
+                        .unwrap_or_else(|| fail("bad --taper (want an integer >= 1)")),
+                )
+            }
             "--pattern" => {
                 let p = val("--pattern");
                 pattern =
@@ -782,8 +1190,15 @@ fn legacy(args: &[String]) {
     if family == "mesh" && routing == RoutingKind::Adaptive {
         vcs = vcs.max(2);
     }
-    let topology = TopologySpec::parse(&family, k, n)
-        .unwrap_or_else(|| fail(&format!("unknown topology {family} (cube|tree|mesh)")));
+    let mut topology = TopologySpec::parse(&family, k, n)
+        .unwrap_or_else(|| fail(&format!("unknown topology {family} ({})", family_slugs())));
+    if let Some(t) = taper {
+        topology = topology.with_taper(t).unwrap_or_else(|| {
+            fail(&format!(
+                "--taper applies to tapered trees, not the {family}"
+            ))
+        });
+    }
     let scenario = ScenarioBuilder::new()
         .topology(topology)
         .routing(routing)

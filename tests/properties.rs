@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use netperf::prelude::*;
 use netperf::routing::RoutingAlgorithm;
 use netperf::topology::cube::CubeDirection;
-use netperf::topology::{validate, Digits};
+use netperf::topology::{families, validate, Digits, FamilyShape, PortPeer, PortRef};
 use netperf::traffic::{Pattern as P, Rng64, TrafficGen};
 
 proptest! {
@@ -27,6 +27,54 @@ proptest! {
         let tree = KAryNTree::new(k, n);
         prop_assert!(validate(&tree).is_ok());
         prop_assert_eq!(tree.num_routers(), n * k.pow(n as u32 - 1));
+    }
+
+    #[test]
+    fn any_buildable_family_instance_is_a_valid_network(
+        fi in 0usize..families().len(),
+        k in 2usize..6,
+        n in 1usize..4,
+        taper in 1usize..5,
+        s in any::<(u64, u64, u64)>(),
+    ) {
+        // The registry invariants every family must satisfy, whatever
+        // its shape: the wiring validates, every port peering is
+        // symmetric, and the port-level minimal distance is a metric.
+        let f = &families()[fi];
+        let shape = FamilyShape::tapered(k, n, taper);
+        prop_assume!((f.num_nodes)(&shape) <= 2048);
+        let topo = (f.build)(&shape);
+        prop_assert!(validate(&*topo).is_ok(), "{} {:?}", f.slug, shape);
+        for r in (0..topo.num_routers()).map(|r| RouterId(r as u32)) {
+            for p in 0..topo.ports(r) {
+                match topo.peer(PortRef::new(r, p)) {
+                    PortPeer::Router(pr) => prop_assert_eq!(
+                        topo.peer(pr),
+                        PortPeer::Router(PortRef::new(r, p)),
+                        "{} {:?}: asymmetric wiring at router {} port {}",
+                        f.slug, shape, r.0, p
+                    ),
+                    PortPeer::Node(node) => {
+                        prop_assert_eq!(topo.node_port(node), PortRef::new(r, p));
+                    }
+                    PortPeer::Unconnected => {}
+                }
+            }
+        }
+        let nn = topo.num_nodes() as u64;
+        let (a, b, c) = (
+            NodeId((s.0 % nn) as u32),
+            NodeId((s.1 % nn) as u32),
+            NodeId((s.2 % nn) as u32),
+        );
+        let d = |x, y| topo.min_distance(x, y);
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert!(
+            d(a, c) <= d(a, b) + d(b, c),
+            "{} {:?}: triangle violated on {:?} {:?} {:?}",
+            f.slug, shape, a, b, c
+        );
     }
 
     #[test]
